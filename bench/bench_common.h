@@ -1,0 +1,147 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Each binary registers one google-benchmark per experiment cell (a
+// (trace, policy, cache size, ...) simulation, Iterations(1) — the runs
+// are deterministic, so repetition buys nothing), collects the RunResults
+// in a process-global store, and prints a paper-style table plus a
+// paper-vs-measured comparison after google-benchmark finishes.
+//
+// Runtime is controlled by REQBLOCK_BENCH_REQUESTS (requests per trace,
+// 0 = full-length traces) and standard --benchmark_filter flags.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "trace/profiles.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace reqblock::benchx {
+
+/// Results of every case executed so far, keyed by registration name.
+class RunStore {
+ public:
+  static RunStore& instance() {
+    static RunStore store;
+    return store;
+  }
+
+  void add(const std::string& name, RunResult result) {
+    order_.push_back(name);
+    results_.emplace(name, std::move(result));
+  }
+
+  const RunResult* find(const std::string& name) const {
+    const auto it = results_.find(name);
+    return it == results_.end() ? nullptr : &it->second;
+  }
+
+  /// All results in registration order.
+  std::vector<const RunResult*> all() const {
+    std::vector<const RunResult*> out;
+    out.reserve(order_.size());
+    for (const auto& name : order_) out.push_back(&results_.at(name));
+    return out;
+  }
+
+ private:
+  std::map<std::string, RunResult> results_;
+  std::vector<std::string> order_;
+};
+
+/// Registers a single-simulation benchmark. Counters exported: hit ratio,
+/// mean/p99 response, flash writes, pages/eviction.
+inline void register_case(const std::string& name, ExperimentCase c) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [name, c](benchmark::State& state) {
+        RunResult result;
+        for (auto _ : state) {
+          SyntheticTraceSource trace(c.profile);
+          Simulator sim(c.options);
+          result = sim.run(trace);
+        }
+        state.counters["hit_pct"] = result.hit_ratio() * 100.0;
+        state.counters["mean_ms"] = result.mean_response_ms();
+        state.counters["p99_ms"] =
+            static_cast<double>(result.response.p99()) / kMillisecond;
+        state.counters["flash_writes"] =
+            static_cast<double>(result.flash_write_count());
+        state.counters["pages_per_evict"] =
+            result.cache.eviction_batch.mean();
+        RunStore::instance().add(name, std::move(result));
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Builds a standard experiment cell.
+inline ExperimentCase make_case(const std::string& trace_name,
+                                const std::string& policy,
+                                std::uint64_t cache_mb, std::uint64_t cap,
+                                std::uint32_t delta = 5) {
+  ExperimentCase c;
+  c.profile = profiles::by_name(trace_name).capped(cap);
+  c.options = make_sim_options(policy, cache_mb, delta);
+  c.label = trace_name + "/" + policy;
+  return c;
+}
+
+/// Paper policy display order.
+inline const std::vector<std::string>& paper_policies() {
+  static const std::vector<std::string> p = {"lru", "bplru", "vbbms",
+                                             "reqblock"};
+  return p;
+}
+
+inline const std::vector<std::string>& paper_traces() {
+  static const std::vector<std::string> t = {"hm_1", "lun_1", "usr_0",
+                                             "src1_2", "ts_0", "proj_0"};
+  return t;
+}
+
+/// Runs google-benchmark, then the binary-specific report.
+inline int bench_main(int argc, char** argv,
+                      const std::function<void()>& report,
+                      const std::string& title) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "Device: Table 1 geometry on a "
+            << format_bytes(static_cast<double>(
+                   SsdConfig::experiment_default().capacity_bytes))
+            << " device (see DESIGN.md).\n"
+            << "Requests per trace via REQBLOCK_BENCH_REQUESTS (0 = full "
+               "traces).\n\n";
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << "\n";
+  report();
+  return 0;
+}
+
+/// Convenience: mean over a set of per-trace ratios.
+inline double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Prints one paper-vs-measured line.
+inline void expect_line(const std::string& what, const std::string& paper,
+                        const std::string& measured) {
+  std::cout << "  " << what << ": paper " << paper << " | measured "
+            << measured << "\n";
+}
+
+}  // namespace reqblock::benchx

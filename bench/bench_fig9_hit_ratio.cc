@@ -1,0 +1,100 @@
+// Figure 9: cache hit ratio of LRU / BPLRU / VBBMS / Req-block across six
+// traces and three cache sizes, normalized to Req-block. The paper
+// reports Req-block improving hits by 42.9%, 23.6% and 4.1% on average
+// versus LRU, BPLRU and VBBMS, with BPLRU dropping below LRU on ts_0.
+#include "bench_common.h"
+
+namespace reqblock::benchx {
+namespace {
+
+const std::uint64_t kCacheMbs[] = {16, 32, 64};
+
+std::string cell(const std::string& trace, const std::string& policy,
+                 std::uint64_t mb) {
+  return "fig9/" + trace + "/" + policy + "/" + std::to_string(mb) + "MB";
+}
+
+void register_benchmarks(std::uint64_t cap) {
+  for (const auto& trace : paper_traces()) {
+    for (const std::uint64_t mb : kCacheMbs) {
+      for (const auto& policy : paper_policies()) {
+        register_case(cell(trace, policy, mb),
+                      make_case(trace, policy, mb, cap));
+      }
+    }
+  }
+}
+
+void report() {
+  for (const std::uint64_t mb : kCacheMbs) {
+    TextTable t({"Trace (" + std::to_string(mb) + "MB)",
+                 "Req-block (abs)", "LRU", "BPLRU", "VBBMS"});
+    for (const auto& trace : paper_traces()) {
+      const RunResult* rb =
+          RunStore::instance().find(cell(trace, "reqblock", mb));
+      if (rb == nullptr) continue;
+      std::vector<std::string> row{
+          trace, format_double(rb->hit_ratio() * 100, 2) + "%"};
+      for (const auto& policy : {"lru", "bplru", "vbbms"}) {
+        const RunResult* r =
+            RunStore::instance().find(cell(trace, policy, mb));
+        row.push_back(r == nullptr ? "-"
+                                   : format_double(
+                                         r->hit_ratio() / rb->hit_ratio(),
+                                         3));
+      }
+      t.add_row(row);
+    }
+    std::cout << "Hit ratio normalized to Req-block, " << mb
+              << "MB cache:\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::vector<double> vs_lru, vs_bplru, vs_vbbms;
+  bool bplru_below_lru_ts0 = false;
+  for (const auto& trace : paper_traces()) {
+    for (const std::uint64_t mb : kCacheMbs) {
+      const RunResult* rb =
+          RunStore::instance().find(cell(trace, "reqblock", mb));
+      if (rb == nullptr) continue;
+      auto gain = [&](const char* p) {
+        const RunResult* base =
+            RunStore::instance().find(cell(trace, p, mb));
+        return base == nullptr
+                   ? 0.0
+                   : (rb->hit_ratio() / base->hit_ratio() - 1.0) * 100.0;
+      };
+      vs_lru.push_back(gain("lru"));
+      vs_bplru.push_back(gain("bplru"));
+      vs_vbbms.push_back(gain("vbbms"));
+      if (trace == "ts_0") {
+        const RunResult* lru = RunStore::instance().find(cell(trace, "lru", mb));
+        const RunResult* bp =
+            RunStore::instance().find(cell(trace, "bplru", mb));
+        if (lru != nullptr && bp != nullptr &&
+            bp->hit_ratio() < lru->hit_ratio()) {
+          bplru_below_lru_ts0 = true;
+        }
+      }
+    }
+  }
+  expect_line("Req-block hit gain vs LRU", "+42.9% avg (up to +100%)",
+              "+" + format_double(mean_of(vs_lru), 1) + "% avg");
+  expect_line("Req-block hit gain vs BPLRU", "+23.6% avg",
+              "+" + format_double(mean_of(vs_bplru), 1) + "% avg");
+  expect_line("Req-block hit gain vs VBBMS", "+4.1% avg",
+              "+" + format_double(mean_of(vs_vbbms), 1) + "% avg");
+  expect_line("BPLRU below LRU on ts_0 (small requests vs 64-page blocks)",
+              "yes", bplru_below_lru_ts0 ? "yes" : "no");
+}
+
+}  // namespace
+}  // namespace reqblock::benchx
+
+int main(int argc, char** argv) {
+  using namespace reqblock::benchx;
+  register_benchmarks(reqblock::bench_request_cap(200000));
+  return bench_main(argc, argv, report,
+                    "Fig. 9: hit ratio (normalized to Req-block)");
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks (A4): CPU cost of the policy hot paths — insert, hit,
+// and victim selection — for every cache policy. The paper argues
+// Req-block's run-time overhead is O(log n) lookups plus O(1) list
+// adjustments (§4.2.5); these benchmarks put cycle numbers on that claim
+// and let regressions in the policy data structures show up directly.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/policy_factory.h"
+#include "trace/io_request.h"
+#include "util/rng.h"
+
+namespace reqblock {
+namespace {
+
+constexpr std::uint64_t kCapacity = 8192;  // pages (32 MB)
+
+PolicyConfig config_for(const std::string& name) {
+  PolicyConfig cfg;
+  cfg.name = name;
+  cfg.capacity_pages = kCapacity;
+  cfg.pages_per_block = 64;
+  return cfg;
+}
+
+IoRequest request_for(std::uint64_t id, Lpn lpn, std::uint32_t pages) {
+  IoRequest r;
+  r.id = id;
+  r.type = IoType::kWrite;
+  r.lpn = lpn;
+  r.pages = pages;
+  return r;
+}
+
+/// Steady-state churn: one miss-insert (with eviction when full) per
+/// iteration, mimicking the manager's write-miss path.
+void bm_insert_evict(benchmark::State& state, const std::string& name) {
+  auto policy = make_policy(config_for(name));
+  Rng rng(1);
+  std::uint64_t id = 0;
+  Lpn next = 0;
+  for (auto _ : state) {
+    const IoRequest req = request_for(++id, next, 4);
+    policy->begin_request(req);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      while (policy->pages() >= kCapacity) {
+        auto victim = policy->select_victim();
+        if (victim.empty()) break;
+      }
+      policy->on_insert(next++, req, true);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+/// Hit path: repeated promotions of resident pages.
+void bm_hit(benchmark::State& state, const std::string& name) {
+  auto policy = make_policy(config_for(name));
+  // Pre-fill with 4-page requests.
+  std::uint64_t id = 0;
+  for (Lpn l = 0; l < kCapacity; l += 4) {
+    const IoRequest req = request_for(++id, l, 4);
+    policy->begin_request(req);
+    for (std::uint32_t i = 0; i < 4; ++i) policy->on_insert(l + i, req, true);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    const Lpn lpn = rng.next_below(kCapacity);
+    const IoRequest req = request_for(++id, lpn, 1);
+    policy->begin_request(req);
+    policy->on_hit(lpn, req, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void register_all() {
+  for (const auto& name : known_policy_names()) {
+    benchmark::RegisterBenchmark(("insert_evict/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   bm_insert_evict(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("hit/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   bm_hit(s, name);
+                                 });
+  }
+}
+
+}  // namespace
+}  // namespace reqblock
+
+int main(int argc, char** argv) {
+  reqblock::register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "cache/bplru.h"
+
+#include "util/check.h"
+
+namespace reqblock {
+
+BplruPolicy::BplruPolicy(std::uint32_t pages_per_block, BplruOptions options)
+    : pages_per_block_(pages_per_block), options_(options) {
+  REQB_CHECK_MSG(pages_per_block_ >= 1, "block must hold pages");
+}
+
+void BplruPolicy::on_hit(Lpn lpn, const IoRequest&, bool is_write) {
+  const auto it = blocks_.find(block_of(lpn));
+  REQB_CHECK_MSG(it != blocks_.end(), "BPLRU hit on untracked page");
+  Block& b = it->second;
+  if (is_write) {
+    // A rewrite contradicts the "sequential data won't return" heuristic.
+    b.sequential = false;
+  }
+  b.demoted = false;
+  lru_.move_to_front(&b);
+}
+
+void BplruPolicy::on_insert(Lpn lpn, const IoRequest&, bool) {
+  const Lpn id = block_of(lpn);
+  auto [it, created] = blocks_.try_emplace(id);
+  Block& b = it->second;
+  if (created) {
+    b.block_id = id;
+    lru_.push_front(&b);
+  }
+  b.pages.push_back(lpn);
+  ++total_pages_;
+
+  const auto offset = static_cast<std::uint32_t>(lpn % pages_per_block_);
+  if (b.sequential && offset == b.next_seq_offset) {
+    ++b.next_seq_offset;
+  } else {
+    b.sequential = false;
+  }
+  if (b.sequential && b.next_seq_offset == pages_per_block_) {
+    // LRU compensation: a fully sequentially written block goes straight
+    // to the eviction end.
+    b.demoted = true;
+    lru_.move_to_back(&b);
+  } else {
+    b.demoted = false;
+    lru_.move_to_front(&b);
+  }
+}
+
+VictimBatch BplruPolicy::select_victim() {
+  VictimBatch batch;
+  Block* victim = lru_.pop_back();
+  if (victim == nullptr) return batch;
+  batch.pages = std::move(victim->pages);
+  batch.colocate = true;
+  if (options_.page_padding) {
+    // Page padding: request the block's other pages; the manager reads the
+    // ones that exist on flash and rewrites the whole block together.
+    const Lpn first = victim->block_id * pages_per_block_;
+    batch.padding_reads.reserve(pages_per_block_ - batch.pages.size());
+    std::vector<bool> cached(pages_per_block_, false);
+    for (const Lpn lpn : batch.pages) {
+      cached[static_cast<std::size_t>(lpn - first)] = true;
+    }
+    for (std::uint32_t i = 0; i < pages_per_block_; ++i) {
+      if (!cached[i]) batch.padding_reads.push_back(first + i);
+    }
+  }
+  total_pages_ -= batch.pages.size();
+  blocks_.erase(victim->block_id);
+  return batch;
+}
+
+bool BplruPolicy::is_sequential_demoted(Lpn block_id) const {
+  const auto it = blocks_.find(block_id);
+  return it != blocks_.end() && it->second.demoted;
+}
+
+}  // namespace reqblock

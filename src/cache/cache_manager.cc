@@ -1,0 +1,231 @@
+#include "cache/cache_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+CacheManager::CacheManager(const CacheOptions& options,
+                           std::unique_ptr<WriteBufferPolicy> policy,
+                           Ftl& ftl)
+    : options_(options), policy_(std::move(policy)), ftl_(ftl) {
+  REQB_CHECK_MSG(options_.capacity_pages >= 1, "cache must hold a page");
+  REQB_CHECK(policy_ != nullptr);
+  const std::uint32_t buckets = options_.max_tracked_request_pages + 1;
+  metrics_.inserts_by_req_size.assign(buckets, 0);
+  metrics_.hits_by_req_size.assign(buckets, 0);
+  metrics_.pages_retired_by_req_size.assign(buckets, 0);
+  metrics_.pages_reused_by_req_size.assign(buckets, 0);
+}
+
+std::uint32_t CacheManager::size_bucket(std::uint32_t pages) const {
+  // Bucket 0 aggregates requests larger than the tracked maximum.
+  return pages <= options_.max_tracked_request_pages ? pages : 0;
+}
+
+std::uint64_t CacheManager::expected_version(Lpn lpn) const {
+  const auto it = last_version_.find(lpn);
+  return it == last_version_.end() ? 0 : it->second;
+}
+
+void CacheManager::sample_metadata() {
+  if (++lookup_since_sample_ >= options_.metadata_sample_interval) {
+    lookup_since_sample_ = 0;
+    metrics_.metadata_bytes.record(
+        static_cast<double>(policy_->metadata_bytes()));
+  }
+}
+
+void CacheManager::retire_entry(Lpn /*lpn*/, const PageEntry& entry) {
+  const std::uint32_t b = size_bucket(entry.insert_req_pages);
+  ++metrics_.pages_retired_by_req_size[b];
+  if (entry.reused) ++metrics_.pages_reused_by_req_size[b];
+}
+
+SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
+  VictimBatch victim = policy_->select_victim();
+  if (victim.empty()) {
+    evicted = false;
+    return now;
+  }
+  evicted = true;
+  ++metrics_.evictions;
+
+  std::vector<FlushPage> flush;
+  flush.reserve(victim.pages.size() + victim.padding_reads.size());
+  for (const Lpn lpn : victim.pages) {
+    const auto it = pages_.find(lpn);
+    REQB_CHECK_MSG(it != pages_.end(),
+                   "policy evicted a page the cache does not hold");
+    if (it->second.dirty) {
+      flush.push_back(FlushPage{lpn, it->second.version});
+    }
+    retire_entry(lpn, it->second);
+    pages_.erase(it);
+    ++metrics_.evicted_pages;
+  }
+  metrics_.flushed_pages += flush.size();  // dirty victim pages only
+
+  // BPLRU page padding: read the block's missing (but previously written)
+  // pages from flash and rewrite them together with the victim batch.
+  SimTime padding_done = now;
+  for (const Lpn lpn : victim.padding_reads) {
+    if (!ftl_.is_mapped(lpn) || pages_.contains(lpn)) continue;
+    const auto rr = ftl_.read_page(lpn, now);
+    padding_done = std::max(padding_done, rr.complete);
+    flush.push_back(FlushPage{lpn, rr.version});
+    ++metrics_.padding_pages;
+  }
+
+  // Fig. 10's "page number of each eviction" counts the pages the eviction
+  // pushes to flash in one batch (victim pages + BPLRU padding).
+  metrics_.eviction_batch.record(flush.size());
+
+  if (flush.empty()) return now;  // all-clean victim: space is free at once
+  return ftl_.program_batch(flush, padding_done, victim.colocate);
+}
+
+SimTime CacheManager::serve_write(const IoRequest& req) {
+  // All of the request's page operations are issued at arrival; evictions
+  // triggered by different pages proceed in parallel (striped across
+  // channels by the FTL's round-robin allocator) and only the per-chip
+  // FCFS timelines serialize them. A page that needed an eviction is
+  // admitted when its victim's flush completes (synchronous eviction).
+  const SimTime issue = req.arrival;
+  SimTime done = issue;
+  for (std::uint32_t i = 0; i < req.pages; ++i) {
+    const Lpn lpn = req.lpn + i;
+    ++metrics_.page_lookups;
+    sample_metadata();
+    const std::uint64_t version = ++last_version_[lpn];
+
+    const auto it = pages_.find(lpn);
+    if (it != pages_.end()) {
+      ++metrics_.page_hits;
+      ++metrics_.write_hits;
+      ++metrics_.hits_by_req_size[size_bucket(it->second.insert_req_pages)];
+      it->second.version = version;
+      it->second.dirty = true;
+      it->second.reused = true;
+      policy_->on_hit(lpn, req, /*is_write=*/true);
+      done = std::max(done, issue + ftl_.config().cache_access_latency);
+      continue;
+    }
+
+    // Miss: make room, then admit. Occupancy is measured at the policy's
+    // allocation granularity (whole block units for BPLRU), so one insert
+    // may need several evictions before space frees up.
+    SimTime admit_at = issue;
+    bool space_ok = true;
+    while (policy_->occupied_pages() >= options_.capacity_pages) {
+      bool evicted = false;
+      const SimTime space_at = evict_once(issue, evicted);
+      if (!evicted) {
+        // Nothing evictable (the in-flight request owns the whole cache):
+        // bypass the buffer and program this page directly.
+        space_ok = false;
+        break;
+      }
+      admit_at = std::max(admit_at, space_at);
+    }
+    if (!space_ok) {
+      ++metrics_.bypass_pages;
+      done = std::max(done, ftl_.program_page(lpn, version, issue));
+      continue;
+    }
+    PageEntry entry;
+    entry.version = version;
+    entry.dirty = true;
+    entry.insert_req_pages = req.pages;
+    pages_.emplace(lpn, entry);
+    ++metrics_.inserts;
+    ++metrics_.inserts_by_req_size[size_bucket(req.pages)];
+    policy_->on_insert(lpn, req, /*is_write=*/true);
+    done = std::max(done, admit_at + ftl_.config().cache_access_latency);
+  }
+  REQB_DCHECK(pages_.size() <= options_.capacity_pages);
+  return done;
+}
+
+SimTime CacheManager::serve_read(const IoRequest& req) {
+  SimTime done = req.arrival;
+  for (std::uint32_t i = 0; i < req.pages; ++i) {
+    const Lpn lpn = req.lpn + i;
+    ++metrics_.page_lookups;
+    sample_metadata();
+
+    const auto it = pages_.find(lpn);
+    if (it != pages_.end()) {
+      ++metrics_.page_hits;
+      ++metrics_.read_hits;
+      ++metrics_.hits_by_req_size[size_bucket(it->second.insert_req_pages)];
+      it->second.reused = true;
+      if (options_.verify_consistency) {
+        REQB_CHECK_MSG(it->second.version == expected_version(lpn),
+                       "cached version diverged from the write oracle");
+      }
+      policy_->on_hit(lpn, req, /*is_write=*/false);
+      done = std::max(done, req.arrival + ftl_.config().cache_access_latency);
+      continue;
+    }
+
+    ++metrics_.read_misses;
+    const auto rr = ftl_.read_page(lpn, req.arrival);
+    if (options_.verify_consistency) {
+      REQB_CHECK_MSG(rr.version == expected_version(lpn),
+                     "flash version diverged from the write oracle");
+    }
+    done = std::max(done, rr.complete);
+
+    if (options_.cache_reads && rr.mapped) {
+      SimTime cursor = rr.complete;
+      bool admitted = true;
+      while (policy_->occupied_pages() >= options_.capacity_pages) {
+        bool evicted = false;
+        cursor = std::max(cursor, evict_once(cursor, evicted));
+        if (!evicted) {
+          admitted = false;
+          break;
+        }
+      }
+      if (admitted) {
+        PageEntry entry;
+        entry.version = rr.version;
+        entry.dirty = false;
+        entry.insert_req_pages = req.pages;
+        pages_.emplace(lpn, entry);
+        ++metrics_.inserts;
+        ++metrics_.inserts_by_req_size[size_bucket(req.pages)];
+        policy_->on_insert(lpn, req, /*is_write=*/false);
+        done = std::max(done, cursor);
+      }
+    }
+  }
+  return done;
+}
+
+SimTime CacheManager::serve(const IoRequest& req) {
+  REQB_CHECK_MSG(req.pages >= 1, "requests must touch at least one page");
+  policy_->begin_request(req);
+  const SimTime done =
+      req.is_write() ? serve_write(req) : serve_read(req);
+  REQB_DCHECK(policy_->pages() == pages_.size());
+  return done;
+}
+
+void CacheManager::finalize() {
+  for (const auto& [lpn, entry] : pages_) retire_entry(lpn, entry);
+}
+
+void CacheManager::reset_metrics() {
+  metrics_ = CacheMetrics{};
+  const std::uint32_t buckets = options_.max_tracked_request_pages + 1;
+  metrics_.inserts_by_req_size.assign(buckets, 0);
+  metrics_.hits_by_req_size.assign(buckets, 0);
+  metrics_.pages_retired_by_req_size.assign(buckets, 0);
+  metrics_.pages_reused_by_req_size.assign(buckets, 0);
+  lookup_since_sample_ = 0;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,131 @@
+// CacheManager: the DRAM data-cache layer between host requests and the FTL.
+//
+// Implements the main routine of the paper's Algorithm 1 generically over
+// any WriteBufferPolicy:
+//   * write page hit   -> update in place, policy->on_hit
+//   * write page miss  -> evict (synchronously, batch-flushed via the FTL)
+//                         until a slot is free, then admit, policy->on_insert
+//   * read page hit    -> served from DRAM
+//   * read page miss   -> flash read (optionally admitted when cache_reads)
+//
+// It also owns the instrumentation behind the paper's figures: hit/insert
+// distributions by inserting-request size (Fig. 2), large-request reuse
+// (Fig. 3), eviction batch sizes (Fig. 10), flush counts (Fig. 11) and the
+// policy metadata footprint (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/write_buffer.h"
+#include "ssd/ftl.h"
+#include "trace/io_request.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+struct CacheOptions {
+  std::uint64_t capacity_pages = 4096;  // 16 MB of 4 KB pages
+  /// Admit read-miss data as clean pages (CFLRU extension; off in the
+  /// paper's write-buffer setting).
+  bool cache_reads = false;
+  /// Verify the per-LPN version oracle on every read (cheap; keeps the
+  /// whole stack honest). Disable only for profiling.
+  bool verify_consistency = true;
+  /// Sample policy metadata size every N page lookups for Fig. 12.
+  std::uint32_t metadata_sample_interval = 1024;
+  /// Cap of the per-request-size instrumentation arrays.
+  std::uint32_t max_tracked_request_pages = 256;
+};
+
+struct CacheMetrics {
+  std::uint64_t page_lookups = 0;
+  std::uint64_t page_hits = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t read_misses = 0;   // pages read from flash
+  std::uint64_t bypass_pages = 0;  // write pages sent straight to flash
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_pages = 0;
+  std::uint64_t flushed_pages = 0;   // dirty pages programmed on eviction
+  std::uint64_t padding_pages = 0;   // BPLRU padding reads+writes
+
+  /// Pages per eviction operation (Fig. 10).
+  CountHistogram eviction_batch;
+  /// Sampled policy metadata bytes (Fig. 12).
+  RunningStat metadata_bytes;
+
+  /// Fig. 2 instrumentation, indexed by the size (pages) of the write
+  /// request that inserted the page; index 0 aggregates oversized requests.
+  std::vector<std::uint64_t> inserts_by_req_size;
+  std::vector<std::uint64_t> hits_by_req_size;
+  /// Fig. 3 instrumentation: per inserting-request size, how many admitted
+  /// pages were re-accessed at least once before leaving the cache.
+  std::vector<std::uint64_t> pages_retired_by_req_size;
+  std::vector<std::uint64_t> pages_reused_by_req_size;
+
+  double hit_ratio() const {
+    return page_lookups == 0 ? 0.0
+                             : static_cast<double>(page_hits) /
+                                   static_cast<double>(page_lookups);
+  }
+};
+
+class CacheManager {
+ public:
+  CacheManager(const CacheOptions& options,
+               std::unique_ptr<WriteBufferPolicy> policy, Ftl& ftl);
+
+  /// Serves one host request starting at req.arrival; returns completion
+  /// time. Must be called in nondecreasing arrival order.
+  SimTime serve(const IoRequest& req);
+
+  /// Flushes instrumentation for pages still resident (call once at end of
+  /// a run so Fig. 3 reuse stats cover the whole population).
+  void finalize();
+
+  const CacheMetrics& metrics() const { return metrics_; }
+  const WriteBufferPolicy& policy() const { return *policy_; }
+  WriteBufferPolicy& policy() { return *policy_; }
+  std::uint64_t cached_pages() const { return pages_.size(); }
+  std::uint64_t capacity_pages() const { return options_.capacity_pages; }
+
+  /// Last written version per LPN (the consistency oracle).
+  std::uint64_t expected_version(Lpn lpn) const;
+
+  /// Clears the counters (cache contents stay). Used for warmup phases.
+  void reset_metrics();
+
+ private:
+  struct PageEntry {
+    std::uint64_t version = 0;
+    std::uint32_t insert_req_pages = 0;  // size of the inserting request
+    bool dirty = false;
+    bool reused = false;  // hit at least once since insertion
+  };
+
+  SimTime serve_write(const IoRequest& req);
+  SimTime serve_read(const IoRequest& req);
+  /// Evicts one victim batch and flushes its dirty pages; returns the time
+  /// the flush completes (== when the space is usable). Returns `now`
+  /// unchanged and sets `evicted=false` when the policy had no victim.
+  SimTime evict_once(SimTime now, bool& evicted);
+  void retire_entry(Lpn lpn, const PageEntry& entry);
+  void sample_metadata();
+  std::uint32_t size_bucket(std::uint32_t pages) const;
+
+  CacheOptions options_;
+  std::unique_ptr<WriteBufferPolicy> policy_;
+  Ftl& ftl_;
+  std::unordered_map<Lpn, PageEntry> pages_;
+  std::unordered_map<Lpn, std::uint64_t> last_version_;
+  CacheMetrics metrics_;
+  std::uint64_t lookup_since_sample_ = 0;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,54 @@
+#include "cache/cflru.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+CflruPolicy::CflruPolicy(std::uint64_t capacity_pages,
+                         double window_fraction) {
+  REQB_CHECK_MSG(window_fraction >= 0.0 && window_fraction <= 1.0,
+                 "CFLRU window fraction must be in [0,1]");
+  window_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(capacity_pages) *
+                                  window_fraction));
+}
+
+void CflruPolicy::on_hit(Lpn lpn, const IoRequest&, bool is_write) {
+  const auto it = nodes_.find(lpn);
+  REQB_CHECK_MSG(it != nodes_.end(), "CFLRU hit on untracked page");
+  if (is_write) it->second.dirty = true;
+  list_.move_to_front(&it->second);
+}
+
+void CflruPolicy::on_insert(Lpn lpn, const IoRequest&, bool is_write) {
+  auto [it, inserted] = nodes_.try_emplace(lpn);
+  REQB_CHECK_MSG(inserted, "CFLRU double insert");
+  it->second.lpn = lpn;
+  it->second.dirty = is_write;
+  list_.push_front(&it->second);
+}
+
+VictimBatch CflruPolicy::select_victim() {
+  VictimBatch batch;
+  if (list_.empty()) return batch;
+  // Scan the clean-first window from the LRU end for a clean page.
+  Node* candidate = list_.tail();
+  std::size_t scanned = 0;
+  for (Node* n = candidate; n != nullptr && scanned < window_;
+       n = list_.prev(n), ++scanned) {
+    if (!n->dirty) {
+      candidate = n;
+      break;
+    }
+  }
+  // Fall back to the plain LRU tail when the window holds no clean page.
+  if (candidate->dirty) candidate = list_.tail();
+  batch.pages.push_back(candidate->lpn);
+  list_.erase(candidate);
+  nodes_.erase(candidate->lpn);
+  return batch;
+}
+
+}  // namespace reqblock

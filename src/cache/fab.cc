@@ -1,0 +1,56 @@
+#include "cache/fab.h"
+
+#include "util/check.h"
+
+namespace reqblock {
+
+FabPolicy::FabPolicy(std::uint32_t pages_per_block)
+    : pages_per_block_(pages_per_block) {
+  REQB_CHECK_MSG(pages_per_block_ >= 1, "block must hold pages");
+}
+
+void FabPolicy::reindex(Lpn block_id, std::size_t old_count,
+                        std::size_t new_count) {
+  if (old_count != 0) {
+    auto it = by_count_.find(old_count);
+    REQB_DCHECK(it != by_count_.end());
+    it->second.erase(block_id);
+    if (it->second.empty()) by_count_.erase(it);
+  }
+  if (new_count != 0) by_count_[new_count].insert(block_id);
+}
+
+void FabPolicy::on_hit(Lpn lpn, const IoRequest&, bool) {
+  // FAB considers only group size; hits change nothing.
+  (void)lpn;
+  REQB_DCHECK(groups_.contains(block_of(lpn)));
+}
+
+void FabPolicy::on_insert(Lpn lpn, const IoRequest&, bool) {
+  Group& g = groups_[block_of(lpn)];
+  reindex(block_of(lpn), g.pages.size(), g.pages.size() + 1);
+  g.pages.push_back(lpn);
+  ++total_pages_;
+}
+
+VictimBatch FabPolicy::select_victim() {
+  VictimBatch batch;
+  if (by_count_.empty()) return batch;
+  const auto largest = std::prev(by_count_.end());
+  REQB_DCHECK(!largest->second.empty());
+  const Lpn block_id = *largest->second.begin();
+  auto it = groups_.find(block_id);
+  REQB_DCHECK(it != groups_.end());
+  batch.pages = std::move(it->second.pages);
+  reindex(block_id, batch.pages.size(), 0);
+  groups_.erase(it);
+  total_pages_ -= batch.pages.size();
+  return batch;
+}
+
+std::size_t FabPolicy::group_size(Lpn block_id) const {
+  const auto it = groups_.find(block_id);
+  return it == groups_.end() ? 0 : it->second.pages.size();
+}
+
+}  // namespace reqblock

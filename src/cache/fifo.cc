@@ -1,0 +1,28 @@
+#include "cache/fifo.h"
+
+#include "util/check.h"
+
+namespace reqblock {
+
+void FifoPolicy::on_hit(Lpn lpn, const IoRequest&, bool) {
+  REQB_CHECK_MSG(nodes_.contains(lpn), "FIFO hit on untracked page");
+  // FIFO: recency does not matter.
+}
+
+void FifoPolicy::on_insert(Lpn lpn, const IoRequest&, bool) {
+  auto [it, inserted] = nodes_.try_emplace(lpn);
+  REQB_CHECK_MSG(inserted, "FIFO double insert");
+  it->second.lpn = lpn;
+  list_.push_front(&it->second);
+}
+
+VictimBatch FifoPolicy::select_victim() {
+  VictimBatch batch;
+  Node* tail = list_.pop_back();
+  if (tail == nullptr) return batch;
+  batch.pages.push_back(tail->lpn);
+  nodes_.erase(tail->lpn);
+  return batch;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,31 @@
+// Page-granularity FIFO (insertion-order eviction; hits do not promote).
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/write_buffer.h"
+#include "util/intrusive_list.h"
+
+namespace reqblock {
+
+class FifoPolicy final : public WriteBufferPolicy {
+ public:
+  std::string name() const override { return "FIFO"; }
+
+  void on_hit(Lpn lpn, const IoRequest& req, bool is_write) override;
+  void on_insert(Lpn lpn, const IoRequest& req, bool is_write) override;
+  VictimBatch select_victim() override;
+  std::size_t pages() const override { return nodes_.size(); }
+  std::size_t metadata_bytes() const override { return nodes_.size() * 12; }
+
+ private:
+  struct Node {
+    Lpn lpn = 0;
+    ListHook hook;
+  };
+
+  std::unordered_map<Lpn, Node> nodes_;
+  IntrusiveList<Node, &Node::hook> list_;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,51 @@
+#include "cache/lfu.h"
+
+#include "util/check.h"
+
+namespace reqblock {
+
+void LfuPolicy::bump(Lpn lpn, Entry& e) {
+  auto list_it = by_freq_.find(e.freq);
+  REQB_DCHECK(list_it != by_freq_.end());
+  list_it->second.erase(e.pos);
+  if (list_it->second.empty()) by_freq_.erase(list_it);
+  ++e.freq;
+  auto& next = by_freq_[e.freq];
+  next.push_front(lpn);
+  e.pos = next.begin();
+}
+
+void LfuPolicy::on_hit(Lpn lpn, const IoRequest&, bool) {
+  const auto it = index_.find(lpn);
+  REQB_CHECK_MSG(it != index_.end(), "LFU hit on untracked page");
+  bump(lpn, it->second);
+}
+
+void LfuPolicy::on_insert(Lpn lpn, const IoRequest&, bool) {
+  auto [it, inserted] = index_.try_emplace(lpn);
+  REQB_CHECK_MSG(inserted, "LFU double insert");
+  it->second.freq = 1;
+  auto& lst = by_freq_[1];
+  lst.push_front(lpn);
+  it->second.pos = lst.begin();
+}
+
+VictimBatch LfuPolicy::select_victim() {
+  VictimBatch batch;
+  if (by_freq_.empty()) return batch;
+  auto lowest = by_freq_.begin();
+  REQB_DCHECK(!lowest->second.empty());
+  const Lpn victim = lowest->second.back();  // least recent in class
+  lowest->second.pop_back();
+  if (lowest->second.empty()) by_freq_.erase(lowest);
+  index_.erase(victim);
+  batch.pages.push_back(victim);
+  return batch;
+}
+
+std::uint64_t LfuPolicy::frequency_of(Lpn lpn) const {
+  const auto it = index_.find(lpn);
+  return it == index_.end() ? 0 : it->second.freq;
+}
+
+}  // namespace reqblock

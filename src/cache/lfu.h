@@ -1,0 +1,42 @@
+// Page-granularity LFU with LRU tie-breaking inside each frequency class
+// (the classic O(1) frequency-list structure).
+#pragma once
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/write_buffer.h"
+
+namespace reqblock {
+
+class LfuPolicy final : public WriteBufferPolicy {
+ public:
+  std::string name() const override { return "LFU"; }
+
+  void on_hit(Lpn lpn, const IoRequest& req, bool is_write) override;
+  void on_insert(Lpn lpn, const IoRequest& req, bool is_write) override;
+  VictimBatch select_victim() override;
+  std::size_t pages() const override { return index_.size(); }
+  std::size_t metadata_bytes() const override {
+    // Page node (12 B) plus a frequency counter (4 B) per page.
+    return index_.size() * 16;
+  }
+
+  /// Access count of a cached page (0 if untracked) — used by tests.
+  std::uint64_t frequency_of(Lpn lpn) const;
+
+ private:
+  struct Entry {
+    std::uint64_t freq = 1;
+    std::list<Lpn>::iterator pos;
+  };
+
+  void bump(Lpn lpn, Entry& e);
+
+  // freq -> pages at that frequency, most recent at front.
+  std::map<std::uint64_t, std::list<Lpn>> by_freq_;
+  std::unordered_map<Lpn, Entry> index_;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,29 @@
+#include "cache/lru.h"
+
+#include "util/check.h"
+
+namespace reqblock {
+
+void LruPolicy::on_hit(Lpn lpn, const IoRequest&, bool) {
+  const auto it = nodes_.find(lpn);
+  REQB_CHECK_MSG(it != nodes_.end(), "LRU hit on untracked page");
+  list_.move_to_front(&it->second);
+}
+
+void LruPolicy::on_insert(Lpn lpn, const IoRequest&, bool) {
+  auto [it, inserted] = nodes_.try_emplace(lpn);
+  REQB_CHECK_MSG(inserted, "LRU double insert");
+  it->second.lpn = lpn;
+  list_.push_front(&it->second);
+}
+
+VictimBatch LruPolicy::select_victim() {
+  VictimBatch batch;
+  Node* tail = list_.pop_back();
+  if (tail == nullptr) return batch;
+  batch.pages.push_back(tail->lpn);
+  nodes_.erase(tail->lpn);
+  return batch;
+}
+
+}  // namespace reqblock

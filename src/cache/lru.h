@@ -1,0 +1,35 @@
+// Page-granularity LRU — the paper's primary baseline.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/write_buffer.h"
+#include "util/intrusive_list.h"
+
+namespace reqblock {
+
+class LruPolicy final : public WriteBufferPolicy {
+ public:
+  std::string name() const override { return "LRU"; }
+
+  void on_hit(Lpn lpn, const IoRequest& req, bool is_write) override;
+  void on_insert(Lpn lpn, const IoRequest& req, bool is_write) override;
+  VictimBatch select_victim() override;
+  std::size_t pages() const override { return nodes_.size(); }
+  std::size_t metadata_bytes() const override {
+    return nodes_.size() * kNodeBytes;  // paper Fig. 12: 12 B per page node
+  }
+
+ private:
+  static constexpr std::size_t kNodeBytes = 12;
+
+  struct Node {
+    Lpn lpn = 0;
+    ListHook hook;
+  };
+
+  std::unordered_map<Lpn, Node> nodes_;
+  IntrusiveList<Node, &Node::hook> list_;
+};
+
+}  // namespace reqblock

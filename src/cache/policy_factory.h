@@ -1,0 +1,39 @@
+// Construction of cache policies by name (CLI / experiment matrix glue).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/bplru.h"
+#include "cache/vbbms.h"
+#include "cache/write_buffer.h"
+#include "core/req_block_policy.h"
+
+namespace reqblock {
+
+struct PolicyConfig {
+  /// One of known_policy_names(): "lru", "fifo", "lfu", "cflru", "fab",
+  /// "bplru", "vbbms", "reqblock".
+  std::string name = "reqblock";
+  std::uint64_t capacity_pages = 4096;
+  /// Logical flash block size, used by block-granularity schemes.
+  std::uint32_t pages_per_block = 64;
+
+  ReqBlockOptions reqblock;
+  VbbmsOptions vbbms;
+  BplruOptions bplru;
+  double cflru_window = 0.1;
+};
+
+/// Builds a policy; throws std::invalid_argument on an unknown name.
+std::unique_ptr<WriteBufferPolicy> make_policy(const PolicyConfig& cfg);
+
+/// All recognized policy names.
+std::vector<std::string> known_policy_names();
+
+/// The four policies compared throughout the paper's evaluation, in the
+/// figures' order: LRU, BPLRU, VBBMS, Req-block.
+std::vector<std::string> paper_policy_names();
+
+}  // namespace reqblock

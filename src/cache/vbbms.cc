@@ -1,0 +1,97 @@
+#include "cache/vbbms.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+VbbmsPolicy::VbbmsPolicy(std::uint64_t capacity_pages, VbbmsOptions options)
+    : opt_(options) {
+  REQB_CHECK_MSG(opt_.random_fraction > 0.0 && opt_.random_fraction < 1.0,
+                 "random fraction must be in (0,1)");
+  REQB_CHECK_MSG(opt_.random_vb_pages >= 1 && opt_.seq_vb_pages >= 1,
+                 "virtual blocks must hold pages");
+  random_quota_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(capacity_pages) *
+                                    opt_.random_fraction));
+  seq_quota_ = std::max<std::uint64_t>(1, capacity_pages - random_quota_);
+}
+
+void VbbmsPolicy::on_hit(Lpn lpn, const IoRequest&, bool) {
+  const auto region = page_is_seq_.find(lpn);
+  REQB_CHECK_MSG(region != page_is_seq_.end(), "VBBMS hit on untracked page");
+  if (region->second) return;  // FIFO region: recency is ignored
+  const std::uint64_t vb_id = lpn / opt_.random_vb_pages;
+  const auto it = random_vbs_.find(vb_id);
+  REQB_DCHECK(it != random_vbs_.end());
+  random_lru_.move_to_front(&it->second);
+}
+
+void VbbmsPolicy::on_insert(Lpn lpn, const IoRequest& req, bool) {
+  const bool seq = req.pages >= opt_.seq_request_threshold;
+  page_is_seq_.emplace(lpn, seq);
+  if (seq) {
+    const std::uint64_t vb_id = lpn / opt_.seq_vb_pages;
+    auto [it, created] = seq_vbs_.try_emplace(vb_id);
+    if (created) {
+      it->second.vb_id = vb_id;
+      seq_fifo_.push_front(&it->second);
+    }
+    it->second.pages.push_back(lpn);
+    ++seq_pages_;
+  } else {
+    const std::uint64_t vb_id = lpn / opt_.random_vb_pages;
+    auto [it, created] = random_vbs_.try_emplace(vb_id);
+    if (created) {
+      it->second.vb_id = vb_id;
+      random_lru_.push_front(&it->second);
+    } else {
+      random_lru_.move_to_front(&it->second);
+    }
+    it->second.pages.push_back(lpn);
+    ++random_pages_;
+  }
+}
+
+VictimBatch VbbmsPolicy::evict_random() {
+  VictimBatch batch;
+  VBlock* victim = random_lru_.pop_back();
+  if (victim == nullptr) return batch;
+  batch.pages = std::move(victim->pages);
+  random_pages_ -= batch.pages.size();
+  for (const Lpn lpn : batch.pages) page_is_seq_.erase(lpn);
+  random_vbs_.erase(victim->vb_id);
+  return batch;
+}
+
+VictimBatch VbbmsPolicy::evict_sequential() {
+  VictimBatch batch;
+  VBlock* victim = seq_fifo_.pop_back();  // FIFO: oldest out
+  if (victim == nullptr) return batch;
+  batch.pages = std::move(victim->pages);
+  seq_pages_ -= batch.pages.size();
+  for (const Lpn lpn : batch.pages) page_is_seq_.erase(lpn);
+  seq_vbs_.erase(victim->vb_id);
+  return batch;
+}
+
+VictimBatch VbbmsPolicy::select_victim() {
+  // Evict from the region that overflows its share the most; fall back to
+  // whichever region actually holds pages.
+  const double random_load =
+      static_cast<double>(random_pages_) / static_cast<double>(random_quota_);
+  const double seq_load =
+      static_cast<double>(seq_pages_) / static_cast<double>(seq_quota_);
+  VictimBatch batch;
+  if (seq_load >= random_load) {
+    batch = evict_sequential();
+    if (batch.empty()) batch = evict_random();
+  } else {
+    batch = evict_random();
+    if (batch.empty()) batch = evict_sequential();
+  }
+  return batch;
+}
+
+}  // namespace reqblock

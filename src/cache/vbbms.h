@@ -1,0 +1,68 @@
+// VBBMS (Virtual-Block-Based buffer Management Strategy, Du et al., TCE'19).
+//
+// Splits the cache into a *random* region and a *sequential* region at a
+// 3:2 capacity ratio (paper §4.1). Requests are classified by size;
+// random-region pages are grouped into 3-page virtual blocks managed by
+// LRU, sequential-region pages into 4-page virtual blocks managed by FIFO.
+// Evictions flush a whole virtual block, striped across channels.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/write_buffer.h"
+#include "util/intrusive_list.h"
+
+namespace reqblock {
+
+struct VbbmsOptions {
+  /// Fraction of capacity for the random region (paper: 3:2 split).
+  double random_fraction = 0.6;
+  std::uint32_t random_vb_pages = 3;
+  std::uint32_t seq_vb_pages = 4;
+  /// Requests with at least this many pages are "sequential".
+  std::uint32_t seq_request_threshold = 5;
+};
+
+class VbbmsPolicy final : public WriteBufferPolicy {
+ public:
+  VbbmsPolicy(std::uint64_t capacity_pages, VbbmsOptions options = {});
+
+  std::string name() const override { return "VBBMS"; }
+
+  void on_hit(Lpn lpn, const IoRequest& req, bool is_write) override;
+  void on_insert(Lpn lpn, const IoRequest& req, bool is_write) override;
+  VictimBatch select_victim() override;
+  std::size_t pages() const override {
+    return random_pages_ + seq_pages_;
+  }
+  std::size_t metadata_bytes() const override {
+    return (random_vbs_.size() + seq_vbs_.size()) * 24;  // virtual-block node
+  }
+
+  std::size_t random_pages() const { return random_pages_; }
+  std::size_t seq_pages() const { return seq_pages_; }
+
+ private:
+  struct VBlock {
+    std::uint64_t vb_id = 0;
+    std::vector<Lpn> pages;
+    ListHook hook;
+  };
+
+  VictimBatch evict_random();
+  VictimBatch evict_sequential();
+
+  VbbmsOptions opt_;
+  std::uint64_t random_quota_;
+  std::uint64_t seq_quota_;
+
+  std::unordered_map<std::uint64_t, VBlock> random_vbs_;
+  std::unordered_map<std::uint64_t, VBlock> seq_vbs_;
+  IntrusiveList<VBlock, &VBlock::hook> random_lru_;
+  IntrusiveList<VBlock, &VBlock::hook> seq_fifo_;
+  std::unordered_map<Lpn, bool> page_is_seq_;
+  std::size_t random_pages_ = 0;
+  std::size_t seq_pages_ = 0;
+};
+
+}  // namespace reqblock

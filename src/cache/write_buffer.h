@@ -1,0 +1,74 @@
+// Write-buffer policy interface.
+//
+// The DRAM data cache inside the SSD is primarily a *write buffer*: write
+// data is admitted page by page, reads probe it, and when it fills the
+// policy picks a victim batch to flush to flash (paper §3.4). A policy
+// owns only replacement bookkeeping; page data state (dirty bits, versions)
+// lives in the CacheManager, which also drives flush timing via the FTL.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/io_request.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+/// What the policy wants evicted. All pages must currently be cached.
+struct VictimBatch {
+  std::vector<Lpn> pages;
+  /// Flush the whole batch to a single plane derived from the first page's
+  /// logical block (BPLRU whole-block semantics); otherwise the batch is
+  /// striped round-robin across channels.
+  bool colocate = false;
+  /// Pages the policy wants read from flash and written back together with
+  /// the batch (BPLRU page padding). The manager drops entries that were
+  /// never written to the device.
+  std::vector<Lpn> padding_reads;
+
+  bool empty() const { return pages.empty(); }
+};
+
+class WriteBufferPolicy {
+ public:
+  virtual ~WriteBufferPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before a request's pages are processed. Policies that
+  /// track per-request state (Req-block's insertion/split targets) hook
+  /// this; the default is a no-op.
+  virtual void begin_request(const IoRequest& req) { (void)req; }
+
+  /// `lpn` is cached and was just accessed by `req`.
+  virtual void on_hit(Lpn lpn, const IoRequest& req, bool is_write) = 0;
+
+  /// `lpn` was just admitted (the manager guarantees free space).
+  virtual void on_insert(Lpn lpn, const IoRequest& req, bool is_write) = 0;
+
+  /// Chooses pages to evict. Returning an empty batch means "nothing is
+  /// evictable right now" (e.g. everything belongs to the in-flight
+  /// request); the manager then bypasses the cache for the pending page.
+  virtual VictimBatch select_victim() = 0;
+
+  /// Pages the policy currently tracks. Cross-checked against the
+  /// manager's page table by the test suite.
+  virtual std::size_t pages() const = 0;
+
+  /// Buffer space occupied, in pages, at the policy's allocation
+  /// granularity. Page-granularity schemes return pages(); BPLRU manages
+  /// the RAM in whole block units (Kim & Ahn §3), so sparsely filled
+  /// blocks waste buffer space — the "lower cache utilization" the paper
+  /// blames for BPLRU's ts_0 regression. The manager evicts while this
+  /// meets/exceeds capacity.
+  virtual std::size_t occupied_pages() const { return pages(); }
+
+  /// Replacement-metadata footprint, using the paper's Fig. 12 node-size
+  /// model (LRU 12 B/page node, block schemes 24 B/block node, Req-block
+  /// 32 B/request-block node).
+  virtual std::size_t metadata_bytes() const = 0;
+};
+
+}  // namespace reqblock

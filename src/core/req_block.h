@@ -1,0 +1,80 @@
+// Request block: the unit of cache management in Req-block (paper §3.1).
+//
+// A request block groups the cached pages that entered the buffer through
+// one write request. Blocks live on exactly one of three linked lists:
+//
+//   IRL (Inserted Request List)  — every block starts here;
+//   SRL (Small Request List)     — blocks with <= delta pages, promoted on
+//                                  a hit (highest retention priority);
+//   DRL (Divided Request List)   — the *hit portions* split out of large
+//                                  blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/intrusive_list.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+enum class ReqList : std::uint8_t { kIRL = 0, kSRL = 1, kDRL = 2 };
+
+inline const char* to_string(ReqList l) {
+  switch (l) {
+    case ReqList::kIRL: return "IRL";
+    case ReqList::kSRL: return "SRL";
+    case ReqList::kDRL: return "DRL";
+  }
+  return "?";
+}
+
+struct ReqBlock {
+  /// Unique block identity (never reused within a policy instance).
+  std::uint64_t block_id = 0;
+  /// The host request this block belongs to (groups pages per request).
+  std::uint64_t req_id = 0;
+  /// Which of the three lists currently holds the block.
+  ReqList level = ReqList::kIRL;
+  /// Pages currently in the block (unordered; blocks are small).
+  std::vector<Lpn> pages;
+  /// Paper Eq. 1: access count since buffering, initialized to 1.
+  std::uint64_t access_cnt = 1;
+  /// Paper Eq. 1: T_insert, in policy ticks (one tick per page access).
+  Tick insert_tick = 0;
+  /// For DRL blocks: the block this one was split from (0 = none). Used by
+  /// the downgraded-merge eviction path (paper Fig. 6).
+  std::uint64_t origin_id = 0;
+
+  ListHook hook;
+
+  std::size_t page_count() const { return pages.size(); }
+
+  /// Removes one page; returns false if absent. O(block size).
+  bool remove_page(Lpn lpn) {
+    for (auto& p : pages) {
+      if (p == lpn) {
+        p = pages.back();
+        pages.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Page counts per list, logged for the paper's Fig. 13.
+struct ListOccupancy {
+  std::uint64_t irl_pages = 0;
+  std::uint64_t srl_pages = 0;
+  std::uint64_t drl_pages = 0;
+  std::uint64_t irl_blocks = 0;
+  std::uint64_t srl_blocks = 0;
+  std::uint64_t drl_blocks = 0;
+
+  std::uint64_t total_pages() const {
+    return irl_pages + srl_pages + drl_pages;
+  }
+};
+
+}  // namespace reqblock

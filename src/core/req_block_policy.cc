@@ -1,0 +1,192 @@
+#include "core/req_block_policy.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+ReqBlockPolicy::ReqBlockPolicy(ReqBlockOptions options) : opt_(options) {
+  REQB_CHECK_MSG(opt_.delta >= 1, "delta must be at least one page");
+}
+
+ReqBlockPolicy::BlockList& ReqBlockPolicy::list_for(ReqList level) {
+  return lists_[static_cast<std::size_t>(level)];
+}
+
+ReqBlock* ReqBlockPolicy::create_block(std::uint64_t req_id, ReqList level,
+                                       std::uint64_t origin_id) {
+  auto blk = std::make_unique<ReqBlock>();
+  blk->block_id = next_block_id_++;
+  blk->req_id = req_id;
+  blk->level = level;
+  blk->access_cnt = 1;
+  blk->insert_tick = tick_;
+  blk->origin_id = origin_id;
+  ReqBlock* raw = blk.get();
+  blocks_.emplace(raw->block_id, std::move(blk));
+  list_for(level).push_front(raw);
+  return raw;
+}
+
+void ReqBlockPolicy::move_block(ReqBlock* blk, ReqList level) {
+  list_for(blk->level).erase(blk);
+  blk->level = level;
+  list_for(level).push_front(blk);
+}
+
+void ReqBlockPolicy::destroy_block(ReqBlock* blk) {
+  REQB_DCHECK(blk->pages.empty());
+  const std::uint64_t id = blk->block_id;
+  blocks_.erase(id);
+}
+
+void ReqBlockPolicy::consume_block(ReqBlock* blk, std::vector<Lpn>& out) {
+  for (const Lpn lpn : blk->pages) {
+    const auto erased = page_to_block_.erase(lpn);
+    REQB_DCHECK(erased == 1);
+    (void)erased;
+    out.push_back(lpn);
+  }
+  blk->pages.clear();
+  list_for(blk->level).erase(blk);
+  destroy_block(blk);
+}
+
+bool ReqBlockPolicy::guarded(const ReqBlock* blk) const {
+  return blk->block_id == guard_insert_block_ ||
+         blk->block_id == guard_split_block_;
+}
+
+void ReqBlockPolicy::begin_request(const IoRequest& req) {
+  if (req.id != current_req_id_) {
+    current_req_id_ = req.id;
+    guard_insert_block_ = 0;
+    guard_split_block_ = 0;
+  }
+}
+
+void ReqBlockPolicy::on_insert(Lpn lpn, const IoRequest& req, bool) {
+  ++tick_;
+  REQB_DCHECK(!page_to_block_.contains(lpn));
+  // create_req_blk(IRL, R): reuse the request's block at the IRL head.
+  ReqBlock* target = nullptr;
+  if (guard_insert_block_ != 0) {
+    const auto it = blocks_.find(guard_insert_block_);
+    if (it != blocks_.end() && it->second->req_id == req.id) {
+      target = it->second.get();
+    }
+  }
+  if (target == nullptr) {
+    target = create_block(req.id, ReqList::kIRL, /*origin_id=*/0);
+    guard_insert_block_ = target->block_id;
+  }
+  target->pages.push_back(lpn);
+  page_to_block_.emplace(lpn, target);
+}
+
+void ReqBlockPolicy::on_hit(Lpn lpn, const IoRequest& req, bool) {
+  ++tick_;
+  const auto it = page_to_block_.find(lpn);
+  REQB_CHECK_MSG(it != page_to_block_.end(),
+                 "Req-block hit on untracked page");
+  ReqBlock* blk = it->second;
+
+  if (blk->page_count() <= opt_.delta) {
+    // Small request block: promote to the Small Request List head.
+    ++blk->access_cnt;
+    move_block(blk, ReqList::kSRL);
+    return;
+  }
+
+  // Large request block: split the hit page into the request's block at
+  // the DRL head (creating it on the first split of this request).
+  const bool removed = blk->remove_page(lpn);
+  REQB_DCHECK(removed);
+  (void)removed;
+
+  ReqBlock* target = nullptr;
+  if (guard_split_block_ != 0) {
+    const auto sit = blocks_.find(guard_split_block_);
+    if (sit != blocks_.end() && sit->second->req_id == req.id) {
+      target = sit->second.get();
+    }
+  }
+  if (target == nullptr) {
+    target = create_block(req.id, ReqList::kDRL, blk->block_id);
+    guard_split_block_ = target->block_id;
+  }
+  REQB_DCHECK(target != blk);
+  target->pages.push_back(lpn);
+  it->second = target;
+
+  if (blk->pages.empty()) {
+    list_for(blk->level).erase(blk);
+    destroy_block(blk);
+  }
+}
+
+VictimBatch ReqBlockPolicy::select_victim() {
+  // get_victim(): compare Eq. 1 over the three list tails, skipping the
+  // in-flight request's blocks. Deterministic tie-break: IRL, DRL, SRL.
+  const ReqList order[] = {ReqList::kIRL, ReqList::kDRL, ReqList::kSRL};
+  ReqBlock* victim = nullptr;
+  double best = std::numeric_limits<double>::infinity();
+  for (const ReqList level : order) {
+    BlockList& list = list_for(level);
+    ReqBlock* cand = list.tail();
+    while (cand != nullptr && guarded(cand)) cand = list.prev(cand);
+    if (cand == nullptr) continue;
+    const double f = req_block_freq(*cand, tick_, opt_.freq_mode);
+    if (f < best) {
+      best = f;
+      victim = cand;
+    }
+  }
+
+  VictimBatch batch;
+  if (victim == nullptr) return batch;
+
+  // Downgraded merging (Fig. 6): a split victim drags its origin block out
+  // of IRL so the request is evicted as one spatially-contiguous batch.
+  ReqBlock* origin = nullptr;
+  if (opt_.merge_on_evict && victim->origin_id != 0) {
+    const auto it = blocks_.find(victim->origin_id);
+    if (it != blocks_.end() && it->second->level == ReqList::kIRL &&
+        !guarded(it->second.get())) {
+      origin = it->second.get();
+    }
+  }
+  consume_block(victim, batch.pages);
+  if (origin != nullptr) consume_block(origin, batch.pages);
+  batch.colocate = opt_.colocate_flush;
+  return batch;
+}
+
+ListOccupancy ReqBlockPolicy::occupancy() const {
+  ListOccupancy occ;
+  lists_[0].for_each([&](ReqBlock* b) {
+    occ.irl_pages += b->page_count();
+    ++occ.irl_blocks;
+  });
+  lists_[1].for_each([&](ReqBlock* b) {
+    occ.srl_pages += b->page_count();
+    ++occ.srl_blocks;
+  });
+  lists_[2].for_each([&](ReqBlock* b) {
+    occ.drl_pages += b->page_count();
+    ++occ.drl_blocks;
+  });
+  return occ;
+}
+
+const ReqBlock* ReqBlockPolicy::block_of(Lpn lpn) const {
+  const auto it = page_to_block_.find(lpn);
+  return it == page_to_block_.end() ? nullptr : it->second;
+}
+
+const ReqBlock* ReqBlockPolicy::tail_of(ReqList list) const {
+  return lists_[static_cast<std::size_t>(list)].tail();
+}
+
+}  // namespace reqblock

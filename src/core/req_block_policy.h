@@ -1,0 +1,107 @@
+// Req-block: request-granularity DRAM cache management (the paper's
+// contribution, §3 and Algorithm 1).
+//
+// Semantics implemented:
+//  * every write request's admitted pages form a request block at the head
+//    of IRL (create_req_blk groups the pages of one request);
+//  * hit on a block with <= delta pages (any list) -> promote to SRL head,
+//    access_cnt++ (Fig. 5b);
+//  * hit on a block with  > delta pages -> split: the hit page moves into a
+//    new block at the DRL head (one per triggering request), remembering
+//    its origin block (Fig. 5a);
+//  * eviction compares Eq. 1 over the three list tails and evicts the
+//    minimum; if the victim was split from a block still in IRL, both are
+//    merged and evicted as one batch (downgraded merging, Fig. 6);
+//  * the batch is flushed striped across channels (batch eviction, §3.3).
+//
+// Guards beyond the paper's pseudocode (all unit-tested):
+//  * the block currently being assembled by the in-flight request is never
+//    its own victim; if nothing else is evictable the policy reports "no
+//    victim" and the cache manager bypasses the buffer for that page;
+//  * tie-breaks on equal Freq are deterministic (IRL, then DRL, then SRL).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/write_buffer.h"
+#include "core/freq.h"
+#include "core/req_block.h"
+#include "util/intrusive_list.h"
+
+namespace reqblock {
+
+struct ReqBlockOptions {
+  /// Size limit (pages) of blocks eligible for SRL — the paper's delta.
+  /// The sensitivity study (Fig. 7) selects 5 as the default.
+  std::uint32_t delta = 5;
+  /// Downgraded merging of split blocks with their IRL origin (Fig. 6).
+  bool merge_on_evict = true;
+  /// Eq. 1 variant (ablation hook; the paper uses kFull).
+  FreqMode freq_mode = FreqMode::kFull;
+  /// Ablation: flush victim batches colocated (single channel) instead of
+  /// striped across channels. The paper's §4.2.4 argues striping is what
+  /// makes batch eviction pay off; this knob quantifies that.
+  bool colocate_flush = false;
+};
+
+class ReqBlockPolicy final : public WriteBufferPolicy {
+ public:
+  explicit ReqBlockPolicy(ReqBlockOptions options = {});
+
+  std::string name() const override { return "Req-block"; }
+
+  void begin_request(const IoRequest& req) override;
+  void on_hit(Lpn lpn, const IoRequest& req, bool is_write) override;
+  void on_insert(Lpn lpn, const IoRequest& req, bool is_write) override;
+  VictimBatch select_victim() override;
+  std::size_t pages() const override { return page_to_block_.size(); }
+  std::size_t metadata_bytes() const override {
+    return blocks_.size() * 32;  // paper Fig. 12: 32 B per request block
+  }
+
+  /// Fig. 13 probe: pages/blocks currently on each list.
+  ListOccupancy occupancy() const;
+
+  const ReqBlockOptions& options() const { return opt_; }
+  Tick now() const { return tick_; }
+
+  // --- Introspection for tests -------------------------------------------
+  /// The block holding a page (nullptr if the page is not cached).
+  const ReqBlock* block_of(Lpn lpn) const;
+  /// List tails as the eviction candidates the policy would compare.
+  const ReqBlock* tail_of(ReqList list) const;
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  using BlockList = IntrusiveList<ReqBlock, &ReqBlock::hook>;
+
+  BlockList& list_for(ReqList level);
+  /// Detaches from its current list and pushes to the head of `level`.
+  void move_block(ReqBlock* blk, ReqList level);
+  /// Destroys a block (must already be unlinked and have no pages mapped).
+  void destroy_block(ReqBlock* blk);
+  /// Removes every page mapping of `blk` and unlinks + destroys it,
+  /// appending its pages to `out`.
+  void consume_block(ReqBlock* blk, std::vector<Lpn>& out);
+  ReqBlock* create_block(std::uint64_t req_id, ReqList level,
+                         std::uint64_t origin_id);
+  /// True if the block must not be evicted right now (it is the in-flight
+  /// request's insertion or split target).
+  bool guarded(const ReqBlock* blk) const;
+
+  ReqBlockOptions opt_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<ReqBlock>> blocks_;
+  std::unordered_map<Lpn, ReqBlock*> page_to_block_;
+  std::array<BlockList, 3> lists_;
+  Tick tick_ = 0;
+  std::uint64_t next_block_id_ = 1;
+  /// Blocks belonging to the in-flight request (insertion / split target).
+  std::uint64_t current_req_id_ = ~0ULL;
+  std::uint64_t guard_insert_block_ = 0;
+  std::uint64_t guard_split_block_ = 0;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,59 @@
+// Umbrella header: the full public API of the reqblock library.
+//
+//   #include <reqblock.h>     (installed)
+//   #include "reqblock.h"     (in-tree)
+//
+// Layering (each header can also be included individually):
+//   util/   -> trace/ -> ssd/ -> cache/ + core/ -> sim/
+#pragma once
+
+// Utilities
+#include "util/args.h"
+#include "util/check.h"
+#include "util/histogram.h"
+#include "util/intrusive_list.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/types.h"
+#include "util/zipf.h"
+
+// Workloads
+#include "trace/io_request.h"
+#include "trace/micro_workloads.h"
+#include "trace/msr_trace.h"
+#include "trace/profiles.h"
+#include "trace/spc_trace.h"
+#include "trace/synthetic.h"
+#include "trace/trace_stats.h"
+#include "trace/vector_source.h"
+
+// SSD device model
+#include "ssd/address.h"
+#include "ssd/config.h"
+#include "ssd/flash_array.h"
+#include "ssd/ftl.h"
+#include "ssd/timeline.h"
+
+// Cache framework and policies
+#include "cache/bplru.h"
+#include "cache/cache_manager.h"
+#include "cache/cflru.h"
+#include "cache/fab.h"
+#include "cache/fifo.h"
+#include "cache/lfu.h"
+#include "cache/lru.h"
+#include "cache/policy_factory.h"
+#include "cache/vbbms.h"
+#include "cache/write_buffer.h"
+
+// The paper's contribution
+#include "core/freq.h"
+#include "core/req_block.h"
+#include "core/req_block_policy.h"
+
+// Simulation harness
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/simulator.h"

@@ -1,0 +1,57 @@
+#include "sim/experiment.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace reqblock {
+
+std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
+                                 unsigned max_threads) {
+  if (max_threads == 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(max_threads, cases.size()));
+
+  std::vector<RunResult> results(cases.size());
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cases.size()) return;
+      const ExperimentCase& c = cases[i];
+      SyntheticTraceSource trace(c.profile);
+      Simulator sim(c.options);
+      results[i] = sim.run(trace);
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+std::uint64_t bench_request_cap(std::uint64_t fallback) {
+  const char* env = std::getenv("REQBLOCK_BENCH_REQUESTS");
+  if (env == nullptr) return fallback;
+  const auto parsed = parse_u64(env);
+  return parsed ? *parsed : fallback;
+}
+
+unsigned bench_thread_cap() {
+  const char* env = std::getenv("REQBLOCK_BENCH_THREADS");
+  if (env == nullptr) return 0;
+  const auto parsed = parse_u64(env);
+  return parsed ? static_cast<unsigned>(*parsed) : 0;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,37 @@
+// Experiment matrix runner.
+//
+// A paper figure is a matrix of (trace, policy, cache size, ...) runs; the
+// runs are completely independent, so we farm them out across hardware
+// threads. Determinism is preserved: each run owns a private device,
+// cache, and trace generator seeded from its profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace reqblock {
+
+struct ExperimentCase {
+  WorkloadProfile profile;
+  SimOptions options;
+  /// Free-form tag benches use to index results (e.g. "delta=5").
+  std::string label;
+};
+
+/// Runs all cases, in parallel up to `max_threads` (0 = hardware
+/// concurrency). Results come back in case order.
+std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
+                                 unsigned max_threads = 0);
+
+/// Environment-tunable request cap for benches: REQBLOCK_BENCH_REQUESTS
+/// (default `fallback`, 0 = full traces).
+std::uint64_t bench_request_cap(std::uint64_t fallback);
+
+/// Environment-tunable thread cap for benches: REQBLOCK_BENCH_THREADS.
+unsigned bench_thread_cap();
+
+}  // namespace reqblock

@@ -1,0 +1,83 @@
+#include "sim/report.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace reqblock {
+
+void print_config(std::ostream& os, const SsdConfig& cfg) {
+  TextTable t({"Parameter", "Value", "Parameter", "Value"});
+  t.add_row({"Capacity", format_bytes(static_cast<double>(cfg.capacity_bytes)),
+             "Read latency",
+             format_double(static_cast<double>(cfg.read_latency) /
+                               kMillisecond, 3) + "ms"});
+  t.add_row({"Channel Size", std::to_string(cfg.channels), "Write latency",
+             format_double(static_cast<double>(cfg.program_latency) /
+                               kMillisecond, 0) + "ms"});
+  t.add_row({"Chip Size", std::to_string(cfg.chips_per_channel),
+             "Erase latency",
+             format_double(static_cast<double>(cfg.erase_latency) /
+                               kMillisecond, 0) + "ms"});
+  t.add_row({"Page per block", std::to_string(cfg.pages_per_block),
+             "Transfer (Byte)",
+             std::to_string(cfg.transfer_per_byte) + "ns"});
+  t.add_row({"Page Size", format_bytes(cfg.page_size), "GC Threshold",
+             format_double(cfg.gc_free_threshold * 100, 0) + "%"});
+  t.print(os);
+}
+
+double metadata_percent(const RunResult& r) {
+  const double cache_bytes =
+      static_cast<double>(r.cache_capacity_pages) * 4096.0;
+  return cache_bytes == 0.0
+             ? 0.0
+             : r.cache.metadata_bytes.mean() / cache_bytes * 100.0;
+}
+
+std::vector<std::string> result_row(const RunResult& r) {
+  return {
+      r.trace_name,
+      r.policy_name,
+      format_double(static_cast<double>(r.cache_capacity_pages) * 4.0 /
+                        1024.0, 0) + "MB",
+      format_double(r.hit_ratio() * 100.0, 2) + "%",
+      format_double(r.mean_response_ms(), 3) + "ms",
+      format_double(static_cast<double>(r.response.p99()) / kMillisecond, 2) +
+          "ms",
+      std::to_string(r.flash_write_count()),
+      format_double(r.flash.waf(), 3),
+      format_double(r.cache.eviction_batch.mean(), 2),
+      format_double(metadata_percent(r), 3) + "%",
+  };
+}
+
+void write_results_csv(std::ostream& os,
+                       const std::vector<RunResult>& results) {
+  os << "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
+        "p99_ns,flash_writes,flash_reads,gc_moves,erases,waf,"
+        "pages_per_evict,metadata_pct,channel_util,chip_util\n";
+  for (const auto& r : results) {
+    os << r.trace_name << ',' << r.policy_name << ','
+       << r.cache_capacity_pages << ',' << r.requests << ','
+       << format_double(r.hit_ratio(), 6) << ','
+       << static_cast<std::int64_t>(r.response.mean()) << ','
+       << r.response.p50() << ',' << r.response.p99() << ','
+       << r.flash.host_page_writes << ',' << r.flash.host_page_reads << ','
+       << r.flash.gc_page_moves << ',' << r.flash.erases << ','
+       << format_double(r.flash.waf(), 4) << ','
+       << format_double(r.cache.eviction_batch.mean(), 3) << ','
+       << format_double(metadata_percent(r), 4) << ','
+       << format_double(r.channel_utilization, 4) << ','
+       << format_double(r.chip_utilization, 4) << '\n';
+  }
+}
+
+TextTable results_table(const std::vector<RunResult>& results) {
+  TextTable t({"trace", "policy", "cache", "hit", "mean", "p99",
+               "flash-writes", "WAF", "pages/evict", "metadata"});
+  for (const auto& r : results) t.add_row(result_row(r));
+  return t;
+}
+
+}  // namespace reqblock

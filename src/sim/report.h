@@ -1,0 +1,32 @@
+// Formatting of run results into paper-style report tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace reqblock {
+
+/// Prints the device configuration block (Table 1 style).
+void print_config(std::ostream& os, const SsdConfig& cfg);
+
+/// One row per run: trace, policy, cache, hit%, response, flash writes...
+TextTable results_table(const std::vector<RunResult>& results);
+
+/// Summary row cells for a single result (shared by table builders).
+std::vector<std::string> result_row(const RunResult& r);
+
+/// Metadata overhead as a percentage of the data-cache capacity (Fig. 12).
+double metadata_percent(const RunResult& r);
+
+/// Machine-readable export: one CSV row per run, with a header line.
+/// Columns: trace, policy, cache_pages, requests, hit_ratio, mean_ns,
+/// p50_ns, p99_ns, flash_writes, flash_reads, gc_moves, erases, waf,
+/// pages_per_evict, metadata_pct, channel_util, chip_util.
+void write_results_csv(std::ostream& os,
+                       const std::vector<RunResult>& results);
+
+}  // namespace reqblock

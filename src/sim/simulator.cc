@@ -1,0 +1,126 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+#include <memory>
+
+#include "core/req_block_policy.h"
+#include "util/check.h"
+
+namespace reqblock {
+
+Simulator::Simulator(SimOptions options) : options_(std::move(options)) {
+  options_.ssd.validate();
+  REQB_CHECK_MSG(options_.cache.capacity_pages == 0 ||
+                     options_.cache.capacity_pages ==
+                         options_.policy.capacity_pages,
+                 "cache and policy capacity must agree");
+}
+
+RunResult Simulator::run(TraceSource& trace) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Ftl ftl(options_.ssd);
+  for (const auto& [begin, end] : trace.preexisting_ranges()) {
+    ftl.add_preexisting_range(begin, end);
+  }
+  CacheOptions cache_opts = options_.cache;
+  cache_opts.capacity_pages = options_.policy.capacity_pages;
+  CacheManager cache(cache_opts, make_policy(options_.policy), ftl);
+
+  // The occupancy probe only applies to Req-block.
+  auto* req_block =
+      dynamic_cast<ReqBlockPolicy*>(&cache.policy());
+
+  RunResult result;
+  result.trace_name = trace.name();
+  result.policy_name = cache.policy().name();
+  result.cache_capacity_pages = cache_opts.capacity_pages;
+
+  trace.reset();
+  IoRequest req;
+  // Warmup: populate the cache/device without counting anything.
+  while (result.warmup_requests < options_.warmup_requests &&
+         trace.next(req)) {
+    cache.serve(req);
+    ++result.warmup_requests;
+  }
+  std::vector<SimTime> warmup_channel_busy(options_.ssd.channels, 0);
+  std::vector<SimTime> warmup_chip_busy(options_.ssd.total_chips(), 0);
+  SimTime warmup_end = 0;
+  if (result.warmup_requests > 0) {
+    cache.reset_metrics();
+    ftl.reset_metrics();
+    for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
+      warmup_channel_busy[c] = ftl.channel_busy(c);
+    }
+    for (std::uint32_t c = 0; c < options_.ssd.total_chips(); ++c) {
+      warmup_chip_busy[c] = ftl.chip_busy(c);
+    }
+    warmup_end = req.arrival;
+  }
+
+  while (trace.next(req)) {
+    if (options_.max_requests != 0 &&
+        result.requests >= options_.max_requests) {
+      break;
+    }
+    const SimTime done = cache.serve(req);
+    const SimTime latency = done - req.arrival;
+    result.response.record(latency);
+    if (req.is_write()) {
+      ++result.write_requests;
+      result.write_response.record(latency);
+    } else {
+      ++result.read_requests;
+      result.read_response.record(latency);
+    }
+    ++result.requests;
+    result.sim_end = std::max(result.sim_end, done);
+
+    if (req_block != nullptr && options_.occupancy_log_interval != 0 &&
+        result.requests % options_.occupancy_log_interval == 0) {
+      result.occupancy_series.push_back(req_block->occupancy());
+    }
+  }
+  cache.finalize();
+
+  result.cache = cache.metrics();
+  result.flash = ftl.metrics();
+  if (result.sim_end > warmup_end) {
+    double ch_busy = 0.0, chip_busy = 0.0;
+    for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
+      ch_busy += static_cast<double>(ftl.channel_busy(c) -
+                                     warmup_channel_busy[c]);
+    }
+    for (std::uint32_t c = 0; c < options_.ssd.total_chips(); ++c) {
+      chip_busy +=
+          static_cast<double>(ftl.chip_busy(c) - warmup_chip_busy[c]);
+    }
+    const double span = static_cast<double>(result.sim_end - warmup_end);
+    result.channel_utilization = ch_busy / (span * options_.ssd.channels);
+    result.chip_utilization =
+        chip_busy / (span * options_.ssd.total_chips());
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+std::uint64_t cache_pages_for_mb(std::uint64_t mb) {
+  return mb * (1024 * 1024) / 4096;
+}
+
+SimOptions make_sim_options(const std::string& policy_name,
+                            std::uint64_t cache_mb, std::uint32_t delta) {
+  SimOptions opts;
+  opts.policy.name = policy_name;
+  opts.policy.capacity_pages = cache_pages_for_mb(cache_mb);
+  opts.policy.pages_per_block = opts.ssd.pages_per_block;
+  opts.policy.reqblock.delta = delta;
+  opts.cache.capacity_pages = opts.policy.capacity_pages;
+  return opts;
+}
+
+}  // namespace reqblock

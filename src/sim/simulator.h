@@ -1,0 +1,92 @@
+// Trace-driven simulation of the full stack: trace -> DRAM cache -> FTL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cache/policy_factory.h"
+#include "core/req_block.h"
+#include "ssd/config.h"
+#include "ssd/ftl.h"
+#include "trace/io_request.h"
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+struct SimOptions {
+  SsdConfig ssd = SsdConfig::experiment_default();
+  CacheOptions cache;
+  PolicyConfig policy;
+  /// Log Req-block list occupancy every N requests (paper Fig. 13 uses
+  /// 10,000); 0 disables the probe.
+  std::uint64_t occupancy_log_interval = 0;
+  /// Stop after this many requests (0 = whole trace).
+  std::uint64_t max_requests = 0;
+  /// Serve this many requests before statistics collection starts (cache
+  /// and device state carry over; counters and histograms reset). The
+  /// warmup requests do not count toward max_requests.
+  std::uint64_t warmup_requests = 0;
+};
+
+/// Everything a single (trace, policy, cache size) run produces.
+struct RunResult {
+  std::string trace_name;
+  std::string policy_name;
+  std::uint64_t cache_capacity_pages = 0;
+
+  std::uint64_t requests = 0;
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+
+  /// Per-request response time (completion - arrival), ns.
+  LogHistogram response;
+  LogHistogram read_response;
+  LogHistogram write_response;
+
+  CacheMetrics cache;
+  FlashMetrics flash;
+
+  /// Fig. 13 series: one sample per occupancy_log_interval requests.
+  std::vector<ListOccupancy> occupancy_series;
+
+  SimTime sim_end = 0;
+  double wall_seconds = 0.0;
+  /// Requests served before measurement started.
+  std::uint64_t warmup_requests = 0;
+  /// Mean busy fraction of the channel buses over the measured window.
+  double channel_utilization = 0.0;
+  /// Mean busy fraction of the chips over the measured window.
+  double chip_utilization = 0.0;
+
+  double hit_ratio() const { return cache.hit_ratio(); }
+  double mean_response_ms() const {
+    return response.mean() / static_cast<double>(kMillisecond);
+  }
+  /// Flash programs caused by cache flushes + bypasses (paper Fig. 11's
+  /// "write count to flash memory").
+  std::uint64_t flash_write_count() const { return flash.host_page_writes; }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimOptions options);
+
+  /// Replays the trace once through a freshly constructed device + cache.
+  RunResult run(TraceSource& trace);
+
+ private:
+  SimOptions options_;
+};
+
+/// Convenience: options for one paper-style run.
+SimOptions make_sim_options(const std::string& policy_name,
+                            std::uint64_t cache_mb,
+                            std::uint32_t delta = 5);
+
+/// Cache capacity in pages for a size in MB (4 KB pages).
+std::uint64_t cache_pages_for_mb(std::uint64_t mb);
+
+}  // namespace reqblock

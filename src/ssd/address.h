@@ -1,0 +1,83 @@
+// Physical address arithmetic.
+//
+// Physical pages are numbered flat:
+//   ppn = (plane_global * blocks_per_plane + block) * pages_per_block + page
+// where plane_global enumerates (channel, chip, plane) row-major. All
+// conversions live here so geometry math has exactly one home.
+#pragma once
+
+#include <cstdint>
+
+#include "ssd/config.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+struct PhysAddr {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;    // within the channel
+  std::uint32_t plane = 0;   // within the chip
+  std::uint32_t block = 0;   // within the plane
+  std::uint32_t page = 0;    // within the block
+
+  bool operator==(const PhysAddr&) const = default;
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const SsdConfig& cfg) : cfg_(cfg) {}
+
+  std::uint32_t plane_global(const PhysAddr& a) const {
+    return (a.channel * cfg_.chips_per_channel + a.chip) *
+               cfg_.planes_per_chip +
+           a.plane;
+  }
+
+  std::uint32_t chip_global(std::uint32_t plane_global_idx) const {
+    return plane_global_idx / cfg_.planes_per_chip;
+  }
+
+  std::uint32_t channel_of_plane(std::uint32_t plane_global_idx) const {
+    return chip_global(plane_global_idx) / cfg_.chips_per_channel;
+  }
+
+  Ppn to_ppn(const PhysAddr& a) const {
+    REQB_DCHECK(a.channel < cfg_.channels);
+    REQB_DCHECK(a.chip < cfg_.chips_per_channel);
+    REQB_DCHECK(a.plane < cfg_.planes_per_chip);
+    REQB_DCHECK(a.block < cfg_.blocks_per_plane());
+    REQB_DCHECK(a.page < cfg_.pages_per_block);
+    return (static_cast<Ppn>(plane_global(a)) * cfg_.blocks_per_plane() +
+            a.block) *
+               cfg_.pages_per_block +
+           a.page;
+  }
+
+  PhysAddr to_addr(Ppn ppn) const {
+    REQB_DCHECK(ppn < cfg_.total_pages());
+    PhysAddr a;
+    a.page = static_cast<std::uint32_t>(ppn % cfg_.pages_per_block);
+    const Ppn block_flat = ppn / cfg_.pages_per_block;
+    a.block =
+        static_cast<std::uint32_t>(block_flat % cfg_.blocks_per_plane());
+    const auto plane_flat =
+        static_cast<std::uint32_t>(block_flat / cfg_.blocks_per_plane());
+    a.plane = plane_flat % cfg_.planes_per_chip;
+    const std::uint32_t chip_flat = plane_flat / cfg_.planes_per_chip;
+    a.chip = chip_flat % cfg_.chips_per_channel;
+    a.channel = chip_flat / cfg_.chips_per_channel;
+    return a;
+  }
+
+  /// Plane index (global) that a ppn belongs to.
+  std::uint32_t plane_of(Ppn ppn) const {
+    return static_cast<std::uint32_t>(
+        ppn / (cfg_.blocks_per_plane() * cfg_.pages_per_block));
+  }
+
+ private:
+  const SsdConfig& cfg_;
+};
+
+}  // namespace reqblock

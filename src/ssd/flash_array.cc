@@ -1,0 +1,219 @@
+#include "ssd/flash_array.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+FlashArray::FlashArray(const SsdConfig& cfg) : cfg_(cfg), amap_(cfg_) {
+  cfg_.validate();
+  planes_.resize(cfg_.total_planes());
+  const auto bpp = static_cast<std::uint32_t>(cfg_.blocks_per_plane());
+  for (auto& plane : planes_) {
+    plane.blocks.resize(bpp);
+    plane.free_list.reserve(bpp);
+    // LIFO: block 0 is allocated first.
+    for (std::uint32_t b = bpp; b > 0; --b) plane.free_list.push_back(b - 1);
+  }
+}
+
+FlashArray::Block& FlashArray::block_at(std::uint32_t plane,
+                                        std::uint32_t block) {
+  REQB_DCHECK(plane < planes_.size());
+  REQB_DCHECK(block < planes_[plane].blocks.size());
+  return planes_[plane].blocks[block];
+}
+
+const FlashArray::Block& FlashArray::block_at(std::uint32_t plane,
+                                              std::uint32_t block) const {
+  REQB_DCHECK(plane < planes_.size());
+  REQB_DCHECK(block < planes_[plane].blocks.size());
+  return planes_[plane].blocks[block];
+}
+
+void FlashArray::ensure_storage(Block& b) {
+  if (b.states) return;
+  b.states = std::make_unique<PageState[]>(cfg_.pages_per_block);
+  b.lpns = std::make_unique<std::uint32_t[]>(cfg_.pages_per_block);
+  std::fill_n(b.states.get(), cfg_.pages_per_block, PageState::kFree);
+}
+
+Ppn FlashArray::make_ppn(std::uint32_t plane, std::uint32_t block,
+                         std::uint32_t page) const {
+  return (static_cast<Ppn>(plane) * cfg_.blocks_per_plane() + block) *
+             cfg_.pages_per_block +
+         page;
+}
+
+Ppn FlashArray::program(std::uint32_t plane, Lpn lpn) {
+  REQB_CHECK_MSG(lpn <= 0xffffffffULL,
+                 "flash array stores LPNs as 32-bit; footprint too large");
+  Plane& pl = planes_[plane];
+  if (pl.active == kNoBlock ||
+      block_at(plane, pl.active).write_ptr >= cfg_.pages_per_block) {
+    REQB_CHECK_MSG(!pl.free_list.empty(),
+                   "plane out of free blocks — GC must run before program");
+    pl.active = pl.free_list.back();
+    pl.free_list.pop_back();
+  }
+  Block& b = block_at(plane, pl.active);
+  ensure_storage(b);
+  const std::uint32_t page = b.write_ptr++;
+  REQB_DCHECK(b.states[page] == PageState::kFree);
+  b.states[page] = PageState::kValid;
+  b.lpns[page] = static_cast<std::uint32_t>(lpn);
+  ++b.valid_count;
+  ++pl.valid_pages;
+  return make_ppn(plane, pl.active, page);
+}
+
+void FlashArray::invalidate(Ppn ppn) {
+  const std::uint32_t plane = amap_.plane_of(ppn);
+  const PhysAddr a = amap_.to_addr(ppn);
+  const std::uint32_t block =
+      a.block;  // to_addr gives block within plane already
+  Block& b = block_at(plane, block);
+  REQB_CHECK_MSG(b.states && b.states[a.page] == PageState::kValid,
+                 "invalidate of a non-valid page");
+  b.states[a.page] = PageState::kInvalid;
+  REQB_DCHECK(b.valid_count > 0);
+  --b.valid_count;
+  ++b.invalid_count;
+  REQB_DCHECK(planes_[plane].valid_pages > 0);
+  --planes_[plane].valid_pages;
+  planes_[plane].gc_heap.emplace(b.invalid_count, block);
+}
+
+PageState FlashArray::state(Ppn ppn) const {
+  const PhysAddr a = amap_.to_addr(ppn);
+  const Block& b = block_at(amap_.plane_of(ppn), a.block);
+  return b.states ? b.states[a.page] : PageState::kFree;
+}
+
+Lpn FlashArray::lpn_at(Ppn ppn) const {
+  const PhysAddr a = amap_.to_addr(ppn);
+  const Block& b = block_at(amap_.plane_of(ppn), a.block);
+  REQB_CHECK_MSG(b.states && b.states[a.page] == PageState::kValid,
+                 "lpn_at on a non-valid page");
+  return b.lpns[a.page];
+}
+
+std::uint64_t FlashArray::free_blocks(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  return planes_[plane].free_list.size();
+}
+
+bool FlashArray::gc_needed(std::uint32_t plane) const {
+  return free_blocks(plane) <= cfg_.gc_threshold_blocks();
+}
+
+std::uint32_t FlashArray::pick_gc_victim(std::uint32_t plane) {
+  Plane& pl = planes_[plane];
+  auto next_live_top = [&]() -> std::uint32_t {
+    while (!pl.gc_heap.empty()) {
+      const auto [cnt, block] = pl.gc_heap.top();
+      const Block& b = block_at(plane, block);
+      if (block == pl.active || b.invalid_count != cnt ||
+          b.invalid_count == 0) {
+        // Stale entry (count changed / block erased) or the active block;
+        // a live entry with the current count exists elsewhere in the heap.
+        pl.gc_heap.pop();
+        continue;
+      }
+      return block;
+    }
+    return kNoBlock;
+  };
+
+  const std::uint32_t best = next_live_top();
+  if (best == kNoBlock ||
+      cfg_.gc_victim_policy == SsdConfig::GcVictimPolicy::kGreedy) {
+    return best;
+  }
+
+  // Wear-aware: inspect every live candidate whose invalid count is within
+  // the tie margin of the best and pick the least-erased. Entries are
+  // popped while scanning and pushed back afterwards.
+  const std::uint32_t best_cnt = block_at(plane, best).invalid_count;
+  const std::uint32_t floor_cnt =
+      best_cnt > cfg_.gc_wear_tie_margin ? best_cnt - cfg_.gc_wear_tie_margin
+                                         : 1;
+  std::uint32_t victim = best;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> scanned;
+  while (true) {
+    const std::uint32_t cand = next_live_top();
+    if (cand == kNoBlock) break;
+    const Block& b = block_at(plane, cand);
+    if (b.invalid_count < floor_cnt) break;
+    scanned.emplace_back(b.invalid_count, cand);
+    pl.gc_heap.pop();
+    if (b.erase_count < block_at(plane, victim).erase_count) victim = cand;
+  }
+  for (const auto& entry : scanned) pl.gc_heap.push(entry);
+  return victim;
+}
+
+std::vector<Ppn> FlashArray::valid_pages(std::uint32_t plane,
+                                         std::uint32_t block) const {
+  const Block& b = block_at(plane, block);
+  std::vector<Ppn> out;
+  if (!b.states) return out;
+  out.reserve(b.valid_count);
+  for (std::uint32_t p = 0; p < b.write_ptr; ++p) {
+    if (b.states[p] == PageState::kValid) {
+      out.push_back(make_ppn(plane, block, p));
+    }
+  }
+  return out;
+}
+
+void FlashArray::erase_block(std::uint32_t plane, std::uint32_t block) {
+  Plane& pl = planes_[plane];
+  Block& b = block_at(plane, block);
+  REQB_CHECK_MSG(b.valid_count == 0,
+                 "erase of a block that still holds valid pages");
+  REQB_CHECK_MSG(block != pl.active, "erase of the active block");
+  if (b.states) {
+    std::fill_n(b.states.get(), cfg_.pages_per_block, PageState::kFree);
+  }
+  b.write_ptr = 0;
+  b.invalid_count = 0;
+  ++b.erase_count;
+  ++total_erases_;
+  pl.free_list.push_back(block);
+}
+
+std::uint32_t FlashArray::erase_count(std::uint32_t plane,
+                                      std::uint32_t block) const {
+  return block_at(plane, block).erase_count;
+}
+
+FlashArray::WearStats FlashArray::wear_stats() const {
+  WearStats stats;
+  stats.min_erases = ~0u;
+  double sum = 0.0;
+  std::uint64_t blocks = 0;
+  for (const auto& plane : planes_) {
+    for (const auto& block : plane.blocks) {
+      stats.min_erases = std::min(stats.min_erases, block.erase_count);
+      stats.max_erases = std::max(stats.max_erases, block.erase_count);
+      sum += block.erase_count;
+      ++blocks;
+      if (block.erase_count > 0) ++stats.blocks_touched;
+    }
+  }
+  if (blocks == 0) {
+    stats.min_erases = 0;
+  } else {
+    stats.mean_erases = sum / static_cast<double>(blocks);
+  }
+  return stats;
+}
+
+std::uint64_t FlashArray::valid_page_count(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  return planes_[plane].valid_pages;
+}
+
+}  // namespace reqblock

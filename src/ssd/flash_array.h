@@ -1,0 +1,106 @@
+// NAND flash array state: planes, blocks, pages.
+//
+// Tracks page states (free/valid/invalid), per-plane free-block lists and
+// active (currently appended) blocks, erase counts, and supplies greedy GC
+// victim selection via a lazily-updated max-heap over invalid counts.
+// Purely functional state — all *timing* lives in the FTL's resource
+// timelines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ssd/address.h"
+#include "ssd/config.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+enum class PageState : std::uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
+
+class FlashArray {
+ public:
+  static constexpr std::uint32_t kNoBlock = ~0u;
+
+  explicit FlashArray(const SsdConfig& cfg);
+
+  /// Programs `lpn` into the plane's active block (allocating a fresh block
+  /// from the free list when needed) and returns the physical page written.
+  /// Requires at least one allocatable page (callers run GC first).
+  Ppn program(std::uint32_t plane, Lpn lpn);
+
+  /// Marks a previously valid page invalid (its data was superseded).
+  void invalidate(Ppn ppn);
+
+  PageState state(Ppn ppn) const;
+  Lpn lpn_at(Ppn ppn) const;
+
+  std::uint64_t free_blocks(std::uint32_t plane) const;
+  /// True when the plane is at/below the configured GC threshold.
+  bool gc_needed(std::uint32_t plane) const;
+
+  /// GC victim per the configured policy. kGreedy: the block with the most
+  /// invalid pages (and at least one). kWearAware: among blocks within
+  /// gc_wear_tie_margin invalid pages of the best, the least-erased one.
+  /// Returns kNoBlock when no block qualifies.
+  std::uint32_t pick_gc_victim(std::uint32_t plane);
+
+  /// Physical pages still valid inside a block (the pages GC must move).
+  std::vector<Ppn> valid_pages(std::uint32_t plane, std::uint32_t block) const;
+
+  /// Erases a block; it must hold no valid pages.
+  void erase_block(std::uint32_t plane, std::uint32_t block);
+
+  std::uint64_t total_erases() const { return total_erases_; }
+  std::uint32_t erase_count(std::uint32_t plane, std::uint32_t block) const;
+  std::uint64_t valid_page_count(std::uint32_t plane) const;
+
+  /// Wear distribution across all blocks (endurance view; the paper's
+  /// Table 1 device context — QLC-era parts tolerate ~500 P/E cycles).
+  struct WearStats {
+    std::uint32_t min_erases = 0;
+    std::uint32_t max_erases = 0;
+    double mean_erases = 0.0;
+    /// Blocks that were erased at least once.
+    std::uint64_t blocks_touched = 0;
+  };
+  WearStats wear_stats() const;
+
+  const SsdConfig& config() const { return cfg_; }
+  const AddressMap& address_map() const { return amap_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<PageState[]> states;   // lazily allocated
+    std::unique_ptr<std::uint32_t[]> lpns; // lazily allocated
+    std::uint16_t write_ptr = 0;
+    std::uint16_t valid_count = 0;
+    std::uint16_t invalid_count = 0;
+    std::uint32_t erase_count = 0;
+  };
+
+  struct Plane {
+    std::vector<Block> blocks;
+    std::vector<std::uint32_t> free_list;  // LIFO of erased block indices
+    std::uint32_t active = kNoBlock;
+    // Lazy max-heap of (invalid_count, block). Stale entries are skipped
+    // on pop by re-checking the live count.
+    std::priority_queue<std::pair<std::uint32_t, std::uint32_t>> gc_heap;
+    std::uint64_t valid_pages = 0;
+  };
+
+  Block& block_at(std::uint32_t plane, std::uint32_t block);
+  const Block& block_at(std::uint32_t plane, std::uint32_t block) const;
+  void ensure_storage(Block& b);
+  Ppn make_ppn(std::uint32_t plane, std::uint32_t block,
+               std::uint32_t page) const;
+
+  SsdConfig cfg_;
+  AddressMap amap_;
+  std::vector<Plane> planes_;
+  std::uint64_t total_erases_ = 0;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,157 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+Ftl::Ftl(const SsdConfig& cfg)
+    : cfg_(cfg), amap_(cfg_), array_(cfg_) {
+  channels_.resize(cfg_.channels);
+  chips_.resize(cfg_.total_chips());
+}
+
+std::uint64_t Ftl::version_of(Lpn lpn) const {
+  const auto it = versions_.find(lpn);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+void Ftl::add_preexisting_range(Lpn begin, Lpn end) {
+  REQB_CHECK_MSG(begin < end, "empty pre-existing range");
+  preexisting_.emplace_back(begin, end);
+  std::sort(preexisting_.begin(), preexisting_.end());
+}
+
+bool Ftl::in_preexisting(Lpn lpn) const {
+  auto it = std::upper_bound(
+      preexisting_.begin(), preexisting_.end(), lpn,
+      [](Lpn v, const std::pair<Lpn, Lpn>& r) { return v < r.first; });
+  if (it == preexisting_.begin()) return false;
+  --it;
+  return lpn >= it->first && lpn < it->second;
+}
+
+Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
+  const auto it = l2p_.find(lpn);
+  if (it == l2p_.end()) {
+    if (in_preexisting(lpn)) {
+      // Pre-conditioned data: full flash-read timing from the plane the
+      // page would statically live on, version 0.
+      const auto plane = static_cast<std::uint32_t>(lpn % cfg_.total_planes());
+      const std::uint32_t chip = amap_.chip_global(plane);
+      const std::uint32_t ch = amap_.channel_of_plane(plane);
+      const SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
+      const SimTime done =
+          channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
+      ++metrics_.host_page_reads;
+      return {done, 0, true};
+    }
+    // Reading a never-written page: served by the controller (zero-fill),
+    // no flash access.
+    ++metrics_.unmapped_reads;
+    return {issue + cfg_.cache_access_latency, 0, false};
+  }
+  const Ppn ppn = it->second;
+  const std::uint32_t plane = amap_.plane_of(ppn);
+  const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint32_t ch = amap_.channel_of_plane(plane);
+  const SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
+  const SimTime done =
+      channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
+  ++metrics_.host_page_reads;
+  return {done, version_of(lpn), true};
+}
+
+std::uint32_t Ftl::next_plane_rr() {
+  const std::uint64_t idx = rr_counter_++;
+  const std::uint32_t ch = static_cast<std::uint32_t>(idx % cfg_.channels);
+  const std::uint32_t chip = static_cast<std::uint32_t>(
+      (idx / cfg_.channels) % cfg_.chips_per_channel);
+  const std::uint32_t plane = static_cast<std::uint32_t>(
+      (idx / (static_cast<std::uint64_t>(cfg_.channels) *
+              cfg_.chips_per_channel)) %
+      cfg_.planes_per_chip);
+  return (ch * cfg_.chips_per_channel + chip) * cfg_.planes_per_chip + plane;
+}
+
+std::uint32_t Ftl::colocate_channel(Lpn lpn) const {
+  const Lpn logical_block = lpn / cfg_.pages_per_block;
+  return static_cast<std::uint32_t>(logical_block % cfg_.channels);
+}
+
+void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
+  const std::uint32_t chip = amap_.chip_global(plane);
+  while (array_.gc_needed(plane)) {
+    const std::uint32_t victim = array_.pick_gc_victim(plane);
+    if (victim == FlashArray::kNoBlock) break;  // nothing reclaimable
+    ++metrics_.gc_runs;
+    // Move still-valid pages within the plane (copyback: chip-internal
+    // read + program, no bus transfer), then erase.
+    for (const Ppn old : array_.valid_pages(plane, victim)) {
+      const Lpn lpn = array_.lpn_at(old);
+      const Ppn fresh = array_.program(plane, lpn);
+      array_.invalidate(old);
+      l2p_[lpn] = fresh;
+      ++metrics_.gc_page_moves;
+      t = chips_[chip].acquire(t, cfg_.read_latency + cfg_.program_latency);
+    }
+    array_.erase_block(plane, victim);
+    ++metrics_.erases;
+    t = chips_[chip].acquire(t, cfg_.erase_latency);
+  }
+}
+
+SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
+                              std::uint64_t version, SimTime issue) {
+  maybe_collect(plane, issue);
+  const Ppn fresh = array_.program(plane, lpn);
+  const auto it = l2p_.find(lpn);
+  if (it != l2p_.end()) {
+    array_.invalidate(it->second);
+    it->second = fresh;
+  } else {
+    l2p_.emplace(lpn, fresh);
+  }
+  versions_[lpn] = version;
+
+  const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint32_t ch = amap_.channel_of_plane(plane);
+  const SimTime bus_done =
+      channels_[ch].acquire(issue, cfg_.page_transfer_time());
+  const SimTime done = chips_[chip].acquire(bus_done, cfg_.program_latency);
+  ++metrics_.host_page_writes;
+  return done;
+}
+
+SimTime Ftl::program_page(Lpn lpn, std::uint64_t version, SimTime issue) {
+  return program_to_plane(next_plane_rr(), lpn, version, issue);
+}
+
+SimTime Ftl::program_batch(std::span<const FlushPage> pages, SimTime issue,
+                           bool colocate) {
+  REQB_CHECK_MSG(!pages.empty(), "program_batch needs at least one page");
+  SimTime done = issue;
+  if (colocate) {
+    // Whole batch pinned to one channel; stripe its chips/planes so the
+    // channel (not a single chip) is the congested resource.
+    const std::uint32_t ch = colocate_channel(pages.front().lpn);
+    const std::uint32_t planes_in_channel =
+        cfg_.chips_per_channel * cfg_.planes_per_chip;
+    std::uint32_t next = 0;
+    for (const auto& p : pages) {
+      const std::uint32_t plane =
+          ch * planes_in_channel + (next++ % planes_in_channel);
+      done = std::max(done, program_to_plane(plane, p.lpn, p.version, issue));
+    }
+  } else {
+    for (const auto& p : pages) {
+      done = std::max(done,
+                      program_to_plane(next_plane_rr(), p.lpn, p.version,
+                                       issue));
+    }
+  }
+  return done;
+}
+
+}  // namespace reqblock

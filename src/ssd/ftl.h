@@ -1,0 +1,129 @@
+// Page-level Flash Translation Layer.
+//
+// The FTL is the cache layer's view of the flash array: it maps logical
+// pages to physical pages, allocates dynamically round-robin across
+// channels (striped) or into a single derived plane (colocated — used by
+// BPLRU-style whole-block flushes), runs greedy garbage collection, and
+// charges all operation timing on per-channel / per-chip FCFS timelines.
+//
+// A per-LPN 64-bit version travels with every programmed page; it is the
+// end-to-end consistency oracle the test suite checks read-your-writes
+// against (no payload bytes are simulated).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ssd/address.h"
+#include "ssd/config.h"
+#include "ssd/flash_array.h"
+#include "ssd/timeline.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+/// One page of a flush batch.
+struct FlushPage {
+  Lpn lpn = 0;
+  std::uint64_t version = 0;
+};
+
+/// Device-internal operation counters.
+struct FlashMetrics {
+  std::uint64_t host_page_reads = 0;   // flash reads serving host misses
+  std::uint64_t host_page_writes = 0;  // flash programs from cache flushes
+  std::uint64_t unmapped_reads = 0;    // reads of never-written pages
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_page_moves = 0;
+  std::uint64_t erases = 0;
+
+  /// Write amplification factor (programs incl. GC moves / host programs).
+  double waf() const {
+    return host_page_writes == 0
+               ? 0.0
+               : static_cast<double>(host_page_writes + gc_page_moves) /
+                     static_cast<double>(host_page_writes);
+  }
+};
+
+class Ftl {
+ public:
+  explicit Ftl(const SsdConfig& cfg);
+
+  struct ReadResult {
+    SimTime complete = 0;
+    std::uint64_t version = 0;
+    bool mapped = false;
+  };
+
+  /// Reads one logical page. Issue times must be non-decreasing across
+  /// calls (the simulator processes requests in arrival order).
+  ReadResult read_page(Lpn lpn, SimTime issue);
+
+  /// Declares [begin, end) as holding data written before the simulated
+  /// trace started (device pre-conditioning). Reads of such pages are
+  /// served from flash with full timing and version 0, without the memory
+  /// cost of materializing mappings; the first in-trace write takes over
+  /// normally. GC never needs to move pre-existing data (it has no
+  /// physical page), which slightly understates GC load — see DESIGN.md.
+  void add_preexisting_range(Lpn begin, Lpn end);
+
+  /// Programs a batch of pages.
+  ///  * striped (colocate = false): pages round-robin across channels, so
+  ///    a batch of N <= channels pages completes in ~1 program time;
+  ///  * colocated (colocate = true): every page goes to the *channel*
+  ///    derived from the first page's logical block (striped over that
+  ///    channel's chips/planes) — BPLRU whole-block flush semantics; the
+  ///    paper §4.2.2: "flushing a block data onto a specific SSD channel
+  ///    only delays I/O processing at the same channel".
+  /// Returns the completion time of the last page.
+  SimTime program_batch(std::span<const FlushPage> pages, SimTime issue,
+                        bool colocate = false);
+
+  SimTime program_page(Lpn lpn, std::uint64_t version, SimTime issue);
+
+  bool is_mapped(Lpn lpn) const { return l2p_.contains(lpn); }
+  std::uint64_t version_of(Lpn lpn) const;
+  std::uint64_t mapped_pages() const { return l2p_.size(); }
+
+  const FlashMetrics& metrics() const { return metrics_; }
+  /// Clears the operation counters (device state stays). For warmup.
+  void reset_metrics() { metrics_ = FlashMetrics{}; }
+  const SsdConfig& config() const { return cfg_; }
+  const FlashArray& array() const { return array_; }
+
+  SimTime channel_busy(std::uint32_t ch) const {
+    return channels_[ch].busy_time();
+  }
+  SimTime chip_busy(std::uint32_t chip) const {
+    return chips_[chip].busy_time();
+  }
+
+ private:
+  /// Next plane in channel-major round-robin (consecutive pages land on
+  /// consecutive channels, maximizing batch parallelism).
+  std::uint32_t next_plane_rr();
+  /// Channel a logical block is pinned to for colocated flushes.
+  std::uint32_t colocate_channel(Lpn lpn) const;
+  SimTime program_to_plane(std::uint32_t plane, Lpn lpn,
+                           std::uint64_t version, SimTime issue);
+  /// Runs greedy GC on the plane until it is above the free threshold.
+  void maybe_collect(std::uint32_t plane, SimTime t);
+
+  SsdConfig cfg_;
+  AddressMap amap_;
+  FlashArray array_;
+  std::vector<ResourceTimeline> channels_;
+  std::vector<ResourceTimeline> chips_;
+  bool in_preexisting(Lpn lpn) const;
+
+  std::unordered_map<Lpn, Ppn> l2p_;
+  std::unordered_map<Lpn, std::uint64_t> versions_;
+  std::vector<std::pair<Lpn, Lpn>> preexisting_;  // sorted, disjoint
+  std::uint64_t rr_counter_ = 0;
+  FlashMetrics metrics_;
+};
+
+}  // namespace reqblock

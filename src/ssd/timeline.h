@@ -1,0 +1,44 @@
+// FCFS resource timelines.
+//
+// The simulator schedules flash operations by reserving time slots on the
+// resources they occupy (a channel bus, a chip). Requests are processed in
+// arrival order, so a simple "next free instant" per resource implements
+// exact FCFS queueing without a global event calendar.
+#pragma once
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+class ResourceTimeline {
+ public:
+  /// Reserves `duration` starting no earlier than `earliest`; returns the
+  /// *completion* time. Also accumulates busy time for utilization stats.
+  SimTime acquire(SimTime earliest, SimTime duration) {
+    REQB_DCHECK(duration >= 0);
+    const SimTime start = std::max(earliest, next_free_);
+    next_free_ = start + duration;
+    busy_time_ += duration;
+    return next_free_;
+  }
+
+  /// The instant the resource becomes idle.
+  SimTime next_free() const { return next_free_; }
+
+  /// Total busy time reserved so far.
+  SimTime busy_time() const { return busy_time_; }
+
+  void reset() {
+    next_free_ = 0;
+    busy_time_ = 0;
+  }
+
+ private:
+  SimTime next_free_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+}  // namespace reqblock

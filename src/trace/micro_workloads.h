@@ -1,0 +1,47 @@
+// Micro-workload builders: classic access patterns used by the test
+// suite and microbenchmarks to probe a single policy property at a time
+// (what the paper's related-work section calls the "target application
+// contexts" of each scheme).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/io_request.h"
+#include "util/rng.h"
+
+namespace reqblock::micro {
+
+struct MicroOptions {
+  std::uint64_t requests = 10000;
+  std::uint64_t seed = 1;
+  double write_ratio = 1.0;
+  SimTime interarrival = 1 * kMillisecond;  // fixed spacing
+};
+
+/// Purely sequential writes sweeping [0, span) with `pages`-sized
+/// requests — FAB/BPLRU's home turf.
+std::vector<IoRequest> sequential(Lpn span, std::uint32_t pages,
+                                  MicroOptions opts = {});
+
+/// Uniform random single/multi-page requests over [0, span) — the
+/// "random access dominated" case where block schemes struggle.
+std::vector<IoRequest> uniform_random(Lpn span, std::uint32_t max_pages,
+                                      MicroOptions opts = {});
+
+/// Zipf-popular extents of fixed size — pure temporal locality.
+std::vector<IoRequest> zipf(Lpn extents, std::uint32_t pages, double theta,
+                            MicroOptions opts = {});
+
+/// A looping scan of [0, span): touches every page in order, repeatedly —
+/// the classic LRU-killer when span exceeds the cache.
+std::vector<IoRequest> scan_loop(Lpn span, std::uint32_t pages,
+                                 MicroOptions opts = {});
+
+/// Alternates a hot point set with polluting one-shot writes — isolates
+/// scan/pollution resistance.
+std::vector<IoRequest> hot_with_pollution(Lpn hot_pages, double hot_fraction,
+                                          std::uint32_t pollution_pages,
+                                          MicroOptions opts = {});
+
+}  // namespace reqblock::micro

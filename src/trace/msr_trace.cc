@@ -1,0 +1,96 @@
+#include "trace/msr_trace.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace reqblock {
+
+namespace {
+// MSR timestamps are Windows FILETIME: 100 ns ticks.
+constexpr std::int64_t kTicksToNs = 100;
+}  // namespace
+
+std::optional<IoRequest> parse_msr_line(std::string_view line,
+                                        const MsrParseOptions& opts) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+  const auto fields = split(line, ',');
+  if (fields.size() < 6) return std::nullopt;
+
+  const auto ts = parse_u64(fields[0]);
+  const auto offset = parse_u64(fields[4]);
+  const auto size = parse_u64(fields[5]);
+  if (!ts || !offset || !size) return std::nullopt;
+
+  const std::string_view type_field = trim(fields[3]);
+  IoType type;
+  if (iequals(type_field, "Read") || iequals(type_field, "R")) {
+    type = IoType::kRead;
+  } else if (iequals(type_field, "Write") || iequals(type_field, "W")) {
+    type = IoType::kWrite;
+  } else {
+    return std::nullopt;
+  }
+
+  const std::uint64_t page = opts.page_size;
+  const Lpn first = *offset / page;
+  // A zero-byte request still touches the page containing the offset.
+  const std::uint64_t end_byte = *offset + (*size == 0 ? 1 : *size);
+  const Lpn last = (end_byte - 1) / page;
+
+  IoRequest req;
+  req.arrival = static_cast<SimTime>(*ts) * kTicksToNs;
+  req.type = type;
+  req.lpn = first;
+  req.pages = static_cast<std::uint32_t>(last - first + 1);
+  return req;
+}
+
+std::vector<IoRequest> parse_msr_stream(std::istream& in,
+                                        const MsrParseOptions& opts) {
+  std::vector<IoRequest> out;
+  std::string line;
+  std::uint64_t id = 0;
+  SimTime base = -1;
+  while (std::getline(in, line)) {
+    auto req = parse_msr_line(line, opts);
+    if (!req) {
+      if (trim(line).empty()) continue;
+      if (!opts.skip_malformed) {
+        throw std::runtime_error("malformed MSR trace line: " + line);
+      }
+      continue;
+    }
+    if (opts.rebase_time) {
+      if (base < 0) base = req->arrival;
+      req->arrival -= base;
+    }
+    req->id = id++;
+    out.push_back(*req);
+    if (opts.max_requests != 0 && out.size() >= opts.max_requests) break;
+  }
+  return out;
+}
+
+std::vector<IoRequest> parse_msr_file(const std::string& path,
+                                      const MsrParseOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_msr_stream(in, opts);
+}
+
+void write_msr_stream(std::ostream& out, const std::vector<IoRequest>& reqs,
+                      std::uint64_t page_size, std::string_view hostname) {
+  for (const auto& r : reqs) {
+    out << (r.arrival / kTicksToNs) << ',' << hostname << ",0,"
+        << to_string(r.type) << ',' << (r.lpn * page_size) << ','
+        << (static_cast<std::uint64_t>(r.pages) * page_size) << ",0\n";
+  }
+}
+
+}  // namespace reqblock

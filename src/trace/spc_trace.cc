@@ -1,0 +1,87 @@
+#include "trace/spc_trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace reqblock {
+
+std::optional<IoRequest> parse_spc_line(std::string_view line,
+                                        const SpcParseOptions& opts) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+  const auto fields = split(line, ',');
+  if (fields.size() < 5) return std::nullopt;
+
+  const auto asu = parse_u64(fields[0]);
+  const auto lba = parse_u64(fields[1]);
+  const auto size = parse_u64(fields[2]);
+  const auto ts = parse_double(fields[4]);
+  if (!asu || !lba || !size || !ts || *ts < 0.0) return std::nullopt;
+
+  const std::string_view opcode = trim(fields[3]);
+  IoType type;
+  if (iequals(opcode, "r")) {
+    type = IoType::kRead;
+  } else if (iequals(opcode, "w")) {
+    type = IoType::kWrite;
+  } else {
+    return std::nullopt;
+  }
+
+  if (opts.asu_filter >= 0 &&
+      *asu != static_cast<std::uint64_t>(opts.asu_filter)) {
+    return std::nullopt;
+  }
+
+  const std::uint64_t byte_offset = *lba * opts.sector_size;
+  const Lpn first = byte_offset / opts.page_size;
+  const std::uint64_t end_byte = byte_offset + (*size == 0 ? 1 : *size);
+  const Lpn last = (end_byte - 1) / opts.page_size;
+
+  IoRequest req;
+  req.arrival = static_cast<SimTime>(std::llround(*ts * 1e9));
+  req.type = type;
+  req.lpn = (opts.asu_filter >= 0 ? 0 : *asu * opts.asu_stride_pages) + first;
+  req.pages = static_cast<std::uint32_t>(last - first + 1);
+  return req;
+}
+
+std::vector<IoRequest> parse_spc_stream(std::istream& in,
+                                        const SpcParseOptions& opts) {
+  std::vector<IoRequest> out;
+  std::string line;
+  std::uint64_t id = 0;
+  SimTime base = -1;
+  while (std::getline(in, line)) {
+    auto req = parse_spc_line(line, opts);
+    if (!req) {
+      if (trim(line).empty() || !opts.skip_malformed) {
+        if (!opts.skip_malformed && !trim(line).empty()) {
+          throw std::runtime_error("malformed SPC trace line: " + line);
+        }
+      }
+      continue;
+    }
+    if (opts.rebase_time) {
+      if (base < 0) base = req->arrival;
+      req->arrival -= base;
+    }
+    req->id = id++;
+    out.push_back(*req);
+    if (opts.max_requests != 0 && out.size() >= opts.max_requests) break;
+  }
+  return out;
+}
+
+std::vector<IoRequest> parse_spc_file(const std::string& path,
+                                      const SpcParseOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_spc_stream(in, opts);
+}
+
+}  // namespace reqblock

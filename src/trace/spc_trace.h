@@ -1,0 +1,48 @@
+// SPC (Storage Performance Council) trace format support.
+//
+// The UMass/FIU "Financial" and "WebSearch" traces — the other trace
+// family commonly replayed in SSD cache papers — use this format:
+//
+//   ASU,LBA,Size,Opcode,Timestamp[,extra...]
+//
+// where ASU is an application storage unit id, LBA a 512-byte sector
+// number, Size a byte count, Opcode 'r'/'R' or 'w'/'W', and Timestamp is
+// in (fractional) seconds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/io_request.h"
+
+namespace reqblock {
+
+struct SpcParseOptions {
+  std::uint64_t page_size = 4096;
+  std::uint32_t sector_size = 512;
+  /// Keep only this ASU (-1 = all ASUs, offset by ASU to keep them
+  /// disjoint in the logical space).
+  std::int32_t asu_filter = -1;
+  /// Pages reserved per ASU when merging all ASUs into one address space.
+  Lpn asu_stride_pages = 1ULL << 26;
+  bool skip_malformed = true;
+  bool rebase_time = true;
+  std::uint64_t max_requests = 0;
+};
+
+/// Parses one SPC line; nullopt if malformed or filtered out.
+std::optional<IoRequest> parse_spc_line(std::string_view line,
+                                        const SpcParseOptions& opts);
+
+std::vector<IoRequest> parse_spc_stream(std::istream& in,
+                                        const SpcParseOptions& opts);
+
+/// Throws std::runtime_error if the file cannot be opened.
+std::vector<IoRequest> parse_spc_file(const std::string& path,
+                                      const SpcParseOptions& opts);
+
+}  // namespace reqblock

@@ -1,0 +1,268 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+WorkloadProfile WorkloadProfile::scaled(double factor) const {
+  REQB_CHECK_MSG(factor > 0.0, "scale factor must be positive");
+  WorkloadProfile p = *this;
+  p.total_requests = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total_requests) *
+                                    factor));
+  return p;
+}
+
+WorkloadProfile WorkloadProfile::capped(std::uint64_t max_requests) const {
+  WorkloadProfile p = *this;
+  if (max_requests != 0 && max_requests < p.total_requests) {
+    p.total_requests = max_requests;
+  }
+  return p;
+}
+
+double WorkloadProfile::expected_write_pages() const {
+  // Small sizes are 1 + floor(Exp(mean-1)) clamped; approximate by the mean.
+  const double small = small_write_mean_pages;
+  const double large =
+      (static_cast<double>(large_write_min_pages) +
+       static_cast<double>(large_write_max_pages)) /
+      2.0;
+  return (1.0 - large_write_fraction) * small + large_write_fraction * large;
+}
+
+SyntheticTraceSource::SyntheticTraceSource(WorkloadProfile profile)
+    : profile_(std::move(profile)),
+      hot_sampler_(std::max<std::uint64_t>(1, profile_.hot_extents),
+                   profile_.hot_zipf_theta),
+      rng_(profile_.seed) {
+  REQB_CHECK_MSG(profile_.hot_slot_pages >= 1, "hot slot must hold a page");
+  REQB_CHECK_MSG(profile_.stride_pages() >= profile_.hot_slot_pages,
+                 "hot extent stride must cover the slot");
+  REQB_CHECK_MSG(profile_.large_write_min_pages >= 1 &&
+                     profile_.large_write_max_pages >=
+                         profile_.large_write_min_pages,
+                 "invalid large write size range");
+  REQB_CHECK_MSG(profile_.stream_count >= 1, "need at least one stream");
+  reset();
+}
+
+void SyntheticTraceSource::reset() {
+  rng_.reseed(profile_.seed);
+  emitted_ = 0;
+  clock_ = 0;
+  recent_.clear();
+  recent_pos_ = 0;
+  recent_large_.clear();
+  recent_large_pos_ = 0;
+  streams_.assign(profile_.stream_count, Stream{});
+  const Lpn cold_base = profile_.hot_region_pages();
+  for (std::uint32_t s = 0; s < profile_.stream_count; ++s) {
+    streams_[s].base = cold_base + s * profile_.cold_stream_pages;
+    streams_[s].cursor = 0;
+    streams_[s].last_lpn = streams_[s].base;
+    streams_[s].last_pages = 0;
+  }
+}
+
+SyntheticTraceSource::HotExtent SyntheticTraceSource::hot_extent(
+    std::uint64_t extent_id) const {
+  // Extent geometry is a pure function of (seed, extent_id) so the same
+  // extent is always re-accessed with the same address and size — this is
+  // what makes "request blocks" a stable unit of reuse.
+  std::uint64_t h = profile_.seed ^ (extent_id * 0x9e3779b97f4a7c15ULL);
+  Rng local(splitmix64(h));
+  // Scatter extents over the hot region with a bijective permutation
+  // (0x9E3779B1 is prime, hence coprime to any smaller population) so
+  // popularity rank carries no spatial correlation: neighbouring flash
+  // blocks mix hot and cold extents, as real workloads do.
+  const std::uint64_t slot =
+      (extent_id * 0x9E3779B1ULL) % profile_.hot_extents;
+  std::uint32_t pages;
+  if (profile_.hot_slot_pages >= 5 &&
+      local.next_bool(profile_.hot_medium_prob)) {
+    pages = static_cast<std::uint32_t>(
+        local.next_in(5, profile_.hot_slot_pages));
+  } else {
+    pages = static_cast<std::uint32_t>(local.next_size(
+        std::max(0.0, profile_.small_write_mean_pages - 1.0) + 1e-9,
+        profile_.hot_slot_pages));
+  }
+  return HotExtent{slot * profile_.stride_pages(), pages};
+}
+
+std::uint64_t SyntheticTraceSource::sample_hot_id(bool record) {
+  std::uint64_t extent_id;
+  if (!recent_.empty() && rng_.next_bool(profile_.burst_prob)) {
+    extent_id = recent_[rng_.next_below(recent_.size())];
+  } else {
+    extent_id = hot_sampler_.sample(rng_);
+  }
+  // Only writes enter the burst window: the short-timescale locality the
+  // generator models is "recently *written* data is re-accessed soon",
+  // which is the locality a write buffer can actually serve.
+  if (record && profile_.burst_window > 0) {
+    if (recent_.size() < profile_.burst_window) {
+      recent_.push_back(extent_id);
+    } else {
+      recent_[recent_pos_] = extent_id;
+      recent_pos_ = (recent_pos_ + 1) % recent_.size();
+    }
+  }
+  return extent_id;
+}
+
+IoRequest SyntheticTraceSource::make_small_write(std::uint64_t id,
+                                                 SimTime at) {
+  IoRequest r;
+  r.id = id;
+  r.arrival = at;
+  r.type = IoType::kWrite;
+  if (profile_.small_cold_fraction > 0.0 &&
+      profile_.stride_pages() > profile_.hot_slot_pages + 1 &&
+      rng_.next_bool(profile_.small_cold_fraction)) {
+    // One-shot cold filler in the unused part of a random hot slot.
+    const std::uint64_t slot = rng_.next_below(profile_.hot_extents);
+    const std::uint32_t spare =
+        profile_.stride_pages() - profile_.hot_slot_pages;
+    const std::uint32_t pages = static_cast<std::uint32_t>(
+        rng_.next_in(1, std::min<std::uint32_t>(2, spare)));
+    const std::uint32_t off = static_cast<std::uint32_t>(
+        rng_.next_below(spare - pages + 1));
+    r.lpn = slot * profile_.stride_pages() + profile_.hot_slot_pages + off;
+    r.pages = pages;
+    return r;
+  }
+  const auto extent = hot_extent(sample_hot_id(/*record=*/true));
+  r.lpn = extent.lpn;
+  r.pages = extent.pages;
+  return r;
+}
+
+IoRequest SyntheticTraceSource::make_large_write(std::uint64_t id,
+                                                 SimTime at) {
+  Stream& st = streams_[rng_.next_below(streams_.size())];
+  IoRequest r;
+  r.id = id;
+  r.arrival = at;
+  r.type = IoType::kWrite;
+  if (st.last_pages != 0 && rng_.next_bool(profile_.stream_rewrite_prob)) {
+    r.lpn = st.last_lpn;
+    r.pages = st.last_pages;
+    return r;
+  }
+  const std::uint32_t pages = static_cast<std::uint32_t>(rng_.next_in(
+      profile_.large_write_min_pages, profile_.large_write_max_pages));
+  if (st.cursor + pages > profile_.cold_stream_pages) st.cursor = 0;
+  r.lpn = st.base + st.cursor;
+  r.pages = pages;
+  st.cursor += pages;
+  st.last_lpn = r.lpn;
+  st.last_pages = pages;
+  if (profile_.large_recent_window > 0) {
+    if (recent_large_.size() < profile_.large_recent_window) {
+      recent_large_.push_back({r.lpn, r.pages});
+    } else {
+      recent_large_[recent_large_pos_] = {r.lpn, r.pages};
+      recent_large_pos_ = (recent_large_pos_ + 1) % recent_large_.size();
+    }
+  }
+  return r;
+}
+
+IoRequest SyntheticTraceSource::make_read(std::uint64_t id, SimTime at) {
+  IoRequest r;
+  r.id = id;
+  r.arrival = at;
+  r.type = IoType::kRead;
+  const double u = rng_.next_double();
+  if (!recent_large_.empty() &&
+      u < profile_.read_large_head_fraction) {
+    // Header re-read of a recent large write (Observation 2): only the
+    // first few pages of the extent are hot. Reads are biased toward the
+    // freshest writes first, then spread across the whole window.
+    const std::size_t n = recent_large_.size();
+    std::size_t back;  // how many writes ago, 0 = most recent
+    if (rng_.next_bool(profile_.large_head_recency_bias)) {
+      back = rng_.next_below(std::min<std::size_t>(64, n));
+    } else {
+      back = rng_.next_below(n);
+    }
+    const std::size_t newest =
+        n < profile_.large_recent_window
+            ? n - 1
+            : (recent_large_pos_ + n - 1) % n;
+    const std::size_t idx = (newest + n - back) % n;
+    const auto& ext = recent_large_[idx];
+    r.lpn = ext.lpn;
+    r.pages = static_cast<std::uint32_t>(rng_.next_in(
+        1, std::min(profile_.large_head_pages, ext.pages)));
+    return r;
+  }
+  if (u < profile_.read_large_head_fraction + profile_.read_hot_fraction) {
+    const auto extent = hot_extent(sample_hot_id(/*record=*/false));
+    r.lpn = extent.lpn;
+    r.pages = extent.pages;
+    if (extent.pages > 1 && rng_.next_bool(profile_.partial_read_prob)) {
+      // Partial hit on a request block: read a sub-extent.
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          rng_.next_in(1, extent.pages - 1));
+      const std::uint32_t off = static_cast<std::uint32_t>(
+          rng_.next_in(0, extent.pages - len));
+      r.lpn = extent.lpn + off;
+      r.pages = len;
+    }
+    return r;
+  }
+  // Cold scan: read a large extent from a stream region — the in-trace
+  // written prefix, or the whole (pre-conditioned) region.
+  const Stream& st = streams_[rng_.next_below(streams_.size())];
+  const std::uint32_t pages = static_cast<std::uint32_t>(rng_.next_in(
+      profile_.large_write_min_pages, profile_.large_write_max_pages));
+  const Lpn span = profile_.preexisting_cold_data
+                       ? profile_.cold_stream_pages
+                       : std::max<Lpn>(st.cursor, pages);
+  const Lpn off = rng_.next_below(std::max<Lpn>(1, span - pages + 1));
+  r.lpn = st.base + off;
+  r.pages = pages;
+  return r;
+}
+
+std::vector<std::pair<Lpn, Lpn>> SyntheticTraceSource::preexisting_ranges()
+    const {
+  std::vector<std::pair<Lpn, Lpn>> out;
+  if (!profile_.preexisting_cold_data) return out;
+  for (const Stream& st : streams_) {
+    out.emplace_back(st.base, st.base + profile_.cold_stream_pages);
+  }
+  return out;
+}
+
+bool SyntheticTraceSource::next(IoRequest& out) {
+  if (emitted_ >= profile_.total_requests) return false;
+  const std::uint64_t id = emitted_++;
+  clock_ += static_cast<SimTime>(rng_.next_exponential(
+      static_cast<double>(profile_.mean_interarrival_ns)));
+  if (rng_.next_bool(profile_.write_ratio)) {
+    out = rng_.next_bool(profile_.large_write_fraction)
+              ? make_large_write(id, clock_)
+              : make_small_write(id, clock_);
+  } else {
+    out = make_read(id, clock_);
+  }
+  return true;
+}
+
+std::vector<IoRequest> SyntheticTraceSource::collect() {
+  reset();
+  std::vector<IoRequest> all;
+  all.reserve(profile_.total_requests);
+  IoRequest r;
+  while (next(r)) all.push_back(r);
+  reset();
+  return all;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,73 @@
+#include "trace/trace_stats.h"
+
+#include <unordered_map>
+
+namespace reqblock {
+
+double TraceStats::write_ratio() const {
+  return requests == 0 ? 0.0
+                       : static_cast<double>(writes) /
+                             static_cast<double>(requests);
+}
+
+double TraceStats::mean_write_kb() const {
+  return writes == 0 ? 0.0
+                     : static_cast<double>(write_pages) * 4.0 /
+                           static_cast<double>(writes);
+}
+
+TraceStats TraceStatsCollector::collect(TraceSource& src,
+                                        int frequent_threshold) {
+  TraceStats out;
+  struct AddrCount {
+    std::uint32_t total = 0;
+    std::uint32_t writes = 0;
+  };
+  std::unordered_map<Lpn, AddrCount> addr_counts;
+
+  src.reset();
+  IoRequest r;
+  SimTime last = 0;
+  while (src.next(r)) {
+    ++out.requests;
+    last = r.arrival;
+    auto& c = addr_counts[r.lpn];
+    ++c.total;
+    if (r.is_write()) {
+      ++out.writes;
+      out.write_pages += r.pages;
+      ++c.writes;
+    } else {
+      ++out.reads;
+      out.read_pages += r.pages;
+    }
+  }
+  out.duration = last;
+
+  std::uint64_t frequent = 0;
+  std::uint64_t written_addrs = 0;
+  std::uint64_t frequent_written = 0;
+  for (const auto& [addr, c] : addr_counts) {
+    if (c.total >= static_cast<std::uint32_t>(frequent_threshold)) {
+      ++frequent;
+    }
+    if (c.writes > 0) {
+      ++written_addrs;
+      if (c.writes >= static_cast<std::uint32_t>(frequent_threshold)) {
+        ++frequent_written;
+      }
+    }
+  }
+  if (!addr_counts.empty()) {
+    out.frequent_ratio = static_cast<double>(frequent) /
+                         static_cast<double>(addr_counts.size());
+  }
+  if (written_addrs != 0) {
+    out.frequent_write_ratio = static_cast<double>(frequent_written) /
+                               static_cast<double>(written_addrs);
+  }
+  src.reset();
+  return out;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,38 @@
+// Trace statistics matching the columns of the paper's Table 2.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/io_request.h"
+
+namespace reqblock {
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t write_pages = 0;
+  std::uint64_t read_pages = 0;
+
+  /// Fraction of requests that are writes ("Wr Ratio").
+  double write_ratio() const;
+  /// Mean write size in KB assuming 4 KB pages ("Wr Size").
+  double mean_write_kb() const;
+
+  /// "Frequent R": fraction of distinct request start addresses that are
+  /// requested at least `threshold` times (threshold = 3 in the paper).
+  double frequent_ratio = 0.0;
+  /// "(Wr)": same measure restricted to write accesses on written addresses.
+  double frequent_write_ratio = 0.0;
+
+  SimTime duration = 0;
+};
+
+class TraceStatsCollector {
+ public:
+  /// Computes stats for every request produced by `src` (consumes and
+  /// resets the source).
+  static TraceStats collect(TraceSource& src, int frequent_threshold = 3);
+};
+
+}  // namespace reqblock

@@ -1,0 +1,35 @@
+// In-memory trace source, mainly for tests and small experiments.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/io_request.h"
+
+namespace reqblock {
+
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<IoRequest> requests,
+                             std::string name = "vector")
+      : requests_(std::move(requests)), name_(std::move(name)) {}
+
+  bool next(IoRequest& out) override {
+    if (pos_ >= requests_.size()) return false;
+    out = requests_[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = 0; }
+  std::string name() const override { return name_; }
+
+  std::size_t size() const { return requests_.size(); }
+
+ private:
+  std::vector<IoRequest> requests_;
+  std::string name_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,59 @@
+#include "util/args.h"
+
+#include "util/strings.h"
+
+namespace reqblock {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";  // boolean switch
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return flags_.contains(key);
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& key,
+                              std::string fallback) const {
+  const auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::uint64_t ArgParser::get_u64_or(const std::string& key,
+                                    std::uint64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_u64(*v);
+  return parsed ? *parsed : fallback;
+}
+
+double ArgParser::get_double_or(const std::string& key,
+                                double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_double(*v);
+  return parsed ? *parsed : fallback;
+}
+
+}  // namespace reqblock

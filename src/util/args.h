@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports "--key value" and "--key=value" forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace reqblock {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+  std::uint64_t get_u64_or(const std::string& key,
+                           std::uint64_t fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace reqblock

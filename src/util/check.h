@@ -1,0 +1,42 @@
+// Lightweight invariant checking used throughout the library.
+//
+// REQB_CHECK is always on (simulation correctness beats the tiny branch
+// cost); REQB_DCHECK compiles out in NDEBUG builds and is meant for
+// hot-path invariants exercised heavily by the test suite.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace reqblock::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace reqblock::detail
+
+#define REQB_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::reqblock::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define REQB_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::reqblock::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#ifdef NDEBUG
+#define REQB_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define REQB_DCHECK(expr) REQB_CHECK(expr)
+#endif

@@ -1,0 +1,134 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+namespace reqblock {
+namespace {
+
+// 16 sub-buckets per power of two: bucket = 16*log2(v) + sub.
+constexpr std::size_t kSubBuckets = 16;
+constexpr std::size_t kMaxBuckets = 64 * kSubBuckets + 1;
+
+}  // namespace
+
+LogHistogram::LogHistogram() : buckets_(kMaxBuckets, 0) {}
+
+std::size_t LogHistogram::bucket_for(std::int64_t v) {
+  REQB_DCHECK(v >= 0);
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  const int log2v = 63 - std::countl_zero(u);
+  const std::uint64_t sub = (u >> (log2v - 4)) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(log2v) * kSubBuckets + sub;
+}
+
+std::int64_t LogHistogram::bucket_mid(std::size_t b) {
+  if (b < kSubBuckets) return static_cast<std::int64_t>(b);
+  const std::size_t log2v = b / kSubBuckets;
+  const std::size_t sub = b % kSubBuckets;
+  const std::uint64_t base = 1ULL << log2v;
+  const std::uint64_t step = base / kSubBuckets;
+  const std::uint64_t lo = base + sub * step;
+  return static_cast<std::int64_t>(lo + step / 2);
+}
+
+void LogHistogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::size_t b = std::min(bucket_for(value), buckets_.size() - 1);
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0;
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::int64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      return std::clamp(bucket_mid(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void CountHistogram::record(std::uint64_t value) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  ++counts_[value];
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void CountHistogram::merge(const CountHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void CountHistogram::clear() {
+  counts_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+double CountHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t CountHistogram::max() const {
+  for (std::size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] > 0) return i - 1;
+  }
+  return 0;
+}
+
+std::uint64_t CountHistogram::at(std::uint64_t v) const {
+  return v < counts_.size() ? counts_[v] : 0;
+}
+
+}  // namespace reqblock

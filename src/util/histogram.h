@@ -1,0 +1,66 @@
+// Log-bucketed histogram for latency-like quantities plus an exact
+// small-domain counter histogram for integer statistics such as
+// "pages per eviction".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reqblock {
+
+/// Histogram over non-negative int64 values with logarithmic bucket growth.
+/// Supports mean exactly and quantiles to within the bucket resolution
+/// (~1.6% relative error), which is plenty for simulator reporting.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void record(std::int64_t value);
+  void merge(const LogHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Quantile in [0, 1]; returns a representative value of the bucket that
+  /// contains the requested rank.
+  std::int64_t quantile(double q) const;
+
+  std::int64_t p50() const { return quantile(0.50); }
+  std::int64_t p95() const { return quantile(0.95); }
+  std::int64_t p99() const { return quantile(0.99); }
+
+ private:
+  static std::size_t bucket_for(std::int64_t v);
+  static std::int64_t bucket_mid(std::size_t b);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Exact histogram over small non-negative integers (e.g. batch sizes).
+class CountHistogram {
+ public:
+  void record(std::uint64_t value);
+  void merge(const CountHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  std::uint64_t max() const;
+  /// Number of samples exactly equal to v.
+  std::uint64_t at(std::uint64_t v) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace reqblock

@@ -1,0 +1,105 @@
+// Deterministic, cross-platform random number generation.
+//
+// std::<distribution> implementations differ between standard libraries, so
+// every stochastic component in this library draws through these helpers to
+// keep results bit-identical across toolchains.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+/// SplitMix64: used to expand a user seed into stream state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b9u) { reseed(seed); }
+
+  /// Re-initializes the stream from a single 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    REQB_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method, with rejection for exactness.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    REQB_DCHECK(hi >= lo);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean) {
+    REQB_DCHECK(mean > 0);
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Geometric-ish heavy-tailed size in [1, max]: returns 1 + floor of an
+  /// exponential with the given mean, clamped. Used for request-size draws.
+  std::uint64_t next_size(double mean, std::uint64_t max_value) {
+    REQB_DCHECK(max_value >= 1);
+    const double draw = next_exponential(mean);
+    auto v = static_cast<std::uint64_t>(draw) + 1;
+    return v > max_value ? max_value : v;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace reqblock

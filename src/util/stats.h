@@ -1,0 +1,48 @@
+// Small statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace reqblock {
+
+/// Welford running mean/variance accumulator.
+class RunningStat {
+ public:
+  void record(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void clear() {
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Safe ratio: returns 0 when the denominator is 0.
+inline double ratio(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+/// Percent-change of `value` relative to `base` (positive = larger).
+inline double percent_change(double value, double base) {
+  return base == 0.0 ? 0.0 : (value - base) / base * 100.0;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,36 @@
+// String/CSV parsing helpers used by the trace parsers and report printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reqblock {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Parses an unsigned integer; nullopt on any malformed input.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parses a signed integer; nullopt on any malformed input.
+std::optional<std::int64_t> parse_i64(std::string_view s);
+
+/// Parses a double; nullopt on any malformed input.
+std::optional<double> parse_double(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Formats a double with the given number of decimals.
+std::string format_double(double v, int decimals);
+
+/// Human-friendly byte count, e.g. "16.0MB".
+std::string format_bytes(double bytes);
+
+}  // namespace reqblock

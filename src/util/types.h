@@ -1,0 +1,33 @@
+// Fundamental scalar types shared across the whole library.
+#pragma once
+
+#include <cstdint>
+
+namespace reqblock {
+
+/// Logical page number, in units of the SSD page size (4 KB by default).
+using Lpn = std::uint64_t;
+
+/// Physical page number: a flat index into the flash array's page space.
+using Ppn = std::uint64_t;
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Logical tick counter used by policies that want a timescale-free clock
+/// (one tick per page access).
+using Tick = std::uint64_t;
+
+/// Sentinel for "no physical page" in mapping tables.
+inline constexpr Ppn kInvalidPpn = ~static_cast<Ppn>(0);
+
+/// Sentinel for "no logical page" in reverse maps.
+inline constexpr Lpn kInvalidLpn = ~static_cast<Lpn>(0);
+
+/// Time unit helpers. All simulator latencies are expressed in nanoseconds.
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+}  // namespace reqblock

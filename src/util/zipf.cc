@@ -1,0 +1,31 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reqblock {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  REQB_CHECK_MSG(n >= 1, "Zipf population must be non-empty");
+  REQB_CHECK_MSG(theta >= 0.0, "Zipf skew must be non-negative");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& v : cdf_) v *= inv;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace reqblock

@@ -1,0 +1,32 @@
+// Zipf-distributed sampling over {0, 1, ..., n-1}.
+//
+// Uses the classic precomputed-CDF method with binary search; footprints in
+// this library are at most a few million items, for which a one-time O(n)
+// table is cheap and sampling is O(log n) and perfectly deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace reqblock {
+
+class ZipfSampler {
+ public:
+  /// n: population size (>= 1); theta: skew (0 = uniform; ~0.99 typical).
+  ZipfSampler(std::uint64_t n, double theta);
+
+  /// Draws one item; rank 0 is the most popular.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t population() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace reqblock

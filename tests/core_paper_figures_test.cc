@@ -1,0 +1,150 @@
+// The paper's worked examples (Figs. 5 and 6), replayed through the full
+// CacheManager + FTL stack rather than against the bare policy, so the
+// documented behaviour is pinned at the system level.
+#include <gtest/gtest.h>
+
+#include "core/req_block_policy.h"
+#include "test_util.h"
+
+namespace reqblock {
+namespace {
+
+using testing::Harness;
+using testing::read_req;
+using testing::write_req;
+
+PolicyConfig rb_config(std::uint32_t delta, std::uint64_t capacity = 256) {
+  PolicyConfig cfg = testing::policy_config("reqblock", capacity);
+  cfg.reqblock.delta = delta;
+  return cfg;
+}
+
+const ReqBlockPolicy& policy_of(const Harness& h) {
+  return dynamic_cast<const ReqBlockPolicy&>(h.cache->policy());
+}
+
+TEST(PaperFigure5Test, PartAHitOnLargeRequestBlockSplitsToDRL) {
+  // Fig. 5(a): pages K..K+3 belong to a large request block in IRL; a hit
+  // on K+1 abstracts it into a new block at the DRL head.
+  Harness h(rb_config(/*delta=*/2));
+  const Lpn k = 100;
+  h.serve(write_req(1, k, 4));              // large block (4 > delta)
+  h.serve(read_req(2, k + 1, 1, kSecond));  // hit page K+1
+
+  const auto& p = policy_of(h);
+  const ReqBlock* split = p.block_of(k + 1);
+  ASSERT_NE(split, nullptr);
+  EXPECT_EQ(split->level, ReqList::kDRL);
+  EXPECT_EQ(split->page_count(), 1u);
+  // The origin keeps K, K+2, K+3 in IRL.
+  const ReqBlock* origin = p.block_of(k);
+  ASSERT_NE(origin, nullptr);
+  EXPECT_EQ(origin->level, ReqList::kIRL);
+  EXPECT_EQ(origin->page_count(), 3u);
+  EXPECT_EQ(h.cache->metrics().page_hits, 1u);
+}
+
+TEST(PaperFigure5Test, PartBHitOnSmallBlocksUpgradesToSRL) {
+  // Fig. 5(b), delta = 2: a small IRL block holding page M moves to SRL
+  // when hit; a small split block in DRL holding page K+1 moves to SRL
+  // when hit.
+  Harness h(rb_config(2));
+  const Lpn k = 100, m = 500;
+  h.serve(write_req(1, k, 4));                  // large -> IRL
+  h.serve(write_req(2, m, 2));                  // small -> IRL
+  h.serve(read_req(3, k + 1, 1, kSecond));      // split K+1 -> DRL
+  h.serve(read_req(4, m, 1, 2 * kSecond));      // hit M -> SRL
+  h.serve(read_req(5, k + 1, 1, 3 * kSecond));  // hit K+1 again -> SRL
+
+  const auto& p = policy_of(h);
+  EXPECT_EQ(p.block_of(m)->level, ReqList::kSRL);
+  EXPECT_EQ(p.block_of(m)->page_count(), 2u);  // whole block moved
+  EXPECT_EQ(p.block_of(k + 1)->level, ReqList::kSRL);
+  const auto occ = p.occupancy();
+  EXPECT_EQ(occ.srl_blocks, 2u);
+  EXPECT_EQ(occ.drl_blocks, 0u);
+  EXPECT_EQ(occ.irl_blocks, 1u);  // the shrunken origin
+}
+
+TEST(PaperFigure6Test, DowngradedMergeEvictsSplitAndOriginTogether) {
+  // Fig. 6: the DRL tail is selected as the victim and merged with the
+  // neighbouring pages of its origin block still in IRL; the merged batch
+  // is flushed together.
+  Harness h(rb_config(2, /*capacity=*/16));
+  // Large request: 8 pages, then hit 6 of them (split block of 6 > origin
+  // of 2, so the split block ages into the Freq minimum — see
+  // core_req_block_test for the arithmetic).
+  h.serve(write_req(1, 0, 8));
+  h.serve(read_req(2, 0, 6, kSecond));
+  // Hot small block to advance the clock without becoming the victim.
+  h.serve(write_req(3, 100, 1, 2 * kSecond));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    h.serve(read_req(4 + i, 100, 1, (3 + static_cast<SimTime>(i)) * kSecond));
+  }
+  // Fill the cache to force exactly one eviction: 9 pages cached,
+  // capacity 16, and an 8-page request arrives.
+  h.serve(write_req(10, 200, 8, 10 * kSecond));
+  EXPECT_EQ(h.cache->metrics().evictions, 1u);
+  // The merged victim carried all 8 pages of request 1 to flash.
+  EXPECT_EQ(h.cache->metrics().evicted_pages, 8u);
+  EXPECT_EQ(h.ftl.metrics().host_page_writes, 8u);
+  // Both fragments are gone from the cache; the hot block and the new
+  // request remain.
+  const auto& p = policy_of(h);
+  for (Lpn l = 0; l < 8; ++l) {
+    EXPECT_EQ(p.block_of(l), nullptr) << l;
+  }
+  EXPECT_NE(p.block_of(100), nullptr);
+  EXPECT_NE(p.block_of(200), nullptr);
+  EXPECT_EQ(h.cache->cached_pages(), 9u);  // 1 hot page + 8 new pages
+}
+
+TEST(PaperFigure6Test, MergedBatchIsStripedAcrossChannels) {
+  // The merged 8-page flush must use many channels (batch eviction,
+  // §3.3/§4.2.4), unlike BPLRU's colocated block flush.
+  Harness h(rb_config(2, 16));
+  h.serve(write_req(1, 0, 8));
+  h.serve(read_req(2, 0, 6, kSecond));
+  h.serve(write_req(3, 100, 1, 2 * kSecond));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    h.serve(read_req(4 + i, 100, 1, (3 + static_cast<SimTime>(i)) * kSecond));
+  }
+  h.serve(write_req(10, 200, 8, 10 * kSecond));
+  std::uint32_t busy_channels = 0;
+  for (std::uint32_t ch = 0; ch < h.ftl.config().channels; ++ch) {
+    if (h.ftl.channel_busy(ch) > 0) ++busy_channels;
+  }
+  EXPECT_EQ(busy_channels, 8u);  // 8 pages across all 8 channels
+}
+
+TEST(PaperAlgorithm1Test, MainRoutineReadMissGoesToFlashWithoutInsert) {
+  // Lines 38-39: read misses are served from flash; nothing is inserted
+  // (the DRAM cache is a write buffer).
+  Harness h(rb_config(5));
+  h.serve(read_req(1, 777, 3));
+  EXPECT_EQ(h.cache->cached_pages(), 0u);
+  EXPECT_EQ(policy_of(h).block_count(), 0u);
+  EXPECT_EQ(h.cache->metrics().read_misses, 3u);
+}
+
+TEST(PaperAlgorithm1Test, PerPageLoopHandlesMixedHitMissRequests) {
+  // One request whose pages partly hit (lines 19-28) and partly miss
+  // (lines 30-37): the hits upgrade, the misses form a new IRL block.
+  Harness h(rb_config(5));
+  h.serve(write_req(1, 0, 2));          // cache pages 0,1
+  h.serve(write_req(2, 0, 4, kSecond)); // pages 0,1 hit; 2,3 miss
+  const auto& p = policy_of(h);
+  // Hit part: block {0,1} promoted to SRL.
+  EXPECT_EQ(p.block_of(0)->level, ReqList::kSRL);
+  // Miss part: new IRL block {2,3} owned by request 2.
+  const ReqBlock* fresh = p.block_of(2);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->level, ReqList::kIRL);
+  EXPECT_EQ(fresh->page_count(), 2u);
+  EXPECT_EQ(fresh->req_id, 2u);
+  EXPECT_EQ(h.cache->metrics().page_hits, 2u);
+  EXPECT_EQ(h.cache->metrics().inserts, 4u);
+}
+
+}  // namespace
+}  // namespace reqblock

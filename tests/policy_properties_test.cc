@@ -1,0 +1,136 @@
+// Cross-policy property suite: every policy, driven through the full
+// CacheManager + FTL stack on randomized workloads, must preserve the
+// framework invariants (capacity, bookkeeping agreement, flush accounting,
+// read-your-writes — the latter enforced inside the manager on every read).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace reqblock {
+namespace {
+
+using testing::Harness;
+using testing::policy_config;
+
+struct PolicyParam {
+  std::string name;
+  std::uint64_t capacity;
+  std::uint64_t seed;
+};
+
+class PolicySweep : public ::testing::TestWithParam<PolicyParam> {
+ protected:
+  /// Mixed random workload with hot reuse and occasional large requests.
+  void run_workload(Harness& h, std::uint64_t requests) {
+    Rng rng(GetParam().seed);
+    SimTime clock = 0;
+    for (std::uint64_t id = 0; id < requests; ++id) {
+      clock += static_cast<SimTime>(rng.next_exponential(200'000.0));
+      IoRequest r;
+      r.id = id;
+      r.arrival = clock;
+      r.type = rng.next_bool(0.7) ? IoType::kWrite : IoType::kRead;
+      if (rng.next_bool(0.8)) {
+        r.lpn = rng.next_below(96);  // hot range
+        r.pages = static_cast<std::uint32_t>(rng.next_in(1, 4));
+      } else {
+        r.lpn = 1000 + rng.next_below(4000);
+        r.pages = static_cast<std::uint32_t>(rng.next_in(8, 24));
+      }
+      const SimTime done = h.serve(r);
+      ASSERT_GE(done, r.arrival);
+      ASSERT_LE(h.cache->cached_pages(), GetParam().capacity);
+      ASSERT_EQ(h.cache->policy().pages(), h.cache->cached_pages());
+    }
+  }
+};
+
+TEST_P(PolicySweep, InvariantsHoldOnMixedWorkload) {
+  Harness h(policy_config(GetParam().name, GetParam().capacity));
+  run_workload(h, 1500);
+  const auto& m = h.cache->metrics();
+  // Flush accounting: everything flash received as host programs came from
+  // eviction flushes, bypasses, or BPLRU padding writes.
+  EXPECT_EQ(m.flushed_pages + m.bypass_pages + m.padding_pages,
+            h.ftl.metrics().host_page_writes);
+  // Hits + misses == lookups.
+  EXPECT_EQ(m.page_hits + m.inserts + m.bypass_pages + m.read_misses,
+            m.page_lookups);
+  EXPECT_LE(m.hit_ratio(), 1.0);
+}
+
+TEST_P(PolicySweep, EvictionsFreeAtLeastOnePage) {
+  Harness h(policy_config(GetParam().name, GetParam().capacity));
+  run_workload(h, 800);
+  const auto& m = h.cache->metrics();
+  if (m.evictions > 0) {
+    EXPECT_GE(m.evicted_pages, m.evictions);
+    EXPECT_GE(m.eviction_batch.mean(), 1.0);
+  }
+}
+
+TEST_P(PolicySweep, DrainAfterWorkloadReadsEverythingBack) {
+  Harness h(policy_config(GetParam().name, GetParam().capacity));
+  run_workload(h, 600);
+  // Read back the whole hot range; verify_consistency inside the manager
+  // asserts versions match on every page (cache or flash path).
+  SimTime t = 1'000'000 * kMillisecond;
+  for (Lpn l = 0; l < 96; ++l) {
+    h.serve(testing::read_req(1'000'000 + l, l, 1, t));
+    t += kMillisecond;
+  }
+}
+
+TEST_P(PolicySweep, MetadataStaysSmallFractionOfCache) {
+  Harness h(policy_config(GetParam().name, GetParam().capacity));
+  run_workload(h, 800);
+  const double cache_bytes =
+      static_cast<double>(GetParam().capacity) * 4096.0;
+  const double metadata =
+      static_cast<double>(h.cache->policy().metadata_bytes());
+  // The paper reports <= ~0.6% for all schemes; allow 2% headroom.
+  EXPECT_LE(metadata, cache_bytes * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(PolicyParam{"lru", 128, 1},
+                      PolicyParam{"fifo", 128, 2},
+                      PolicyParam{"lfu", 128, 3},
+                      PolicyParam{"cflru", 128, 4},
+                      PolicyParam{"fab", 128, 5},
+                      PolicyParam{"bplru", 128, 6},
+                      PolicyParam{"vbbms", 128, 7},
+                      PolicyParam{"reqblock", 128, 8},
+                      PolicyParam{"reqblock", 32, 9},
+                      PolicyParam{"lru", 32, 10},
+                      PolicyParam{"bplru", 512, 11},
+                      PolicyParam{"vbbms", 512, 12}),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      return info.param.name + "_cap" + std::to_string(info.param.capacity) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+TEST(PolicyFactoryTest, KnownNamesConstruct) {
+  for (const auto& name : known_policy_names()) {
+    PolicyConfig cfg = policy_config(name, 64);
+    EXPECT_NE(make_policy(cfg), nullptr) << name;
+  }
+}
+
+TEST(PolicyFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_policy(policy_config("clock", 64)),
+               std::invalid_argument);
+}
+
+TEST(PolicyFactoryTest, NamesAreCaseInsensitive) {
+  EXPECT_EQ(make_policy(policy_config("LRU", 64))->name(), "LRU");
+  EXPECT_EQ(make_policy(policy_config("Req-Block", 64))->name(),
+            "Req-block");
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,81 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+
+namespace reqblock {
+namespace {
+
+RunResult sample_result() {
+  WorkloadProfile p;
+  p.name = "report-unit";
+  p.total_requests = 3000;
+  p.seed = 2;
+  p.hot_extents = 128;
+  p.cold_stream_pages = 1 << 14;
+  SyntheticTraceSource trace(p);
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 256;
+  o.cache.capacity_pages = 256;
+  Simulator sim(o);
+  return sim.run(trace);
+}
+
+TEST(ReportTest, ConfigTablePrintsTable1Fields) {
+  std::ostringstream os;
+  print_config(os, SsdConfig::paper_default());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("128.0GB"), std::string::npos);
+  EXPECT_NE(out.find("0.075ms"), std::string::npos);
+  EXPECT_NE(out.find("2ms"), std::string::npos);
+  EXPECT_NE(out.find("15ms"), std::string::npos);
+  EXPECT_NE(out.find("10ns"), std::string::npos);
+  EXPECT_NE(out.find("10%"), std::string::npos);
+}
+
+TEST(ReportTest, ResultRowHasAllColumns) {
+  const RunResult r = sample_result();
+  const auto row = result_row(r);
+  ASSERT_EQ(row.size(), 10u);
+  EXPECT_EQ(row[0], "report-unit");
+  EXPECT_EQ(row[1], "Req-block");
+  EXPECT_EQ(row[2], "1MB");  // 256 pages
+  EXPECT_NE(row[3].find('%'), std::string::npos);
+  EXPECT_NE(row[4].find("ms"), std::string::npos);
+}
+
+TEST(ReportTest, ResultsTableRenders) {
+  const RunResult r = sample_result();
+  std::ostringstream os;
+  results_table({r, r}).print(os);
+  EXPECT_NE(os.str().find("Req-block"), std::string::npos);
+  EXPECT_NE(os.str().find("hit"), std::string::npos);
+}
+
+TEST(ReportTest, MetadataPercentConsistent) {
+  const RunResult r = sample_result();
+  const double pct = metadata_percent(r);
+  EXPECT_GE(pct, 0.0);
+  EXPECT_LT(pct, 5.0);
+  // Recompute by hand from the sampled mean.
+  const double expect = r.cache.metadata_bytes.mean() /
+                        (static_cast<double>(r.cache_capacity_pages) * 4096) *
+                        100.0;
+  EXPECT_DOUBLE_EQ(pct, expect);
+}
+
+TEST(ReportTest, MetadataPercentZeroCapacity) {
+  RunResult r;
+  r.cache_capacity_pages = 0;
+  EXPECT_DOUBLE_EQ(metadata_percent(r), 0.0);
+}
+
+}  // namespace
+}  // namespace reqblock

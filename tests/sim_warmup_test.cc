@@ -1,0 +1,117 @@
+// Warmup phase, channel/chip utilization accounting and CSV export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "util/strings.h"
+
+namespace reqblock {
+namespace {
+
+WorkloadProfile warm_profile(std::uint64_t requests = 20000) {
+  WorkloadProfile p;
+  p.name = "warm";
+  p.total_requests = requests;
+  p.seed = 77;
+  p.write_ratio = 0.75;
+  p.hot_extents = 512;
+  p.cold_stream_pages = 1 << 15;
+  p.mean_interarrival_ns = 500 * kMicrosecond;
+  return p;
+}
+
+SimOptions warm_options(std::uint64_t warmup = 0) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 512;
+  o.cache.capacity_pages = 512;
+  o.warmup_requests = warmup;
+  return o;
+}
+
+TEST(WarmupTest, WarmupRequestsExcludedFromStats) {
+  SyntheticTraceSource trace(warm_profile());
+  Simulator sim(warm_options(5000));
+  const RunResult r = sim.run(trace);
+  EXPECT_EQ(r.warmup_requests, 5000u);
+  EXPECT_EQ(r.requests, 15000u);
+  EXPECT_EQ(r.response.count(), 15000u);
+}
+
+TEST(WarmupTest, MeasuredWindowIsSubsetOfFullRun) {
+  // The warmup only changes *counting*, not behaviour: the measured
+  // window's flash traffic must be bounded by the full run's.
+  SyntheticTraceSource t1(warm_profile()), t2(warm_profile());
+  Simulator full(warm_options(0)), warm(warm_options(5000));
+  const RunResult a = full.run(t1);
+  const RunResult b = warm.run(t2);
+  EXPECT_LT(b.cache.page_lookups, a.cache.page_lookups);
+  EXPECT_LE(b.flash.host_page_writes, a.flash.host_page_writes);
+  EXPECT_LE(b.flash.erases, a.flash.erases);
+  // Identical device-time evolution: the last request completes at the
+  // same simulated instant either way.
+  EXPECT_EQ(a.sim_end, b.sim_end);
+}
+
+TEST(WarmupTest, WarmupLargerThanTraceMeasuresNothing) {
+  SyntheticTraceSource trace(warm_profile(100));
+  Simulator sim(warm_options(1000));
+  const RunResult r = sim.run(trace);
+  EXPECT_EQ(r.warmup_requests, 100u);
+  EXPECT_EQ(r.requests, 0u);
+}
+
+TEST(WarmupTest, MaxRequestsCountsMeasuredOnly) {
+  SyntheticTraceSource trace(warm_profile());
+  SimOptions o = warm_options(2000);
+  o.max_requests = 3000;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+  EXPECT_EQ(r.warmup_requests, 2000u);
+  EXPECT_EQ(r.requests, 3000u);
+}
+
+TEST(UtilizationTest, BoundedAndPositiveUnderLoad) {
+  SyntheticTraceSource trace(warm_profile());
+  Simulator sim(warm_options());
+  const RunResult r = sim.run(trace);
+  EXPECT_GT(r.chip_utilization, 0.0);
+  EXPECT_LE(r.chip_utilization, 1.0);
+  EXPECT_GT(r.channel_utilization, 0.0);
+  EXPECT_LE(r.channel_utilization, 1.0);
+  // Programs run 2ms per 41us transfer: chips busier than buses.
+  EXPECT_GT(r.chip_utilization, r.channel_utilization);
+}
+
+TEST(CsvExportTest, HeaderAndRows) {
+  SyntheticTraceSource trace(warm_profile(5000));
+  Simulator sim(warm_options());
+  const RunResult r = sim.run(trace);
+  std::ostringstream os;
+  write_results_csv(os, {r, r});
+  const std::string out = os.str();
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("trace,policy,cache_pages"), std::string::npos);
+  EXPECT_NE(out.find("warm,Req-block,512"), std::string::npos);
+  // Every row has the full column count.
+  const auto lines = split(out, '\n');
+  const auto cols = split(lines[0], ',').size();
+  EXPECT_EQ(split(lines[1], ',').size(), cols);
+}
+
+TEST(CsvExportTest, EmptyResults) {
+  std::ostringstream os;
+  write_results_csv(os, {});
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,111 @@
+// Multi-plane geometry: the Table 1 device uses one plane per chip, but
+// the model supports more; these tests pin the geometry math, allocation
+// striping and GC independence with planes_per_chip > 1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/ftl.h"
+#include "util/rng.h"
+
+namespace reqblock {
+namespace {
+
+SsdConfig multiplane_ssd() {
+  SsdConfig cfg;
+  cfg.channels = 4;
+  cfg.chips_per_channel = 2;
+  cfg.planes_per_chip = 2;
+  cfg.pages_per_block = 16;
+  cfg.capacity_bytes =
+      static_cast<std::uint64_t>(4) * 2 * 2 * 64 * 16 * 4096;
+  cfg.validate();
+  return cfg;
+}
+
+TEST(MultiPlaneTest, GeometryDerivation) {
+  const auto cfg = multiplane_ssd();
+  EXPECT_EQ(cfg.total_chips(), 8u);
+  EXPECT_EQ(cfg.total_planes(), 16u);
+  EXPECT_EQ(cfg.blocks_per_plane(), 64u);
+}
+
+TEST(MultiPlaneTest, AddressRoundTrip) {
+  const auto cfg = multiplane_ssd();
+  const AddressMap amap(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Ppn ppn = rng.next_below(cfg.total_pages());
+    const PhysAddr a = amap.to_addr(ppn);
+    ASSERT_EQ(amap.to_ppn(a), ppn);
+    ASSERT_LT(a.plane, cfg.planes_per_chip);
+  }
+}
+
+TEST(MultiPlaneTest, RoundRobinCoversAllPlanes) {
+  const auto cfg = multiplane_ssd();
+  Ftl ftl(cfg);
+  // 16 consecutive single-page writes must spread over all chips.
+  for (Lpn l = 0; l < cfg.total_planes(); ++l) {
+    ftl.program_page(l, 1, 0);
+  }
+  // Every chip saw exactly planes_per_chip programs worth of busy time...
+  // verify via per-chip busy: each chip programs 2 pages, but they can
+  // overlap only across chips, not within one chip.
+  for (std::uint32_t chip = 0; chip < cfg.total_chips(); ++chip) {
+    EXPECT_EQ(ftl.chip_busy(chip), 2 * cfg.program_latency);
+  }
+}
+
+TEST(MultiPlaneTest, ColocatedBatchStripesPlanesWithinChannel) {
+  const auto cfg = multiplane_ssd();  // 4 planes per channel
+  Ftl ftl(cfg);
+  std::vector<FlushPage> batch;
+  for (Lpn l = 0; l < 8; ++l) batch.push_back({l, 1});
+  ftl.program_batch(batch, 0, /*colocate=*/true);
+  // One channel used; its two chips share the work (4 pages each).
+  std::uint32_t busy_channels = 0;
+  for (std::uint32_t ch = 0; ch < cfg.channels; ++ch) {
+    if (ftl.channel_busy(ch) > 0) ++busy_channels;
+  }
+  EXPECT_EQ(busy_channels, 1u);
+}
+
+TEST(MultiPlaneTest, GcRunsPerPlaneIndependently) {
+  SsdConfig cfg = multiplane_ssd();
+  cfg.capacity_bytes = 4ULL * 2 * 2 * 16 * 16 * 4096;  // 16 blocks/plane
+  cfg.validate();
+  Ftl ftl(cfg);
+  Rng rng(3);
+  const std::uint64_t footprint = cfg.total_pages() / 2;
+  for (std::uint64_t i = 0; i < cfg.total_pages() * 3; ++i) {
+    ftl.program_page(rng.next_below(footprint), i, 0);
+  }
+  EXPECT_GT(ftl.metrics().gc_runs, 0u);
+  for (std::uint32_t plane = 0; plane < cfg.total_planes(); ++plane) {
+    EXPECT_GE(ftl.array().free_blocks(plane), 1u);
+  }
+  // Every logical page still mapped and readable.
+  for (Lpn l = 0; l < footprint; ++l) {
+    ASSERT_TRUE(ftl.is_mapped(l) || ftl.version_of(l) == 0);
+  }
+}
+
+TEST(MultiPlaneTest, WearStatsCoverAllPlanes) {
+  SsdConfig cfg = multiplane_ssd();
+  cfg.capacity_bytes = 4ULL * 2 * 2 * 16 * 16 * 4096;
+  cfg.validate();
+  Ftl ftl(cfg);
+  Rng rng(9);
+  for (std::uint64_t i = 0; i < cfg.total_pages() * 2; ++i) {
+    ftl.program_page(rng.next_below(cfg.total_pages() / 2), i, 0);
+  }
+  const auto wear = ftl.array().wear_stats();
+  EXPECT_GT(wear.blocks_touched, 0u);
+  EXPECT_GE(wear.max_erases, wear.min_erases);
+  EXPECT_GT(wear.mean_erases, 0.0);
+  EXPECT_EQ(ftl.array().total_erases(), ftl.metrics().erases);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,104 @@
+// Pre-existing (pre-conditioned) data ranges in the FTL.
+#include <gtest/gtest.h>
+
+#include "ssd/ftl.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+
+namespace reqblock {
+namespace {
+
+using testing::tiny_ssd;
+
+TEST(PreexistingTest, ReadInsideRangeCostsFlashRead) {
+  const auto cfg = tiny_ssd();
+  Ftl ftl(cfg);
+  ftl.add_preexisting_range(1000, 2000);
+  const auto rr = ftl.read_page(1500, 0);
+  EXPECT_TRUE(rr.mapped);
+  EXPECT_EQ(rr.version, 0u);
+  EXPECT_EQ(rr.complete, cfg.read_latency + cfg.page_transfer_time());
+  EXPECT_EQ(ftl.metrics().host_page_reads, 1u);
+  EXPECT_EQ(ftl.metrics().unmapped_reads, 0u);
+}
+
+TEST(PreexistingTest, ReadOutsideRangeStaysUnmapped) {
+  Ftl ftl(tiny_ssd());
+  ftl.add_preexisting_range(1000, 2000);
+  EXPECT_FALSE(ftl.read_page(999, 0).mapped);
+  EXPECT_FALSE(ftl.read_page(2000, 0).mapped);  // end is exclusive
+  EXPECT_TRUE(ftl.read_page(1000, 0).mapped);   // begin is inclusive
+  EXPECT_TRUE(ftl.read_page(1999, 0).mapped);
+  EXPECT_EQ(ftl.metrics().unmapped_reads, 2u);
+}
+
+TEST(PreexistingTest, MultipleRangesBinarySearch) {
+  Ftl ftl(tiny_ssd());
+  ftl.add_preexisting_range(5000, 6000);
+  ftl.add_preexisting_range(100, 200);
+  ftl.add_preexisting_range(1000, 2000);
+  EXPECT_TRUE(ftl.read_page(150, 0).mapped);
+  EXPECT_TRUE(ftl.read_page(1500, 0).mapped);
+  EXPECT_TRUE(ftl.read_page(5500, 0).mapped);
+  EXPECT_FALSE(ftl.read_page(500, 0).mapped);
+  EXPECT_FALSE(ftl.read_page(2500, 0).mapped);
+  EXPECT_FALSE(ftl.read_page(9999, 0).mapped);
+}
+
+TEST(PreexistingTest, InTraceWriteTakesOver) {
+  Ftl ftl(tiny_ssd());
+  ftl.add_preexisting_range(1000, 2000);
+  ftl.program_page(1500, 7, 0);
+  const auto rr = ftl.read_page(1500, 1 * kSecond);
+  EXPECT_TRUE(rr.mapped);
+  EXPECT_EQ(rr.version, 7u);  // the real mapping wins over the range
+}
+
+TEST(PreexistingTest, EmptyRangeRejected) {
+  Ftl ftl(tiny_ssd());
+  EXPECT_THROW(ftl.add_preexisting_range(10, 10), std::logic_error);
+  EXPECT_THROW(ftl.add_preexisting_range(20, 10), std::logic_error);
+}
+
+TEST(PreexistingTest, SimulatorWiresRangesFromTrace) {
+  WorkloadProfile profile;
+  profile.name = "pre";
+  profile.total_requests = 5000;
+  profile.seed = 11;
+  profile.write_ratio = 0.2;
+  profile.hot_extents = 128;
+  profile.cold_stream_pages = 1 << 14;
+  profile.read_hot_fraction = 0.1;  // mostly cold scans
+  profile.preexisting_cold_data = true;
+  SyntheticTraceSource trace(profile);
+
+  // Ranges must cover every stream region.
+  const auto ranges = trace.preexisting_ranges();
+  ASSERT_EQ(ranges.size(), profile.stream_count);
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(end - begin, profile.cold_stream_pages);
+    EXPECT_GE(begin, profile.hot_region_pages());
+  }
+
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "lru";
+  o.policy.capacity_pages = 256;
+  o.cache.capacity_pages = 256;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+  // Cold scans of pre-existing data are timed flash reads, not unmapped.
+  EXPECT_GT(r.flash.host_page_reads, r.flash.unmapped_reads);
+}
+
+TEST(PreexistingTest, DisabledProfileExposesNoRanges) {
+  WorkloadProfile profile;
+  profile.total_requests = 10;
+  profile.preexisting_cold_data = false;
+  SyntheticTraceSource trace(profile);
+  EXPECT_TRUE(trace.preexisting_ranges().empty());
+}
+
+}  // namespace
+}  // namespace reqblock

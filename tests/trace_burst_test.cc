@@ -1,0 +1,176 @@
+// Tests for the generator's temporal-locality features: the burst window,
+// large-write head re-reads, medium hot extents and the sparse stride.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/synthetic.h"
+
+namespace reqblock {
+namespace {
+
+WorkloadProfile base_profile() {
+  WorkloadProfile p;
+  p.name = "burst-unit";
+  p.total_requests = 40000;
+  p.seed = 321;
+  p.write_ratio = 0.7;
+  p.hot_extents = 2048;
+  p.hot_slot_pages = 8;
+  p.large_write_fraction = 0.2;
+  p.large_write_min_pages = 8;
+  p.large_write_max_pages = 24;
+  p.hot_zipf_theta = 0.6;
+  p.cold_stream_pages = 1 << 16;
+  return p;
+}
+
+/// Mean reuse distance (in requests) between consecutive accesses to the
+/// same hot address.
+double short_reuse_fraction(const WorkloadProfile& p, std::uint64_t window) {
+  SyntheticTraceSource src(p);
+  const auto all = src.collect();
+  std::unordered_map<Lpn, std::uint64_t> last_seen;
+  std::uint64_t reuses = 0, short_reuses = 0;
+  const Lpn hot_end = p.hot_region_pages();
+  for (const auto& r : all) {
+    if (r.lpn >= hot_end) continue;
+    const auto it = last_seen.find(r.lpn);
+    if (it != last_seen.end()) {
+      ++reuses;
+      if (r.id - it->second <= window) ++short_reuses;
+    }
+    last_seen[r.lpn] = r.id;
+  }
+  return reuses == 0 ? 0.0
+                     : static_cast<double>(short_reuses) /
+                           static_cast<double>(reuses);
+}
+
+TEST(BurstModelTest, BurstRaisesShortTermReuse) {
+  WorkloadProfile no_burst = base_profile();
+  no_burst.burst_prob = 0.0;
+  WorkloadProfile bursty = base_profile();
+  bursty.burst_prob = 0.5;
+  bursty.burst_window = 128;
+  EXPECT_GT(short_reuse_fraction(bursty, 500),
+            short_reuse_fraction(no_burst, 500) * 1.3);
+}
+
+TEST(BurstModelTest, BurstZeroStillDeterministic) {
+  WorkloadProfile p = base_profile();
+  p.burst_prob = 0.0;
+  SyntheticTraceSource a(p), b(p);
+  const auto va = a.collect(), vb = b.collect();
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    ASSERT_EQ(va[i].lpn, vb[i].lpn);
+  }
+}
+
+TEST(BurstModelTest, HeadReadsTargetRecentLargeWrites) {
+  WorkloadProfile p = base_profile();
+  p.read_large_head_fraction = 0.5;
+  p.large_head_pages = 3;
+  p.large_recent_window = 64;
+  SyntheticTraceSource src(p);
+  const auto all = src.collect();
+
+  // Collect large-write start lpns; head reads must start exactly at one
+  // of them and be at most large_head_pages long.
+  std::unordered_set<Lpn> large_starts;
+  std::uint64_t head_reads = 0;
+  const Lpn hot_end = p.hot_region_pages();
+  for (const auto& r : all) {
+    if (r.is_write() && r.lpn >= hot_end &&
+        r.pages >= p.large_write_min_pages) {
+      large_starts.insert(r.lpn);
+    } else if (r.is_read() && r.lpn >= hot_end &&
+               r.pages <= p.large_head_pages &&
+               large_starts.contains(r.lpn)) {
+      ++head_reads;
+    }
+  }
+  EXPECT_GT(head_reads, all.size() / 20);  // plenty of head re-reads
+}
+
+TEST(BurstModelTest, HeadReadsRepeatOnSameExtent) {
+  WorkloadProfile p = base_profile();
+  p.read_large_head_fraction = 0.6;
+  p.large_recent_window = 32;  // small window => heavy repetition
+  SyntheticTraceSource src(p);
+  const auto all = src.collect();
+  std::unordered_map<Lpn, int> head_read_counts;
+  const Lpn hot_end = p.hot_region_pages();
+  for (const auto& r : all) {
+    if (r.is_read() && r.lpn >= hot_end && r.pages <= p.large_head_pages) {
+      ++head_read_counts[r.lpn];
+    }
+  }
+  int repeated = 0;
+  for (const auto& [lpn, c] : head_read_counts) {
+    if (c >= 2) ++repeated;
+  }
+  EXPECT_GT(repeated, 10);
+}
+
+TEST(BurstModelTest, MediumExtentsAppearWithConfiguredProbability) {
+  WorkloadProfile p = base_profile();
+  p.hot_medium_prob = 0.5;
+  SyntheticTraceSource src(p);
+  const auto all = src.collect();
+  std::unordered_map<Lpn, std::uint32_t> extent_size;
+  const Lpn hot_end = p.hot_region_pages();
+  for (const auto& r : all) {
+    if (r.is_write() && r.lpn < hot_end && r.lpn % p.stride_pages() == 0) {
+      extent_size[r.lpn] = std::max(extent_size[r.lpn], r.pages);
+    }
+  }
+  std::uint64_t medium = 0;
+  for (const auto& [lpn, size] : extent_size) {
+    if (size >= 5) ++medium;
+  }
+  const double frac =
+      static_cast<double>(medium) / static_cast<double>(extent_size.size());
+  EXPECT_NEAR(frac, 0.5, 0.12);
+}
+
+TEST(BurstModelTest, StrideSpreadsExtentsAcrossBlocks) {
+  WorkloadProfile p = base_profile();
+  p.hot_slot_stride = 64;
+  SyntheticTraceSource src(p);
+  const auto all = src.collect();
+  const Lpn hot_end = p.hot_region_pages();
+  EXPECT_EQ(hot_end, p.hot_extents * 64);
+  // Every hot write must live inside its own 64-page block.
+  for (const auto& r : all) {
+    if (r.is_write() && r.lpn < hot_end && r.pages <= p.hot_slot_pages) {
+      EXPECT_EQ(r.lpn / 64, (r.end_lpn() - 1) / 64);
+    }
+  }
+}
+
+TEST(BurstModelTest, StrideSmallerThanSlotRejected) {
+  WorkloadProfile p = base_profile();
+  p.hot_slot_pages = 8;
+  p.hot_slot_stride = 4;
+  EXPECT_THROW(SyntheticTraceSource{p}, std::logic_error);
+}
+
+TEST(BurstModelTest, ResetRestoresBurstState) {
+  WorkloadProfile p = base_profile();
+  p.burst_prob = 0.4;
+  p.read_large_head_fraction = 0.3;
+  SyntheticTraceSource src(p);
+  const auto first = src.collect();
+  const auto second = src.collect();  // collect() resets internally
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].lpn, second[i].lpn);
+    ASSERT_EQ(first[i].pages, second[i].pages);
+  }
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,113 @@
+#include "trace/micro_workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace reqblock {
+namespace {
+
+using namespace micro;
+
+TEST(MicroWorkloadTest, SequentialCoversSpanInOrder) {
+  MicroOptions o;
+  o.requests = 16;
+  const auto reqs = sequential(64, 4, o);
+  ASSERT_EQ(reqs.size(), 16u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].lpn, (i * 4) % 64);
+    EXPECT_EQ(reqs[i].pages, 4u);
+  }
+}
+
+TEST(MicroWorkloadTest, SequentialWrapsAtSpan) {
+  MicroOptions o;
+  o.requests = 20;
+  const auto reqs = sequential(32, 8, o);
+  EXPECT_EQ(reqs[4].lpn, 0u);  // wrapped after 4 requests
+}
+
+TEST(MicroWorkloadTest, FixedInterarrival) {
+  MicroOptions o;
+  o.requests = 5;
+  o.interarrival = 7;
+  const auto reqs = sequential(64, 1, o);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].arrival, static_cast<SimTime>(i) * 7);
+  }
+}
+
+TEST(MicroWorkloadTest, UniformRandomStaysInSpan) {
+  MicroOptions o;
+  o.requests = 5000;
+  const auto reqs = uniform_random(1000, 8, o);
+  for (const auto& r : reqs) {
+    ASSERT_LE(r.end_lpn(), 1000u);
+    ASSERT_GE(r.pages, 1u);
+    ASSERT_LE(r.pages, 8u);
+  }
+}
+
+TEST(MicroWorkloadTest, UniformRandomDeterministic) {
+  MicroOptions o;
+  o.requests = 100;
+  o.seed = 9;
+  const auto a = uniform_random(1000, 8, o);
+  const auto b = uniform_random(1000, 8, o);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].lpn, b[i].lpn);
+    ASSERT_EQ(a[i].pages, b[i].pages);
+  }
+}
+
+TEST(MicroWorkloadTest, ZipfSkewsTowardHead) {
+  MicroOptions o;
+  o.requests = 20000;
+  const auto reqs = zipf(1000, 2, 1.1, o);
+  std::uint64_t head = 0;
+  for (const auto& r : reqs) {
+    EXPECT_EQ(r.lpn % 2, 0u);  // extent aligned
+    if (r.lpn / 2 < 10) ++head;
+  }
+  EXPECT_GT(head, reqs.size() / 5);  // the top-10 extents dominate
+}
+
+TEST(MicroWorkloadTest, WriteRatioControlsMix) {
+  MicroOptions o;
+  o.requests = 10000;
+  o.write_ratio = 0.25;
+  const auto reqs = uniform_random(1000, 4, o);
+  std::uint64_t writes = 0;
+  for (const auto& r : reqs) writes += r.is_write() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(writes) / 10000.0, 0.25, 0.02);
+}
+
+TEST(MicroWorkloadTest, HotWithPollutionSeparatesRegions) {
+  MicroOptions o;
+  o.requests = 5000;
+  const auto reqs = hot_with_pollution(128, 0.5, 8, o);
+  std::uint64_t hot = 0;
+  std::unordered_set<Lpn> pollution_starts;
+  for (const auto& r : reqs) {
+    if (r.lpn < 128) {
+      ++hot;
+      EXPECT_EQ(r.pages, 1u);
+    } else {
+      EXPECT_EQ(r.pages, 8u);
+      // One-shot: every pollution extent address is unique.
+      EXPECT_TRUE(pollution_starts.insert(r.lpn).second);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / 5000.0, 0.5, 0.03);
+}
+
+TEST(MicroWorkloadTest, InvalidParamsRejected) {
+  MicroOptions o;
+  EXPECT_THROW(sequential(2, 4, o), std::logic_error);
+  EXPECT_THROW(uniform_random(0, 1, o), std::logic_error);
+  EXPECT_THROW(hot_with_pollution(0, 0.5, 1, o), std::logic_error);
+  EXPECT_THROW(hot_with_pollution(10, 1.5, 1, o), std::logic_error);
+}
+
+}  // namespace
+}  // namespace reqblock

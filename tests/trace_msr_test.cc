@@ -1,0 +1,121 @@
+#include "trace/msr_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reqblock {
+namespace {
+
+MsrParseOptions opts() { return MsrParseOptions{}; }
+
+TEST(MsrTraceTest, ParsesWellFormedLine) {
+  const auto r = parse_msr_line(
+      "128166372003061629,hm,1,Read,8192,4096,432", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->type, IoType::kRead);
+  EXPECT_EQ(r->lpn, 2u);      // 8192 / 4096
+  EXPECT_EQ(r->pages, 1u);    // 4096 bytes = one page
+}
+
+TEST(MsrTraceTest, ConvertsTicksToNanoseconds) {
+  const auto r = parse_msr_line("10,h,0,Write,0,4096,0", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->arrival, 1000);  // 10 ticks * 100 ns
+}
+
+TEST(MsrTraceTest, UnalignedExtentRoundsOut) {
+  // Offset 1000, size 5000 touches bytes [1000, 6000) => pages 0 and 1.
+  const auto r = parse_msr_line("0,h,0,Write,1000,5000,0", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lpn, 0u);
+  EXPECT_EQ(r->pages, 2u);
+}
+
+TEST(MsrTraceTest, ZeroSizeTouchesOnePage) {
+  const auto r = parse_msr_line("0,h,0,Read,8192,0,0", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lpn, 2u);
+  EXPECT_EQ(r->pages, 1u);
+}
+
+TEST(MsrTraceTest, CaseInsensitiveType) {
+  EXPECT_EQ(parse_msr_line("0,h,0,WRITE,0,4096,0", opts())->type,
+            IoType::kWrite);
+  EXPECT_EQ(parse_msr_line("0,h,0,read,0,4096,0", opts())->type,
+            IoType::kRead);
+  EXPECT_EQ(parse_msr_line("0,h,0,W,0,4096,0", opts())->type,
+            IoType::kWrite);
+}
+
+TEST(MsrTraceTest, MalformedLinesRejected) {
+  EXPECT_FALSE(parse_msr_line("", opts()).has_value());
+  EXPECT_FALSE(parse_msr_line("# comment", opts()).has_value());
+  EXPECT_FALSE(parse_msr_line("1,2,3", opts()).has_value());
+  EXPECT_FALSE(parse_msr_line("x,h,0,Read,0,4096,0", opts()).has_value());
+  EXPECT_FALSE(parse_msr_line("0,h,0,Erase,0,4096,0", opts()).has_value());
+  EXPECT_FALSE(parse_msr_line("0,h,0,Read,abc,4096,0", opts()).has_value());
+}
+
+TEST(MsrTraceTest, StreamParsingRebasesTimeAndNumbersIds) {
+  std::istringstream in(
+      "1000,h,0,Read,0,4096,0\n"
+      "2000,h,0,Write,4096,8192,0\n");
+  const auto reqs = parse_msr_stream(in, opts());
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].arrival, 0);
+  EXPECT_EQ(reqs[1].arrival, 100000);  // (2000-1000) ticks
+  EXPECT_EQ(reqs[0].id, 0u);
+  EXPECT_EQ(reqs[1].id, 1u);
+  EXPECT_EQ(reqs[1].pages, 2u);
+}
+
+TEST(MsrTraceTest, SkipsMalformedByDefaultThrowsWhenStrict) {
+  std::istringstream in1("garbage\n0,h,0,Read,0,4096,0\n");
+  EXPECT_EQ(parse_msr_stream(in1, opts()).size(), 1u);
+
+  MsrParseOptions strict = opts();
+  strict.skip_malformed = false;
+  std::istringstream in2("garbage\n");
+  EXPECT_THROW(parse_msr_stream(in2, strict), std::runtime_error);
+}
+
+TEST(MsrTraceTest, MaxRequestsCap) {
+  std::istringstream in(
+      "0,h,0,Read,0,4096,0\n"
+      "1,h,0,Read,0,4096,0\n"
+      "2,h,0,Read,0,4096,0\n");
+  MsrParseOptions capped = opts();
+  capped.max_requests = 2;
+  EXPECT_EQ(parse_msr_stream(in, capped).size(), 2u);
+}
+
+TEST(MsrTraceTest, RoundTripThroughWriter) {
+  std::vector<IoRequest> reqs;
+  IoRequest a;
+  a.arrival = 500000;
+  a.type = IoType::kWrite;
+  a.lpn = 10;
+  a.pages = 3;
+  reqs.push_back(a);
+
+  std::ostringstream out;
+  write_msr_stream(out, reqs);
+  std::istringstream in(out.str());
+  MsrParseOptions o = opts();
+  o.rebase_time = false;
+  const auto parsed = parse_msr_stream(in, o);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].arrival, a.arrival);
+  EXPECT_EQ(parsed[0].type, a.type);
+  EXPECT_EQ(parsed[0].lpn, a.lpn);
+  EXPECT_EQ(parsed[0].pages, a.pages);
+}
+
+TEST(MsrTraceTest, MissingFileThrows) {
+  EXPECT_THROW(parse_msr_file("/nonexistent/trace.csv", opts()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,82 @@
+#include "trace/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.h"
+
+namespace reqblock {
+namespace {
+
+// Validating every full-length profile is expensive; run each profile on a
+// capped prefix and check it approximates the paper's Table 2 scalars.
+class ProfileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileTest, WriteRatioTracksTable2) {
+  const auto profile = profiles::by_name(GetParam()).capped(60000);
+  const auto paper = profiles::paper_stats(GetParam());
+  SyntheticTraceSource src(profile);
+  const auto stats = TraceStatsCollector::collect(src);
+  EXPECT_NEAR(stats.write_ratio(), paper.write_ratio, 0.03);
+}
+
+TEST_P(ProfileTest, MeanWriteSizeTracksTable2) {
+  const auto profile = profiles::by_name(GetParam()).capped(60000);
+  const auto paper = profiles::paper_stats(GetParam());
+  SyntheticTraceSource src(profile);
+  const auto stats = TraceStatsCollector::collect(src);
+  // Within 35% of the published mean write size.
+  EXPECT_NEAR(stats.mean_write_kb(), paper.write_size_kb,
+              paper.write_size_kb * 0.35);
+}
+
+TEST_P(ProfileTest, FullLengthMatchesPaperRequestCount) {
+  const auto profile = profiles::by_name(GetParam());
+  const auto paper = profiles::paper_stats(GetParam());
+  EXPECT_EQ(profile.total_requests, paper.requests);
+}
+
+TEST_P(ProfileTest, DeterministicFirstRequests) {
+  const auto profile = profiles::by_name(GetParam()).capped(200);
+  SyntheticTraceSource a(profile), b(profile);
+  IoRequest ra, rb;
+  while (a.next(ra)) {
+    ASSERT_TRUE(b.next(rb));
+    ASSERT_EQ(ra.lpn, rb.lpn);
+    ASSERT_EQ(ra.pages, rb.pages);
+    ASSERT_EQ(ra.arrival, rb.arrival);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileTest,
+                         ::testing::Values("hm_1", "lun_1", "usr_0",
+                                           "src1_2", "ts_0", "proj_0"));
+
+TEST(ProfilesTest, AllReturnsSixInPaperOrder) {
+  const auto all = profiles::all();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "hm_1");
+  EXPECT_EQ(all[5].name, "proj_0");
+  // Ordered by write ratio, as in Table 2.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].write_ratio, all[i].write_ratio);
+  }
+}
+
+TEST(ProfilesTest, UnknownNameThrows) {
+  EXPECT_THROW(profiles::by_name("nope"), std::invalid_argument);
+  EXPECT_THROW(profiles::paper_stats("nope"), std::invalid_argument);
+}
+
+TEST(ProfilesTest, RelativeWriteReuseOrderMatchesTable2) {
+  // lun_1 is the paper's least write-reusable trace (Frequent (Wr) 12.8%);
+  // its generated write reuse should be clearly below src1_2 (39.1%).
+  auto lun = profiles::by_name("lun_1").capped(100000);
+  auto src12 = profiles::by_name("src1_2").capped(100000);
+  SyntheticTraceSource a(lun), b(src12);
+  const auto sa = TraceStatsCollector::collect(a);
+  const auto sb = TraceStatsCollector::collect(b);
+  EXPECT_LT(sa.frequent_write_ratio, sb.frequent_write_ratio);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,107 @@
+#include "trace/spc_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace reqblock {
+namespace {
+
+SpcParseOptions opts() { return SpcParseOptions{}; }
+
+TEST(SpcTraceTest, ParsesWellFormedLine) {
+  // ASU 0, LBA 16 (sector 512B => byte 8192), 4096 bytes, write, t=1.5s.
+  const auto r = parse_spc_line("0,16,4096,w,1.5", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->type, IoType::kWrite);
+  EXPECT_EQ(r->lpn, 2u);
+  EXPECT_EQ(r->pages, 1u);
+  EXPECT_EQ(r->arrival, 1'500'000'000);
+}
+
+TEST(SpcTraceTest, ReadOpcodeVariants) {
+  EXPECT_EQ(parse_spc_line("0,0,512,r,0.0", opts())->type, IoType::kRead);
+  EXPECT_EQ(parse_spc_line("0,0,512,R,0.0", opts())->type, IoType::kRead);
+  EXPECT_EQ(parse_spc_line("0,0,512,W,0.0", opts())->type, IoType::kWrite);
+}
+
+TEST(SpcTraceTest, SectorToPageRounding) {
+  // LBA 7 => byte 3584; 1024 bytes end at 4608 => pages 0..1.
+  const auto r = parse_spc_line("0,7,1024,w,0", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lpn, 0u);
+  EXPECT_EQ(r->pages, 2u);
+}
+
+TEST(SpcTraceTest, AsuOffsetsDisjointAddressSpaces) {
+  const auto a = parse_spc_line("0,0,4096,w,0", opts());
+  const auto b = parse_spc_line("1,0,4096,w,0", opts());
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->lpn, b->lpn);
+  EXPECT_EQ(b->lpn, opts().asu_stride_pages);
+}
+
+TEST(SpcTraceTest, AsuFilterKeepsOnlyMatch) {
+  SpcParseOptions o = opts();
+  o.asu_filter = 1;
+  EXPECT_FALSE(parse_spc_line("0,0,4096,w,0", o).has_value());
+  const auto r = parse_spc_line("1,8,4096,w,0", o);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lpn, 1u);  // no ASU offset when filtered
+}
+
+TEST(SpcTraceTest, MalformedRejected) {
+  EXPECT_FALSE(parse_spc_line("", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("# comment", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("0,0,4096,x,0", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("0,0,4096,w", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("a,0,4096,w,0", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("0,0,4096,w,-1.0", opts()).has_value());
+}
+
+TEST(SpcTraceTest, StreamParsingRebasesAndNumbers) {
+  std::istringstream in(
+      "0,0,4096,w,10.0\n"
+      "0,8,4096,r,10.5\n");
+  const auto reqs = parse_spc_stream(in, opts());
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].arrival, 0);
+  EXPECT_EQ(reqs[1].arrival, 500'000'000);
+  EXPECT_EQ(reqs[0].id, 0u);
+  EXPECT_EQ(reqs[1].id, 1u);
+}
+
+TEST(SpcTraceTest, StrictModeThrows) {
+  SpcParseOptions o = opts();
+  o.skip_malformed = false;
+  std::istringstream in("garbage,line\n");
+  EXPECT_THROW(parse_spc_stream(in, o), std::runtime_error);
+}
+
+TEST(SpcTraceTest, MaxRequestsCap) {
+  std::istringstream in(
+      "0,0,512,w,0\n0,8,512,w,1\n0,16,512,w,2\n");
+  SpcParseOptions o = opts();
+  o.max_requests = 2;
+  EXPECT_EQ(parse_spc_stream(in, o).size(), 2u);
+}
+
+TEST(SpcTraceTest, MissingFileThrows) {
+  EXPECT_THROW(parse_spc_file("/no/such/file.spc", opts()),
+               std::runtime_error);
+}
+
+TEST(SpcTraceTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mini.spc";
+  {
+    std::ofstream out(path);
+    out << "0,0,4096,w,0.0\n0,8,8192,r,0.001\n";
+  }
+  const auto reqs = parse_spc_file(path, opts());
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[1].pages, 2u);
+}
+
+}  // namespace
+}  // namespace reqblock

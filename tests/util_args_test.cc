@@ -1,0 +1,67 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace reqblock {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgParserTest, KeyValuePairs) {
+  const auto args = parse({"prog", "--policy", "lru", "--cache-mb", "32"});
+  EXPECT_EQ(args.get_or("policy", "x"), "lru");
+  EXPECT_EQ(args.get_u64_or("cache-mb", 0), 32u);
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(ArgParserTest, EqualsForm) {
+  const auto args = parse({"prog", "--policy=reqblock", "--delta=7"});
+  EXPECT_EQ(args.get_or("policy", "x"), "reqblock");
+  EXPECT_EQ(args.get_u64_or("delta", 0), 7u);
+}
+
+TEST(ArgParserTest, BooleanSwitches) {
+  const auto args = parse({"prog", "--verbose", "--occupancy"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.has("occupancy"));
+  EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(ArgParserTest, SwitchFollowedByFlag) {
+  // "--all --policy lru": --all must not eat "--policy".
+  const auto args = parse({"prog", "--all", "--policy", "lru"});
+  EXPECT_TRUE(args.has("all"));
+  EXPECT_EQ(args.get_or("policy", "x"), "lru");
+}
+
+TEST(ArgParserTest, Positional) {
+  const auto args = parse({"prog", "input.csv", "--policy", "lru", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(ArgParserTest, Defaults) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_or("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_u64_or("missing", 42), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double_or("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(ArgParserTest, MalformedNumbersFallBack) {
+  const auto args = parse({"prog", "--n", "abc", "--d", "xyz"});
+  EXPECT_EQ(args.get_u64_or("n", 9), 9u);
+  EXPECT_DOUBLE_EQ(args.get_double_or("d", 2.5), 2.5);
+}
+
+TEST(ArgParserTest, DoubleValues) {
+  const auto args = parse({"prog", "--ratio", "0.75"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("ratio", 0), 0.75);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,113 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace reqblock {
+namespace {
+
+TEST(LogHistogramTest, EmptyReportsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(LogHistogramTest, ExactMean) {
+  LogHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+}
+
+TEST(LogHistogramTest, SmallValuesExact) {
+  LogHistogram h;
+  for (int v = 0; v < 16; ++v) h.record(v);
+  // Buckets below 16 are exact.
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 15);
+}
+
+TEST(LogHistogramTest, QuantileWithinBucketResolution) {
+  LogHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i);
+  // p50 should be ~5000 within ~7% log-bucket resolution.
+  const double p50 = static_cast<double>(h.p50());
+  EXPECT_NEAR(p50, 5000.0, 5000.0 * 0.08);
+  const double p99 = static_cast<double>(h.p99());
+  EXPECT_NEAR(p99, 9900.0, 9900.0 * 0.08);
+}
+
+TEST(LogHistogramTest, NegativeClampedToZero) {
+  LogHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LogHistogramTest, MergeCombines) {
+  LogHistogram a, b;
+  a.record(100);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 200.0);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 300);
+}
+
+TEST(LogHistogramTest, LargeValues) {
+  LogHistogram h;
+  const std::int64_t big = 3'000'000'000'000LL;
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  // Quantile clamps to observed min/max.
+  EXPECT_EQ(h.quantile(1.0), big);
+}
+
+TEST(LogHistogramTest, ClearResets) {
+  LogHistogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(CountHistogramTest, MeanAndMax) {
+  CountHistogram h;
+  h.record(1);
+  h.record(2);
+  h.record(2);
+  h.record(7);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.at(2), 2u);
+  EXPECT_EQ(h.at(3), 0u);
+  EXPECT_EQ(h.at(100), 0u);
+}
+
+TEST(CountHistogramTest, MergeCombines) {
+  CountHistogram a, b;
+  a.record(1);
+  b.record(9);
+  b.record(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.at(9), 2u);
+  EXPECT_EQ(a.max(), 9u);
+}
+
+TEST(CountHistogramTest, EmptyMaxIsZero) {
+  CountHistogram h;
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace reqblock

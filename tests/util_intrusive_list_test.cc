@@ -1,0 +1,153 @@
+#include "util/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reqblock {
+namespace {
+
+struct Item {
+  Item() = default;
+  explicit Item(int v) : value(v) {}
+
+  int value = 0;
+  ListHook hook;
+  ListHook other_hook;
+};
+
+using List = IntrusiveList<Item, &Item::hook>;
+using OtherList = IntrusiveList<Item, &Item::other_hook>;
+
+std::vector<int> values(const List& list) {
+  std::vector<int> out;
+  list.for_each([&](Item* i) { out.push_back(i->value); });
+  return out;
+}
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.head(), nullptr);
+  EXPECT_EQ(list.tail(), nullptr);
+  EXPECT_EQ(list.pop_back(), nullptr);
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFrontOrdersMruFirst) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_front(&a);
+  list.push_front(&b);
+  list.push_front(&c);
+  EXPECT_EQ(values(list), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(list.head(), &c);
+  EXPECT_EQ(list.tail(), &a);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveListTest, PushBackAppends) {
+  List list;
+  Item a(1), b(2);
+  list.push_back(&a);
+  list.push_back(&b);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 2}));
+}
+
+TEST(IntrusiveListTest, EraseMiddle) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.erase(&b);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.hook.linked());
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(IntrusiveListTest, MoveToFront) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.move_to_front(&c);
+  EXPECT_EQ(values(list), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(IntrusiveListTest, MoveToBack) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.move_to_back(&a);
+  EXPECT_EQ(values(list), (std::vector<int>{2, 3, 1}));
+}
+
+TEST(IntrusiveListTest, PopBackReturnsLru) {
+  List list;
+  Item a(1), b(2);
+  list.push_front(&a);
+  list.push_front(&b);
+  EXPECT_EQ(list.pop_back(), &a);
+  EXPECT_EQ(list.pop_back(), &b);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, NextPrevNavigation) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  EXPECT_EQ(list.next(&a), &b);
+  EXPECT_EQ(list.prev(&c), &b);
+  EXPECT_EQ(list.next(&c), nullptr);
+  EXPECT_EQ(list.prev(&a), nullptr);
+}
+
+TEST(IntrusiveListTest, TwoHooksIndependentMembership) {
+  List list;
+  OtherList other;
+  Item a(1);
+  list.push_front(&a);
+  other.push_front(&a);
+  list.erase(&a);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(other.head(), &a);
+  EXPECT_TRUE(a.other_hook.linked());
+  EXPECT_FALSE(a.hook.linked());
+}
+
+TEST(IntrusiveListTest, ReinsertAfterErase) {
+  List list;
+  Item a(1);
+  list.push_front(&a);
+  list.erase(&a);
+  list.push_back(&a);
+  EXPECT_EQ(list.tail(), &a);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(IntrusiveListTest, LargeChurn) {
+  List list;
+  std::vector<Item> items(1000);
+  for (int i = 0; i < 1000; ++i) {
+    items[static_cast<std::size_t>(i)].value = i;
+    list.push_front(&items[static_cast<std::size_t>(i)]);
+  }
+  // Evict half from the tail.
+  for (int i = 0; i < 500; ++i) {
+    Item* t = list.pop_back();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->value, i);
+  }
+  EXPECT_EQ(list.size(), 500u);
+  EXPECT_EQ(list.tail()->value, 500);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reqblock {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next_u64());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_u64(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextInInclusiveBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, NextInHitsBothEndpoints) {
+  Rng rng(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000 && !(lo && hi); ++i) {
+    const auto v = rng.next_in(0, 3);
+    lo = lo || v == 0;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyRight) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.next_bool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyRight) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(RngTest, NextSizeWithinBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_size(2.0, 8);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 8u);
+  }
+}
+
+TEST(RngTest, UniformityOfLowBits) {
+  // Sanity check: next_below(2) should be ~50/50.
+  Rng rng(29);
+  int ones = 0;
+  for (int i = 0; i < 100000; ++i) ones += static_cast<int>(rng.next_below(2));
+  EXPECT_NEAR(ones / 100000.0, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace reqblock

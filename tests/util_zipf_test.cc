@@ -1,0 +1,83 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reqblock {
+namespace {
+
+TEST(ZipfTest, SamplesWithinPopulation) {
+  ZipfSampler z(100, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SingleItemPopulation) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  ZipfSampler z(1000, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(ZipfTest, HigherThetaMoreSkewed) {
+  Rng rng(5);
+  ZipfSampler mild(1000, 0.5), steep(1000, 1.3);
+  int mild_head = 0, steep_head = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (mild.sample(rng) < 10) ++mild_head;
+    if (steep.sample(rng) < 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+TEST(ZipfTest, TheoreticalHeadMassForThetaOne) {
+  // For theta=1, P(rank 0) = 1/H_n. With n=100, H_100 ~= 5.187.
+  ZipfSampler z(100, 1.0);
+  Rng rng(6);
+  int head = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    if (z.sample(rng) == 0) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / kN, 1.0 / 5.187, 0.01);
+}
+
+TEST(ZipfTest, DeterministicGivenRngSeed) {
+  ZipfSampler z(500, 0.9);
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(z.sample(a), z.sample(b));
+  }
+}
+
+TEST(ZipfTest, InvalidParametersThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::logic_error);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace reqblock
