@@ -1,5 +1,7 @@
 #include "cache/bplru.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace reqblock {
@@ -76,6 +78,58 @@ VictimBatch BplruPolicy::select_victim() {
 bool BplruPolicy::is_sequential_demoted(Lpn block_id) const {
   const auto it = blocks_.find(block_id);
   return it != blocks_.end() && it->second.demoted;
+}
+
+void BplruPolicy::audit(AuditReport& report) const {
+  REQB_AUDIT(report, lru_.validate());
+  REQB_AUDIT_MSG(report, lru_.size() == blocks_.size(),
+                 "LRU lists " + std::to_string(lru_.size()) +
+                     " blocks, table holds " + std::to_string(blocks_.size()));
+  std::size_t pages = 0;
+  for (const auto& [block_id, b] : blocks_) {
+    pages += b.pages.size();
+    REQB_AUDIT_MSG(report, b.block_id == block_id,
+                   "table key " + std::to_string(block_id) +
+                       " holds block id " + std::to_string(b.block_id));
+    REQB_AUDIT_MSG(report, b.hook.linked(),
+                   "block " + std::to_string(block_id) + " not on the LRU");
+    REQB_AUDIT_MSG(report, !b.pages.empty(),
+                   "empty block " + std::to_string(block_id));
+    REQB_AUDIT_MSG(report,
+                   b.pages.size() <= pages_per_block_ &&
+                       b.next_seq_offset <= pages_per_block_,
+                   "block " + std::to_string(block_id) + " holds " +
+                       std::to_string(b.pages.size()) + " pages, seq offset " +
+                       std::to_string(b.next_seq_offset));
+    REQB_AUDIT_MSG(
+        report,
+        !b.demoted ||
+            (b.sequential && b.next_seq_offset == pages_per_block_),
+        "block " + std::to_string(block_id) +
+            " demoted without a complete sequential write");
+    std::vector<Lpn> sorted = b.pages;
+    std::sort(sorted.begin(), sorted.end());
+    REQB_AUDIT_MSG(report,
+                   std::adjacent_find(sorted.begin(), sorted.end()) ==
+                       sorted.end(),
+                   "duplicate page in block " + std::to_string(block_id));
+    for (const Lpn lpn : b.pages) {
+      REQB_AUDIT_MSG(report, block_of(lpn) == block_id,
+                     "page " + std::to_string(lpn) + " filed under block " +
+                         std::to_string(block_id) + " but belongs to " +
+                         std::to_string(block_of(lpn)));
+    }
+  }
+  REQB_AUDIT_MSG(report, pages == total_pages_,
+                 "blocks hold " + std::to_string(pages) +
+                     " pages, counter says " + std::to_string(total_pages_));
+}
+
+bool BplruPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
+  for (const auto& [block_id, b] : blocks_) {
+    for (const Lpn lpn : b.pages) fn(lpn);
+  }
+  return true;
 }
 
 }  // namespace reqblock

@@ -62,6 +62,9 @@ class BplruPolicy final : public WriteBufferPolicy {
   /// (and thus demoted to the LRU tail). Exposed for tests.
   bool is_sequential_demoted(Lpn block_id) const;
 
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+
  private:
   struct Block {
     Lpn block_id = 0;

@@ -211,7 +211,65 @@ SimTime CacheManager::serve(const IoRequest& req) {
   const SimTime done =
       req.is_write() ? serve_write(req) : serve_read(req);
   REQB_DCHECK(policy_->pages() == pages_.size());
+  run_audit("CacheManager", AuditLevel::kLight,
+            [this](AuditReport& r) { audit(r, audit_level()); });
   return done;
+}
+
+void CacheManager::audit(AuditReport& report, AuditLevel depth) const {
+  // Counter cross-checks (cheap, every request at kLight).
+  REQB_AUDIT_MSG(report, policy_->pages() == pages_.size(),
+                 "policy tracks " + std::to_string(policy_->pages()) +
+                     " pages, manager holds " + std::to_string(pages_.size()));
+  REQB_AUDIT_MSG(report, policy_->occupied_pages() >= policy_->pages(),
+                 "occupancy " + std::to_string(policy_->occupied_pages()) +
+                     " below page count " + std::to_string(policy_->pages()));
+  REQB_AUDIT_MSG(report, pages_.size() <= options_.capacity_pages,
+                 "resident " + std::to_string(pages_.size()) +
+                     " pages exceed capacity " +
+                     std::to_string(options_.capacity_pages));
+  REQB_AUDIT_MSG(report,
+                 metrics_.read_hits + metrics_.write_hits ==
+                     metrics_.page_hits,
+                 "hit counters disagree");
+  REQB_AUDIT(report, metrics_.page_hits <= metrics_.page_lookups);
+  REQB_AUDIT_MSG(report, metrics_.flushed_pages <= metrics_.evicted_pages,
+                 "flushed more dirty pages than were evicted");
+  if (depth < AuditLevel::kFull) return;
+
+  // Every resident entry must agree with the write oracle: a dirty page
+  // holds the newest version outright; a clean page was admitted from
+  // flash and every later write would have flipped it dirty in place.
+  for (const auto& [lpn, entry] : pages_) {
+    REQB_AUDIT_MSG(report, entry.version == expected_version(lpn),
+                   "page " + std::to_string(lpn) + " cached at version " +
+                       std::to_string(entry.version) + ", oracle says " +
+                       std::to_string(expected_version(lpn)) +
+                       (entry.dirty ? " (dirty)" : " (clean)"));
+  }
+
+  // Exact page-set equality: the policy tracks precisely the resident set
+  // (so the dirty set, a subset of residency, is fully covered by
+  // replacement bookkeeping).
+  std::size_t policy_pages = 0;
+  bool mismatch_logged = false;
+  const bool enumerable = policy_->enumerate_pages([&](Lpn lpn) {
+    ++policy_pages;
+    if (!pages_.contains(lpn) && !mismatch_logged) {
+      report.fail("policy page resident in manager",
+                  "policy tracks page " + std::to_string(lpn) +
+                      " the manager does not hold");
+      mismatch_logged = true;  // one witness is enough; sizes close the set
+    }
+  });
+  if (enumerable) {
+    REQB_AUDIT_MSG(report, policy_pages == pages_.size(),
+                   "policy enumerates " + std::to_string(policy_pages) +
+                       " pages, manager holds " +
+                       std::to_string(pages_.size()));
+  }
+
+  policy_->audit(report);
 }
 
 void CacheManager::finalize() {

@@ -22,6 +22,7 @@
 #include "cache/write_buffer.h"
 #include "ssd/ftl.h"
 #include "trace/io_request.h"
+#include "util/audit.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -100,6 +101,17 @@ class CacheManager {
 
   /// Clears the counters (cache contents stay). Used for warmup phases.
   void reset_metrics();
+
+  /// Deep invariant audit of the cache layer at the given depth:
+  ///   kLight — counter cross-checks (policy pages == resident pages,
+  ///            occupancy ≥ residency, residency ≤ capacity, metric sums);
+  ///   kFull  — additionally every resident entry against the write oracle,
+  ///            exact policy↔manager page-set equality, and the policy's
+  ///            own structural audit.
+  /// serve() runs this automatically at the active audit level after every
+  /// request (the mutation batch of this layer).
+  void audit(AuditReport& report,
+             AuditLevel depth = AuditLevel::kFull) const;
 
  private:
   struct PageEntry {

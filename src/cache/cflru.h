@@ -29,6 +29,8 @@ class CflruPolicy final : public WriteBufferPolicy {
     // Page node plus dirty flag.
     return nodes_.size() * 13;
   }
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
 
  private:
   struct Node {

@@ -53,4 +53,52 @@ std::size_t FabPolicy::group_size(Lpn block_id) const {
   return it == groups_.end() ? 0 : it->second.pages.size();
 }
 
+void FabPolicy::audit(AuditReport& report) const {
+  std::size_t pages = 0;
+  for (const auto& [block_id, group] : groups_) {
+    pages += group.pages.size();
+    REQB_AUDIT_MSG(report, !group.pages.empty(),
+                   "empty group for block " + std::to_string(block_id));
+    for (const Lpn lpn : group.pages) {
+      REQB_AUDIT_MSG(report, block_of(lpn) == block_id,
+                     "page " + std::to_string(lpn) + " filed under block " +
+                         std::to_string(block_id) + " but belongs to " +
+                         std::to_string(block_of(lpn)));
+    }
+    const auto ct = by_count_.find(group.pages.size());
+    REQB_AUDIT_MSG(report,
+                   ct != by_count_.end() && ct->second.contains(block_id),
+                   "block " + std::to_string(block_id) + " with " +
+                       std::to_string(group.pages.size()) +
+                       " pages missing from the size index");
+  }
+  REQB_AUDIT_MSG(report, pages == total_pages_,
+                 "groups hold " + std::to_string(pages) +
+                     " pages, counter says " + std::to_string(total_pages_));
+  std::size_t indexed = 0;
+  for (const auto& [count, blocks] : by_count_) {
+    REQB_AUDIT_MSG(report, count >= 1 && !blocks.empty(),
+                   "degenerate size-index class " + std::to_string(count));
+    indexed += blocks.size();
+    for (const Lpn block_id : blocks) {
+      const auto it = groups_.find(block_id);
+      REQB_AUDIT_MSG(report,
+                     it != groups_.end() && it->second.pages.size() == count,
+                     "size index lists block " + std::to_string(block_id) +
+                         " at count " + std::to_string(count));
+    }
+  }
+  REQB_AUDIT_MSG(report, indexed == groups_.size(),
+                 "size index covers " + std::to_string(indexed) +
+                     " blocks, group table holds " +
+                     std::to_string(groups_.size()));
+}
+
+bool FabPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
+  for (const auto& [block_id, group] : groups_) {
+    for (const Lpn lpn : group.pages) fn(lpn);
+  }
+  return true;
+}
+
 }  // namespace reqblock

@@ -32,6 +32,9 @@ class FabPolicy final : public WriteBufferPolicy {
   /// Cached page count of a logical block (tests).
   std::size_t group_size(Lpn block_id) const;
 
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+
  private:
   struct Group {
     std::vector<Lpn> pages;

@@ -25,4 +25,23 @@ VictimBatch FifoPolicy::select_victim() {
   return batch;
 }
 
+void FifoPolicy::audit(AuditReport& report) const {
+  REQB_AUDIT(report, list_.validate());
+  REQB_AUDIT_MSG(report, list_.size() == nodes_.size(),
+                 "list holds " + std::to_string(list_.size()) +
+                     " nodes, index holds " + std::to_string(nodes_.size()));
+  for (const auto& [lpn, node] : nodes_) {
+    REQB_AUDIT_MSG(report, node.lpn == lpn,
+                   "index key " + std::to_string(lpn) + " maps to node lpn " +
+                       std::to_string(node.lpn));
+    REQB_AUDIT_MSG(report, node.hook.linked(),
+                   "page " + std::to_string(lpn) + " indexed but unlinked");
+  }
+}
+
+bool FifoPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
+  for (const auto& [lpn, node] : nodes_) fn(lpn);
+  return true;
+}
+
 }  // namespace reqblock

@@ -17,6 +17,8 @@ class FifoPolicy final : public WriteBufferPolicy {
   VictimBatch select_victim() override;
   std::size_t pages() const override { return nodes_.size(); }
   std::size_t metadata_bytes() const override { return nodes_.size() * 12; }
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
 
  private:
   struct Node {

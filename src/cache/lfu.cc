@@ -48,4 +48,40 @@ std::uint64_t LfuPolicy::frequency_of(Lpn lpn) const {
   return it == index_.end() ? 0 : it->second.freq;
 }
 
+void LfuPolicy::audit(AuditReport& report) const {
+  std::size_t listed = 0;
+  for (const auto& [freq, lst] : by_freq_) {
+    REQB_AUDIT_MSG(report, !lst.empty(),
+                   "empty frequency class " + std::to_string(freq));
+    REQB_AUDIT_MSG(report, freq >= 1,
+                   "frequency class below 1: " + std::to_string(freq));
+    for (const Lpn lpn : lst) {
+      ++listed;
+      const auto it = index_.find(lpn);
+      if (!REQB_AUDIT_MSG(report, it != index_.end(),
+                          "page " + std::to_string(lpn) +
+                              " listed in class " + std::to_string(freq) +
+                              " but not indexed")) {
+        continue;
+      }
+      REQB_AUDIT_MSG(report, it->second.freq == freq,
+                     "page " + std::to_string(lpn) + " listed in class " +
+                         std::to_string(freq) + " but indexed at " +
+                         std::to_string(it->second.freq));
+      REQB_AUDIT_MSG(report, *it->second.pos == lpn,
+                     "page " + std::to_string(lpn) +
+                         " index iterator points at " +
+                         std::to_string(*it->second.pos));
+    }
+  }
+  REQB_AUDIT_MSG(report, listed == index_.size(),
+                 "classes list " + std::to_string(listed) +
+                     " pages, index holds " + std::to_string(index_.size()));
+}
+
+bool LfuPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
+  for (const auto& [lpn, entry] : index_) fn(lpn);
+  return true;
+}
+
 }  // namespace reqblock

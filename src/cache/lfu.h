@@ -26,6 +26,9 @@ class LfuPolicy final : public WriteBufferPolicy {
   /// Access count of a cached page (0 if untracked) — used by tests.
   std::uint64_t frequency_of(Lpn lpn) const;
 
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+
  private:
   struct Entry {
     std::uint64_t freq = 1;

@@ -19,6 +19,8 @@ class LruPolicy final : public WriteBufferPolicy {
   std::size_t metadata_bytes() const override {
     return nodes_.size() * kNodeBytes;  // paper Fig. 12: 12 B per page node
   }
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
 
  private:
   static constexpr std::size_t kNodeBytes = 12;

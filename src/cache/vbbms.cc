@@ -76,6 +76,70 @@ VictimBatch VbbmsPolicy::evict_sequential() {
   return batch;
 }
 
+void VbbmsPolicy::audit(AuditReport& report) const {
+  REQB_AUDIT(report, random_lru_.validate());
+  REQB_AUDIT(report, seq_fifo_.validate());
+  REQB_AUDIT_MSG(report, random_lru_.size() == random_vbs_.size(),
+                 "random LRU lists " + std::to_string(random_lru_.size()) +
+                     " vblocks, table holds " +
+                     std::to_string(random_vbs_.size()));
+  REQB_AUDIT_MSG(report, seq_fifo_.size() == seq_vbs_.size(),
+                 "sequential FIFO lists " + std::to_string(seq_fifo_.size()) +
+                     " vblocks, table holds " +
+                     std::to_string(seq_vbs_.size()));
+
+  const auto walk = [&](const std::unordered_map<std::uint64_t, VBlock>& vbs,
+                        std::uint32_t vb_pages, bool expect_seq,
+                        const char* region) {
+    std::size_t pages = 0;
+    for (const auto& [vb_id, vb] : vbs) {
+      pages += vb.pages.size();
+      REQB_AUDIT_MSG(report, vb.vb_id == vb_id,
+                     std::string(region) + " table key " +
+                         std::to_string(vb_id) + " holds vblock id " +
+                         std::to_string(vb.vb_id));
+      REQB_AUDIT_MSG(report, vb.hook.linked(),
+                     std::string(region) + " vblock " + std::to_string(vb_id) +
+                         " not on its list");
+      REQB_AUDIT_MSG(report, !vb.pages.empty(),
+                     std::string(region) + " vblock " + std::to_string(vb_id) +
+                         " is empty");
+      for (const Lpn lpn : vb.pages) {
+        REQB_AUDIT_MSG(report, lpn / vb_pages == vb_id,
+                       "page " + std::to_string(lpn) + " filed under " +
+                           region + " vblock " + std::to_string(vb_id));
+        const auto it = page_is_seq_.find(lpn);
+        REQB_AUDIT_MSG(report,
+                       it != page_is_seq_.end() && it->second == expect_seq,
+                       "page " + std::to_string(lpn) +
+                           " region flag disagrees with its " + region +
+                           " vblock");
+      }
+    }
+    return pages;
+  };
+  const std::size_t random_seen =
+      walk(random_vbs_, opt_.random_vb_pages, false, "random");
+  const std::size_t seq_seen =
+      walk(seq_vbs_, opt_.seq_vb_pages, true, "sequential");
+  REQB_AUDIT_MSG(report, random_seen == random_pages_,
+                 "random region holds " + std::to_string(random_seen) +
+                     " pages, counter says " + std::to_string(random_pages_));
+  REQB_AUDIT_MSG(report, seq_seen == seq_pages_,
+                 "sequential region holds " + std::to_string(seq_seen) +
+                     " pages, counter says " + std::to_string(seq_pages_));
+  REQB_AUDIT_MSG(report,
+                 page_is_seq_.size() == random_pages_ + seq_pages_,
+                 "region map tracks " + std::to_string(page_is_seq_.size()) +
+                     " pages, regions hold " +
+                     std::to_string(random_pages_ + seq_pages_));
+}
+
+bool VbbmsPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
+  for (const auto& [lpn, seq] : page_is_seq_) fn(lpn);
+  return true;
+}
+
 VictimBatch VbbmsPolicy::select_victim() {
   // Evict from the region that overflows its share the most; fall back to
   // whichever region actually holds pages.

@@ -42,6 +42,9 @@ class VbbmsPolicy final : public WriteBufferPolicy {
   std::size_t random_pages() const { return random_pages_; }
   std::size_t seq_pages() const { return seq_pages_; }
 
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+
  private:
   struct VBlock {
     std::uint64_t vb_id = 0;

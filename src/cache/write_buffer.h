@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "trace/io_request.h"
+#include "util/audit.h"
 #include "util/types.h"
 
 namespace reqblock {
@@ -69,6 +71,20 @@ class WriteBufferPolicy {
   /// model (LRU 12 B/page node, block schemes 24 B/block node, Req-block
   /// 32 B/request-block node).
   virtual std::size_t metadata_bytes() const = 0;
+
+  /// Deep structural self-check: appends every violated invariant (list ↔
+  /// index cross-consistency, counter sums, membership rules) to `report`.
+  /// O(tracked pages); called between operations, never mid-mutation.
+  virtual void audit(AuditReport& report) const { (void)report; }
+
+  /// Calls `fn` once per tracked page, in unspecified order. Returns false
+  /// when the policy cannot enumerate (the audit layer then skips the
+  /// manager↔policy page-set comparison). Every built-in policy supports
+  /// it.
+  virtual bool enumerate_pages(const std::function<void(Lpn)>& fn) const {
+    (void)fn;
+    return false;
+  }
 };
 
 }  // namespace reqblock

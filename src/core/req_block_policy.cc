@@ -1,6 +1,9 @@
 #include "core/req_block_policy.h"
 
+#include <algorithm>
 #include <limits>
+#include <sstream>
+#include <unordered_set>
 
 #include "util/check.h"
 
@@ -187,6 +190,153 @@ const ReqBlock* ReqBlockPolicy::block_of(Lpn lpn) const {
 
 const ReqBlock* ReqBlockPolicy::tail_of(ReqList list) const {
   return lists_[static_cast<std::size_t>(list)].tail();
+}
+
+const ReqBlock* ReqBlockPolicy::prev_in_list(const ReqBlock* blk) const {
+  return lists_[static_cast<std::size_t>(blk->level)].prev(
+      const_cast<ReqBlock*>(blk));
+}
+
+ReqBlock* ReqBlockPolicy::mutable_block_for_tests(Lpn lpn) {
+  const auto it = page_to_block_.find(lpn);
+  return it == page_to_block_.end() ? nullptr : it->second;
+}
+
+bool ReqBlockPolicy::enumerate_pages(
+    const std::function<void(Lpn)>& fn) const {
+  for (const auto& [lpn, blk] : page_to_block_) fn(lpn);
+  return true;
+}
+
+std::string ReqBlockPolicy::dump_structure() const {
+  std::ostringstream os;
+  os << "Req-block state: tick=" << tick_ << " delta=" << opt_.delta
+     << " blocks=" << blocks_.size() << " pages=" << page_to_block_.size()
+     << " guards(insert=" << guard_insert_block_
+     << ", split=" << guard_split_block_ << ", req=" << current_req_id_
+     << ")\n";
+  const ReqList order[] = {ReqList::kIRL, ReqList::kSRL, ReqList::kDRL};
+  for (const ReqList level : order) {
+    os << "  " << to_string(level) << " (head→tail):";
+    lists_[static_cast<std::size_t>(level)].for_each([&](ReqBlock* b) {
+      os << " [id=" << b->block_id << " req=" << b->req_id
+         << " pages=" << b->page_count() << " acc=" << b->access_cnt
+         << " t=" << b->insert_tick << " origin=" << b->origin_id << "]";
+    });
+    os << "\n";
+  }
+  return os.str();
+}
+
+void ReqBlockPolicy::audit(AuditReport& report) const {
+  report.attach_dump([this] { return dump_structure(); });
+  REQB_AUDIT(report, opt_.delta >= 1);
+
+  // Pass 1 — the three lists: structure, level tags, and that no block
+  // appears on two lists (or twice on one).
+  std::unordered_set<std::uint64_t> on_lists;
+  std::size_t listed = 0;
+  const ReqList order[] = {ReqList::kIRL, ReqList::kSRL, ReqList::kDRL};
+  for (const ReqList level : order) {
+    const BlockList& list = lists_[static_cast<std::size_t>(level)];
+    REQB_AUDIT_MSG(report, list.validate(),
+                   std::string("corrupt ") + to_string(level) + " chain");
+    list.for_each([&](ReqBlock* b) {
+      ++listed;
+      REQB_AUDIT_MSG(report, b->level == level,
+                     "block " + std::to_string(b->block_id) + " on " +
+                         to_string(level) + " but tagged " +
+                         to_string(b->level));
+      REQB_AUDIT_MSG(report, on_lists.insert(b->block_id).second,
+                     "block " + std::to_string(b->block_id) +
+                         " linked on two lists");
+      const auto it = blocks_.find(b->block_id);
+      REQB_AUDIT_MSG(report, it != blocks_.end() && it->second.get() == b,
+                     "block " + std::to_string(b->block_id) +
+                         " linked but not owned by the block table");
+    });
+  }
+  REQB_AUDIT_MSG(report, listed == blocks_.size(),
+                 "lists link " + std::to_string(listed) +
+                     " blocks, table owns " + std::to_string(blocks_.size()));
+
+  // Pass 2 — every owned block: page-table cross-consistency, Eq. 1
+  // counter bounds, δ-membership per list, origin backpointers.
+  std::size_t block_pages = 0;
+  for (const auto& [id, owned] : blocks_) {
+    const ReqBlock* b = owned.get();
+    const std::string tag = "block " + std::to_string(id);
+    REQB_AUDIT_MSG(report, b->block_id == id,
+                   tag + " keyed under " + std::to_string(id) + " but holds " +
+                       std::to_string(b->block_id));
+    REQB_AUDIT_MSG(report, id < next_block_id_,
+                   tag + " at/above the id allocator " +
+                       std::to_string(next_block_id_));
+    REQB_AUDIT_MSG(report, !b->pages.empty(), tag + " is empty yet live");
+    REQB_AUDIT_MSG(report, b->insert_tick <= tick_,
+                   tag + " inserted at tick " +
+                       std::to_string(b->insert_tick) + " > now " +
+                       std::to_string(tick_));
+    REQB_AUDIT_MSG(report, b->access_cnt >= 1,
+                   tag + " has Eq.1 access count 0");
+    switch (b->level) {
+      case ReqList::kIRL:
+        REQB_AUDIT_MSG(report, b->origin_id == 0,
+                       tag + " in IRL with split origin " +
+                           std::to_string(b->origin_id));
+        REQB_AUDIT_MSG(report, b->access_cnt == 1,
+                       tag + " in IRL with access count " +
+                           std::to_string(b->access_cnt) +
+                           " (hits must promote or split)");
+        break;
+      case ReqList::kSRL:
+        // δ-membership: only small blocks are promoted and SRL blocks
+        // never grow, so the bound must still hold.
+        REQB_AUDIT_MSG(report, b->page_count() <= opt_.delta,
+                       tag + " in SRL with " +
+                           std::to_string(b->page_count()) +
+                           " pages > delta " + std::to_string(opt_.delta));
+        REQB_AUDIT_MSG(report, b->access_cnt >= 2,
+                       tag + " in SRL with access count " +
+                           std::to_string(b->access_cnt) +
+                           " (promotion increments it)");
+        break;
+      case ReqList::kDRL:
+        REQB_AUDIT_MSG(report, b->origin_id != 0,
+                       tag + " in DRL without a split origin");
+        REQB_AUDIT_MSG(report, b->access_cnt == 1,
+                       tag + " in DRL with access count " +
+                           std::to_string(b->access_cnt) +
+                           " (hits must promote or split)");
+        break;
+    }
+    if (b->origin_id != 0) {
+      REQB_AUDIT_MSG(report, b->origin_id < b->block_id,
+                     tag + " split from origin " +
+                         std::to_string(b->origin_id) +
+                         " created after it");
+    }
+    std::vector<Lpn> sorted = b->pages;
+    std::sort(sorted.begin(), sorted.end());
+    REQB_AUDIT_MSG(
+        report,
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        tag + " holds a duplicate page");
+    block_pages += b->pages.size();
+    for (const Lpn lpn : b->pages) {
+      const auto pit = page_to_block_.find(lpn);
+      REQB_AUDIT_MSG(report,
+                     pit != page_to_block_.end() && pit->second == b,
+                     tag + " holds page " + std::to_string(lpn) +
+                         " but the page table disagrees");
+    }
+  }
+  // Combined with the per-page check above, size equality makes the page
+  // table and the union of block pages the *same* set.
+  REQB_AUDIT_MSG(report, block_pages == page_to_block_.size(),
+                 "blocks hold " + std::to_string(block_pages) +
+                     " pages, page table tracks " +
+                     std::to_string(page_to_block_.size()));
 }
 
 }  // namespace reqblock

@@ -74,6 +74,27 @@ class ReqBlockPolicy final : public WriteBufferPolicy {
   /// List tails as the eviction candidates the policy would compare.
   const ReqBlock* tail_of(ReqList list) const;
   std::size_t block_count() const { return blocks_.size(); }
+  /// Whether the block is shielded from eviction because it belongs to the
+  /// in-flight request. Exposed so the brute-force reference victim
+  /// selector can replicate the eviction scan exactly.
+  bool is_guarded(const ReqBlock* blk) const { return guarded(blk); }
+  /// The neighbour of `blk` toward the head of its list (nullptr at the
+  /// head) — the direction the victim scan walks past guarded blocks.
+  const ReqBlock* prev_in_list(const ReqBlock* blk) const;
+
+  // --- Invariant audit ---------------------------------------------------
+  /// Deep structural self-check (paper §3 invariants): three-level list ↔
+  /// page-table cross-consistency, Eq. 1 counter bounds, per-list
+  /// δ-membership rules, split-origin backpointer integrity, and
+  /// no-block-on-two-lists. O(blocks + pages).
+  void audit(AuditReport& report) const override;
+  bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+  /// Full structural dump (lists, blocks, guards) attached to failed
+  /// audits.
+  std::string dump_structure() const;
+  /// Test-only: mutable access to the block holding `lpn`, so negative
+  /// tests can corrupt one field and assert the audit reports it.
+  ReqBlock* mutable_block_for_tests(Lpn lpn);
 
  private:
   using BlockList = IntrusiveList<ReqBlock, &ReqBlock::hook>;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/req_block_policy.h"
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -83,6 +84,10 @@ RunResult Simulator::run(TraceSource& trace) {
     }
   }
   cache.finalize();
+  // Per-request cache audits run inside CacheManager::serve; the deep
+  // device audit is O(mapped pages), so it runs once per replay here.
+  run_audit("Ftl (end of run)", AuditLevel::kFull,
+            [&](AuditReport& r) { ftl.audit(r); });
 
   result.cache = cache.metrics();
   result.flash = ftl.metrics();

@@ -216,4 +216,78 @@ std::uint64_t FlashArray::valid_page_count(std::uint32_t plane) const {
   return planes_[plane].valid_pages;
 }
 
+void FlashArray::audit(AuditReport& report) const {
+  for (std::uint32_t p = 0; p < planes_.size(); ++p) {
+    const Plane& pl = planes_[p];
+    const std::string plane_tag = "plane " + std::to_string(p);
+    REQB_AUDIT_MSG(report,
+                   pl.active == kNoBlock || pl.active < pl.blocks.size(),
+                   plane_tag + " active block index out of range");
+
+    std::vector<bool> on_free_list(pl.blocks.size(), false);
+    for (const std::uint32_t b : pl.free_list) {
+      if (!REQB_AUDIT_MSG(report, b < pl.blocks.size(),
+                          plane_tag + " free list holds invalid block " +
+                              std::to_string(b))) {
+        continue;
+      }
+      REQB_AUDIT_MSG(report, !on_free_list[b],
+                     plane_tag + " free list holds block " +
+                         std::to_string(b) + " twice");
+      on_free_list[b] = true;
+      REQB_AUDIT_MSG(report, b != pl.active,
+                     plane_tag + " active block " + std::to_string(b) +
+                         " is on the free list");
+      const Block& blk = pl.blocks[b];
+      REQB_AUDIT_MSG(report,
+                     blk.write_ptr == 0 && blk.valid_count == 0 &&
+                         blk.invalid_count == 0,
+                     plane_tag + " free block " + std::to_string(b) +
+                         " is not empty");
+    }
+
+    std::uint64_t plane_valid = 0;
+    for (std::uint32_t b = 0; b < pl.blocks.size(); ++b) {
+      const Block& blk = pl.blocks[b];
+      const std::string tag =
+          plane_tag + " block " + std::to_string(b);
+      REQB_AUDIT_MSG(report, blk.write_ptr <= cfg_.pages_per_block,
+                     tag + " write pointer past the block end");
+      REQB_AUDIT_MSG(report,
+                     blk.valid_count + blk.invalid_count == blk.write_ptr,
+                     tag + " counters " + std::to_string(blk.valid_count) +
+                         "+" + std::to_string(blk.invalid_count) +
+                         " disagree with write pointer " +
+                         std::to_string(blk.write_ptr));
+      plane_valid += blk.valid_count;
+      if (!blk.states) {
+        REQB_AUDIT_MSG(report, blk.write_ptr == 0 && blk.valid_count == 0,
+                       tag + " has pages but no materialized storage");
+        continue;
+      }
+      std::uint32_t valid = 0, invalid = 0;
+      for (std::uint32_t page = 0; page < cfg_.pages_per_block; ++page) {
+        const PageState s = blk.states[page];
+        if (s == PageState::kValid) ++valid;
+        if (s == PageState::kInvalid) ++invalid;
+        REQB_AUDIT_MSG(report,
+                       page < blk.write_ptr ? s != PageState::kFree
+                                            : s == PageState::kFree,
+                       tag + " page " + std::to_string(page) +
+                           " state contradicts the write pointer");
+      }
+      REQB_AUDIT_MSG(report,
+                     valid == blk.valid_count && invalid == blk.invalid_count,
+                     tag + " states count " + std::to_string(valid) + "v/" +
+                         std::to_string(invalid) + "i, counters say " +
+                         std::to_string(blk.valid_count) + "v/" +
+                         std::to_string(blk.invalid_count) + "i");
+    }
+    REQB_AUDIT_MSG(report, plane_valid == pl.valid_pages,
+                   plane_tag + " blocks hold " + std::to_string(plane_valid) +
+                       " valid pages, counter says " +
+                       std::to_string(pl.valid_pages));
+  }
+}
+
 }  // namespace reqblock

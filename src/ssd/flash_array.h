@@ -14,6 +14,7 @@
 
 #include "ssd/address.h"
 #include "ssd/config.h"
+#include "util/audit.h"
 #include "util/types.h"
 
 namespace reqblock {
@@ -70,6 +71,12 @@ class FlashArray {
 
   const SsdConfig& config() const { return cfg_; }
   const AddressMap& address_map() const { return amap_; }
+
+  /// Deep invariant audit: per-block page-state counts vs the valid /
+  /// invalid counters, per-plane valid-page sums, free-list uniqueness and
+  /// emptiness of free blocks, and active-block bookkeeping. O(physical
+  /// pages with storage materialized).
+  void audit(AuditReport& report) const;
 
  private:
   struct Block {

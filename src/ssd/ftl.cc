@@ -1,6 +1,7 @@
 #include "ssd/ftl.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
 
@@ -126,6 +127,50 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
 
 SimTime Ftl::program_page(Lpn lpn, std::uint64_t version, SimTime issue) {
   return program_to_plane(next_plane_rr(), lpn, version, issue);
+}
+
+void Ftl::audit(AuditReport& report) const {
+  // L2P ↔ P2L roundtrip: every mapping must land on a valid physical page
+  // that names this very LPN, and must carry a version entry.
+  for (const auto& [lpn, ppn] : l2p_) {
+    const std::string tag = "lpn " + std::to_string(lpn);
+    if (!REQB_AUDIT_MSG(report, array_.state(ppn) == PageState::kValid,
+                        tag + " maps to ppn " + std::to_string(ppn) +
+                            " which is not valid")) {
+      continue;
+    }
+    REQB_AUDIT_MSG(report, array_.lpn_at(ppn) == lpn,
+                   tag + " maps to ppn " + std::to_string(ppn) +
+                       " which claims lpn " +
+                       std::to_string(array_.lpn_at(ppn)));
+    REQB_AUDIT_MSG(report, versions_.contains(lpn),
+                   tag + " mapped without a version record");
+  }
+
+  // Valid-page accounting: the flash array must hold exactly one valid
+  // physical page per mapping (GC moves swap mappings atomically between
+  // host operations).
+  std::uint64_t valid_total = 0;
+  for (std::uint32_t p = 0; p < cfg_.total_planes(); ++p) {
+    valid_total += array_.valid_page_count(p);
+  }
+  REQB_AUDIT_MSG(report, valid_total == l2p_.size(),
+                 "flash holds " + std::to_string(valid_total) +
+                     " valid pages, mapping table holds " +
+                     std::to_string(l2p_.size()));
+
+  // FCFS timelines only ever move forward.
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    REQB_AUDIT_MSG(report, channels_[c].consistent(),
+                   "channel " + std::to_string(c) +
+                       " timeline not monotonic");
+  }
+  for (std::uint32_t c = 0; c < chips_.size(); ++c) {
+    REQB_AUDIT_MSG(report, chips_[c].consistent(),
+                   "chip " + std::to_string(c) + " timeline not monotonic");
+  }
+
+  array_.audit(report);
 }
 
 SimTime Ftl::program_batch(std::span<const FlushPage> pages, SimTime issue,

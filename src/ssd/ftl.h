@@ -20,6 +20,7 @@
 #include "ssd/config.h"
 #include "ssd/flash_array.h"
 #include "ssd/timeline.h"
+#include "util/audit.h"
 #include "util/types.h"
 
 namespace reqblock {
@@ -100,6 +101,12 @@ class Ftl {
   SimTime chip_busy(std::uint32_t chip) const {
     return chips_[chip].busy_time();
   }
+
+  /// Deep invariant audit: L2P↔P2L roundtrip for every mapping, total
+  /// valid-page sums against the mapping table, version coverage, resource
+  /// timeline monotonicity, and the flash array's own audit. O(mapped
+  /// pages + physical pages).
+  void audit(AuditReport& report) const;
 
  private:
   /// Next plane in channel-major round-robin (consecutive pages land on

@@ -36,6 +36,14 @@ class ResourceTimeline {
     busy_time_ = 0;
   }
 
+  /// Monotonicity invariant, checked by the FTL audit: reservations only
+  /// push next_free_ forward, and every acquire grows it by at least the
+  /// reserved duration, so the accumulated busy time can never exceed the
+  /// last completion instant.
+  bool consistent() const {
+    return next_free_ >= 0 && busy_time_ >= 0 && busy_time_ <= next_free_;
+  }
+
  private:
   SimTime next_free_ = 0;
   SimTime busy_time_ = 0;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -13,10 +14,24 @@ namespace reqblock {
 namespace {
 // MSR timestamps are Windows FILETIME: 100 ns ticks.
 constexpr std::int64_t kTicksToNs = 100;
+
+// Tick → ns without signed overflow: real FILETIME stamps (~1.28e17 ticks
+// for a 2007 trace) exceed int64 nanoseconds, which used to make the
+// multiplication undefined behaviour (caught by UBSan). Absolute times
+// past the representable range saturate; exact arrivals come from
+// rebasing in ticks first.
+SimTime ticks_to_ns_saturating(std::uint64_t ticks) {
+  constexpr std::uint64_t kMaxTicks =
+      static_cast<std::uint64_t>(std::numeric_limits<SimTime>::max()) /
+      static_cast<std::uint64_t>(kTicksToNs);
+  if (ticks > kMaxTicks) return std::numeric_limits<SimTime>::max();
+  return static_cast<SimTime>(ticks) * kTicksToNs;
+}
 }  // namespace
 
 std::optional<IoRequest> parse_msr_line(std::string_view line,
-                                        const MsrParseOptions& opts) {
+                                        const MsrParseOptions& opts,
+                                        std::uint64_t* raw_ticks) {
   line = trim(line);
   if (line.empty() || line.front() == '#') return std::nullopt;
   const auto fields = split(line, ',');
@@ -44,7 +59,8 @@ std::optional<IoRequest> parse_msr_line(std::string_view line,
   const Lpn last = (end_byte - 1) / page;
 
   IoRequest req;
-  req.arrival = static_cast<SimTime>(*ts) * kTicksToNs;
+  if (raw_ticks != nullptr) *raw_ticks = *ts;
+  req.arrival = ticks_to_ns_saturating(*ts);
   req.type = type;
   req.lpn = first;
   req.pages = static_cast<std::uint32_t>(last - first + 1);
@@ -56,9 +72,11 @@ std::vector<IoRequest> parse_msr_stream(std::istream& in,
   std::vector<IoRequest> out;
   std::string line;
   std::uint64_t id = 0;
-  SimTime base = -1;
+  bool have_base = false;
+  std::uint64_t base_ticks = 0;
   while (std::getline(in, line)) {
-    auto req = parse_msr_line(line, opts);
+    std::uint64_t ticks = 0;
+    auto req = parse_msr_line(line, opts, &ticks);
     if (!req) {
       if (trim(line).empty()) continue;
       if (!opts.skip_malformed) {
@@ -67,8 +85,15 @@ std::vector<IoRequest> parse_msr_stream(std::istream& in,
       continue;
     }
     if (opts.rebase_time) {
-      if (base < 0) base = req->arrival;
-      req->arrival -= base;
+      // Rebase in the tick domain so the ns conversion never overflows
+      // for genuine FILETIME stamps. Traces are time-ordered; clamp any
+      // stray out-of-order stamp to the base rather than wrapping.
+      if (!have_base) {
+        have_base = true;
+        base_ticks = ticks;
+      }
+      req->arrival = ticks_to_ns_saturating(
+          ticks >= base_ticks ? ticks - base_ticks : 0);
     }
     req->id = id++;
     out.push_back(*req);

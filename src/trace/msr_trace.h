@@ -32,11 +32,21 @@ struct MsrParseOptions {
   std::uint64_t max_requests = 0;
 };
 
-/// Parses a single MSR CSV line; nullopt if malformed.
+/// Parses a single MSR CSV line; nullopt if malformed. Arrival is the
+/// timestamp converted to nanoseconds, saturated to the SimTime range —
+/// real FILETIME stamps (100 ns ticks since 1601) overflow a signed 64-bit
+/// nanosecond count, so absolute times from raw traces saturate; stream
+/// parsing rebases in the tick domain first (see parse_msr_stream) and is
+/// therefore exact. `raw_ticks`, when non-null, receives the unconverted
+/// timestamp field.
 std::optional<IoRequest> parse_msr_line(std::string_view line,
-                                        const MsrParseOptions& opts);
+                                        const MsrParseOptions& opts,
+                                        std::uint64_t* raw_ticks = nullptr);
 
-/// Parses a whole stream. Timestamps are converted from 100 ns ticks to ns.
+/// Parses a whole stream. Timestamps are converted from 100 ns ticks to
+/// ns; with rebase_time (the default) the first timestamp is subtracted in
+/// the tick domain *before* the conversion, so genuine FILETIME stamps
+/// never overflow.
 std::vector<IoRequest> parse_msr_stream(std::istream& in,
                                         const MsrParseOptions& opts);
 

@@ -1,0 +1,68 @@
+#include "util/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace reqblock {
+
+namespace {
+
+AuditLevel clamp_to_compiled(AuditLevel level) {
+  if (level < AuditLevel::kOff) return AuditLevel::kOff;
+  return level > kAuditCompiledMax ? kAuditCompiledMax : level;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(clamp_to_compiled(
+      parse_audit_level(std::getenv("REQBLOCK_AUDIT") != nullptr
+                            ? std::getenv("REQBLOCK_AUDIT")
+                            : "",
+                        AuditLevel::kLight)))};
+  return level;
+}
+
+}  // namespace
+
+AuditLevel parse_audit_level(std::string_view text, AuditLevel fallback) {
+  if (text == "off" || text == "0" || text == "none") return AuditLevel::kOff;
+  if (text == "light" || text == "1") return AuditLevel::kLight;
+  if (text == "full" || text == "2" || text == "on") return AuditLevel::kFull;
+  return fallback;
+}
+
+AuditLevel audit_level() {
+  return static_cast<AuditLevel>(
+      level_storage().load(std::memory_order_relaxed));
+}
+
+AuditLevel set_audit_level(AuditLevel level) {
+  return static_cast<AuditLevel>(level_storage().exchange(
+      static_cast<int>(clamp_to_compiled(level)), std::memory_order_relaxed));
+}
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  os << "Audit of " << subject_ << ": ";
+  if (ok()) {
+    os << "ok";
+    return os.str();
+  }
+  os << failures_.size() << " invariant violation"
+     << (failures_.size() == 1 ? "" : "s");
+  for (const AuditFailure& f : failures_) {
+    os << "\n  * " << f.invariant;
+    if (!f.detail.empty()) os << " — " << f.detail;
+  }
+  if (dump_) {
+    os << "\n--- structural dump ---\n" << dump_();
+  }
+  return os.str();
+}
+
+void AuditReport::throw_if_failed() const {
+  if (!ok()) throw std::logic_error(to_string());
+}
+
+}  // namespace reqblock

@@ -1,8 +1,14 @@
 // Lightweight invariant checking used throughout the library.
 //
 // REQB_CHECK is always on (simulation correctness beats the tiny branch
-// cost); REQB_DCHECK compiles out in NDEBUG builds and is meant for
-// hot-path invariants exercised heavily by the test suite.
+// cost). REQB_DCHECK is for hot-path invariants exercised heavily by the
+// test suite; its presence is controlled by the REQBLOCK_DCHECKS macro
+// (the CMake option of the same name), NOT by NDEBUG alone: the default
+// RelWithDebInfo build defines NDEBUG, which used to silently compile the
+// "heavily exercised" debug checks out of every default test run. The
+// build system now always defines REQBLOCK_DCHECKS explicitly (ON by
+// default); NDEBUG is only consulted as a fallback for out-of-tree
+// compiles that include these headers without our CMake.
 #pragma once
 
 #include <sstream>
@@ -33,10 +39,25 @@ namespace reqblock::detail {
       ::reqblock::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
   } while (0)
 
+#if !defined(REQBLOCK_DCHECKS)
 #ifdef NDEBUG
+#define REQBLOCK_DCHECKS 0
+#else
+#define REQBLOCK_DCHECKS 1
+#endif
+#endif
+
+#if REQBLOCK_DCHECKS
+#define REQB_DCHECK(expr) REQB_CHECK(expr)
+#else
 #define REQB_DCHECK(expr) \
   do {                    \
   } while (0)
-#else
-#define REQB_DCHECK(expr) REQB_CHECK(expr)
 #endif
+
+namespace reqblock {
+/// Whether REQB_DCHECK expands to a live check in this translation unit.
+/// The test suite asserts this is true so the debug invariants can never
+/// silently fall out of the default test build again.
+inline constexpr bool kDchecksEnabled = REQBLOCK_DCHECKS != 0;
+}  // namespace reqblock

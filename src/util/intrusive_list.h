@@ -110,6 +110,23 @@ class IntrusiveList {
     }
   }
 
+  /// Deep structural check used by the audit layer: walks the whole chain
+  /// verifying link symmetry (h->next->prev == h) and that the node count
+  /// matches size_ (a mismatch is the signature of erasing a node through
+  /// the wrong list). Bounded by size_ + 1 hops so a corrupted cycle cannot
+  /// hang the audit. Returns false on any violation.
+  bool validate() const {
+    std::size_t walked = 0;
+    const ListHook* h = &sentinel_;
+    do {
+      if (h->next == nullptr || h->prev == nullptr) return false;
+      if (h->next->prev != h || h->prev->next != h) return false;
+      h = h->next;
+      if (++walked > size_ + 1) return false;
+    } while (h != &sentinel_);
+    return walked == size_ + 1;
+  }
+
  private:
   static ListHook* hook(T* item) { return &(item->*Hook); }
   static const ListHook* hookc(const T* item) { return &(item->*Hook); }

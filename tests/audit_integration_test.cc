@@ -1,0 +1,139 @@
+// Integration sweep: every registered policy replays a randomized mixed
+// read/write workload through the full CacheManager + FTL stack with
+// run-time audits forced to "full", so CacheManager::serve deep-audits the
+// cache layer (and the policy structure beneath it) after every request
+// and throws on the first violation. A GC-pressure variant on the micro
+// SSD drives the flash array through many erase cycles and then deep-
+// audits the device, and the simulator end-to-end path is covered too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/policy_factory.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/vector_source.h"
+#include "util/audit.h"
+#include "util/rng.h"
+
+namespace reqblock::testing {
+namespace {
+
+class AuditLevelGuard {
+ public:
+  explicit AuditLevelGuard(AuditLevel level)
+      : previous_(set_audit_level(level)) {}
+  ~AuditLevelGuard() { set_audit_level(previous_); }
+
+ private:
+  AuditLevel previous_;
+};
+
+class PolicyAuditSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyAuditSweep, RandomWorkloadStaysAuditCleanUnderFullAudits) {
+  AuditLevelGuard audits(AuditLevel::kFull);
+  Harness h(policy_config(GetParam(), 128));
+  Rng rng(0xA0D17 + std::hash<std::string>{}(GetParam()));
+
+  SimTime at = 0;
+  for (std::uint64_t id = 1; id <= 1'500; ++id) {
+    const Lpn start = rng.next_below(768);
+    const std::uint32_t len =
+        1 + static_cast<std::uint32_t>(rng.next_below(10));
+    const bool is_read = rng.next_below(4) == 0;
+    const IoRequest req = is_read ? read_req(id, start, len, at)
+                                  : write_req(id, start, len, at);
+    at += 3;
+    // serve() audits the whole cache layer after the request and throws a
+    // std::logic_error carrying the report on any violated invariant.
+    ASSERT_NO_THROW(h.serve(req)) << GetParam() << " request " << id;
+  }
+  EXPECT_GT(h.cache->metrics().evictions, 0u) << GetParam();
+
+  AuditReport device("Ftl after " + GetParam());
+  h.ftl.audit(device);
+  EXPECT_TRUE(device.ok()) << device.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyAuditSweep,
+                         ::testing::ValuesIn(known_policy_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DeviceAudit, StaysCleanUnderGcPressure) {
+  AuditLevelGuard audits(AuditLevel::kFull);
+  // Micro SSD: 8-page blocks, few blocks per plane, so overwriting a small
+  // working set forces many GC runs and erase cycles.
+  Harness h(policy_config("reqblock", 32, /*pages_per_block=*/8),
+            micro_ssd());
+  Rng rng(0x6C6C);
+
+  SimTime at = 0;
+  for (std::uint64_t id = 1; id <= 3'000; ++id) {
+    const Lpn start = rng.next_below(256);
+    const std::uint32_t len =
+        1 + static_cast<std::uint32_t>(rng.next_below(6));
+    ASSERT_NO_THROW(h.serve(write_req(id, start, len, at)));
+    at += 2;
+  }
+  EXPECT_GT(h.ftl.metrics().gc_runs, 0u) << "workload never triggered GC";
+  EXPECT_GT(h.ftl.metrics().erases, 0u);
+
+  AuditReport report("Ftl under GC pressure");
+  h.ftl.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(DeviceAudit, PreexistingRangesAuditClean) {
+  AuditLevelGuard audits(AuditLevel::kFull);
+  Ftl ftl(tiny_ssd());
+  ftl.add_preexisting_range(0, 4096);
+  // Mix pre-conditioned reads with fresh writes that take over mappings.
+  SimTime at = 0;
+  for (Lpn lpn = 0; lpn < 512; ++lpn) {
+    ftl.read_page(lpn, at++);
+    if (lpn % 3 == 0) ftl.program_page(lpn, /*version=*/lpn + 1, at++);
+  }
+  AuditReport report("Ftl with pre-existing data");
+  ftl.audit(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SimulatorAudit, EndToEndRunAuditsDeviceAtFullLevel) {
+  AuditLevelGuard audits(AuditLevel::kFull);
+  SimOptions opts;
+  opts.ssd = tiny_ssd();
+  opts.policy = policy_config("reqblock", 256);
+  opts.cache.capacity_pages = opts.policy.capacity_pages;
+
+  std::vector<IoRequest> reqs;
+  Rng rng(0x51D);
+  SimTime at = 0;
+  for (std::uint64_t id = 1; id <= 800; ++id) {
+    const Lpn start = rng.next_below(2048);
+    const std::uint32_t len =
+        1 + static_cast<std::uint32_t>(rng.next_below(8));
+    reqs.push_back(rng.next_below(3) == 0 ? read_req(id, start, len, at)
+                                          : write_req(id, start, len, at));
+    at += 4;
+  }
+  VectorTraceSource trace(reqs, "audit-e2e");
+  Simulator sim(opts);
+  // The run itself audits the device at the end (and the cache after every
+  // request); completing without a throw is the assertion.
+  RunResult result;
+  ASSERT_NO_THROW(result = sim.run(trace));
+  EXPECT_EQ(result.requests, reqs.size());
+}
+
+}  // namespace
+}  // namespace reqblock::testing

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 namespace reqblock {
@@ -115,6 +116,42 @@ TEST(MsrTraceTest, RoundTripThroughWriter) {
 TEST(MsrTraceTest, MissingFileThrows) {
   EXPECT_THROW(parse_msr_file("/nonexistent/trace.csv", opts()),
                std::runtime_error);
+}
+
+// Regression: genuine FILETIME stamps (~1.28e17 ticks) used to overflow
+// the int64 tick→ns multiplication (undefined behaviour, caught by
+// UBSan). Standalone line parsing now saturates instead of wrapping.
+TEST(MsrTraceTest, RealFiletimeTimestampSaturatesInsteadOfOverflowing) {
+  const auto r = parse_msr_line(
+      "128166372003061629,hm,1,Read,8192,4096,432", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->arrival, std::numeric_limits<SimTime>::max());
+  EXPECT_GE(r->arrival, 0);
+}
+
+// Regression: stream parsing must rebase in the tick domain *before* the
+// ns conversion, so real-trace arrival deltas are exact even though the
+// absolute stamps are unrepresentable in int64 nanoseconds.
+TEST(MsrTraceTest, StreamRebasesRealFiletimeStampsExactly) {
+  std::istringstream in(
+      "128166372003061629,hm,1,Read,0,4096,0\n"
+      "128166372003062629,hm,1,Write,4096,4096,0\n");
+  const auto reqs = parse_msr_stream(in, opts());
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].arrival, 0);
+  EXPECT_EQ(reqs[1].arrival, 100000);  // 1000 ticks * 100 ns
+}
+
+// Out-of-order stamps earlier than the base clamp to zero rather than
+// wrapping around the unsigned tick subtraction.
+TEST(MsrTraceTest, PreBaseTimestampClampsToZero) {
+  std::istringstream in(
+      "2000,h,0,Read,0,4096,0\n"
+      "1000,h,0,Read,0,4096,0\n");
+  const auto reqs = parse_msr_stream(in, opts());
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].arrival, 0);
+  EXPECT_EQ(reqs[1].arrival, 0);
 }
 
 }  // namespace
