@@ -44,6 +44,7 @@ void CacheManager::retire_entry(Lpn /*lpn*/, const PageEntry& entry) {
 }
 
 SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
+  const ScopedTimer timer(profiler_, Profiler::Section::kEvictFlush);
   VictimBatch victim = policy_->select_victim();
   if (victim.empty()) {
     evicted = false;
@@ -82,8 +83,20 @@ SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
   // pushes to flash in one batch (victim pages + BPLRU padding).
   metrics_.eviction_batch.record(flush.size());
 
-  if (flush.empty()) return now;  // all-clean victim: space is free at once
-  return ftl_.program_batch(flush, padding_done, victim.colocate);
+  const SimTime done = flush.empty()
+                           ? now  // all-clean victim: space is free at once
+                           : ftl_.program_batch(flush, padding_done,
+                                                victim.colocate);
+  if (trace_ != nullptr) {
+    const Lpn first = victim.pages.empty() ? 0 : victim.pages.front();
+    trace_->emit({now, done - now, first, victim.pages.size(),
+                  EventKind::kCacheEvict, kTrackManager, 0});
+    if (!flush.empty()) {
+      trace_->emit({now, done - now, first, flush.size(),
+                    EventKind::kCacheFlush, kTrackManager, 0});
+    }
+  }
+  return done;
 }
 
 SimTime CacheManager::serve_write(const IoRequest& req) {
@@ -108,9 +121,17 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
       it->second.version = version;
       it->second.dirty = true;
       it->second.reused = true;
+      if (trace_ != nullptr) {
+        trace_->emit({issue, 0, lpn, 1, EventKind::kCacheHit,
+                      kTrackManager, 0});
+      }
       policy_->on_hit(lpn, req, /*is_write=*/true);
       done = std::max(done, issue + ftl_.config().cache_access_latency);
       continue;
+    }
+    if (trace_ != nullptr) {
+      trace_->emit({issue, 0, lpn, 1, EventKind::kCacheMiss,
+                    kTrackManager, 0});
     }
 
     // Miss: make room, then admit. Occupancy is measured at the policy's
@@ -131,6 +152,10 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
     }
     if (!space_ok) {
       ++metrics_.bypass_pages;
+      if (trace_ != nullptr) {
+        trace_->emit({issue, 0, lpn, 1, EventKind::kCacheBypass,
+                      kTrackManager, 0});
+      }
       done = std::max(done, ftl_.program_page(lpn, version, issue));
       continue;
     }
@@ -141,6 +166,10 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
     pages_.emplace(lpn, entry);
     ++metrics_.inserts;
     ++metrics_.inserts_by_req_size[size_bucket(req.pages)];
+    if (trace_ != nullptr) {
+      trace_->emit({admit_at, 0, lpn, 1, EventKind::kCacheInsert,
+                    kTrackManager, 0});
+    }
     policy_->on_insert(lpn, req, /*is_write=*/true);
     done = std::max(done, admit_at + ftl_.config().cache_access_latency);
   }
@@ -165,12 +194,20 @@ SimTime CacheManager::serve_read(const IoRequest& req) {
         REQB_CHECK_MSG(it->second.version == expected_version(lpn),
                        "cached version diverged from the write oracle");
       }
+      if (trace_ != nullptr) {
+        trace_->emit({req.arrival, 0, lpn, 0, EventKind::kCacheHit,
+                      kTrackManager, 0});
+      }
       policy_->on_hit(lpn, req, /*is_write=*/false);
       done = std::max(done, req.arrival + ftl_.config().cache_access_latency);
       continue;
     }
 
     ++metrics_.read_misses;
+    if (trace_ != nullptr) {
+      trace_->emit({req.arrival, 0, lpn, 0, EventKind::kCacheMiss,
+                    kTrackManager, 0});
+    }
     const auto rr = ftl_.read_page(lpn, req.arrival);
     if (options_.verify_consistency) {
       REQB_CHECK_MSG(rr.version == expected_version(lpn),
@@ -197,6 +234,10 @@ SimTime CacheManager::serve_read(const IoRequest& req) {
         pages_.emplace(lpn, entry);
         ++metrics_.inserts;
         ++metrics_.inserts_by_req_size[size_bucket(req.pages)];
+        if (trace_ != nullptr) {
+          trace_->emit({cursor, 0, lpn, 0, EventKind::kCacheInsert,
+                        kTrackManager, 0});
+        }
         policy_->on_insert(lpn, req, /*is_write=*/false);
         done = std::max(done, cursor);
       }
@@ -207,6 +248,8 @@ SimTime CacheManager::serve_read(const IoRequest& req) {
 
 SimTime CacheManager::serve(const IoRequest& req) {
   REQB_CHECK_MSG(req.pages >= 1, "requests must touch at least one page");
+  const ScopedTimer timer(profiler_, Profiler::Section::kCacheServe);
+  if (trace_ != nullptr) trace_->set_time(req.arrival);
   policy_->begin_request(req);
   const SimTime done =
       req.is_write() ? serve_write(req) : serve_read(req);
@@ -274,6 +317,36 @@ void CacheManager::audit(AuditReport& report, AuditLevel depth) const {
 
 void CacheManager::finalize() {
   for (const auto& [lpn, entry] : pages_) retire_entry(lpn, entry);
+}
+
+void CacheManager::set_telemetry(TraceBuffer* trace, Profiler* profiler) {
+  trace_ = trace != nullptr && trace->enabled(EventCategory::kCache)
+               ? trace
+               : nullptr;
+  profiler_ = profiler;
+  policy_->set_trace(trace);
+}
+
+void CacheManager::register_metrics(MetricsRegistry& registry) const {
+  registry.register_counter("cache.page_lookups", &metrics_.page_lookups);
+  registry.register_counter("cache.page_hits", &metrics_.page_hits);
+  registry.register_counter("cache.read_hits", &metrics_.read_hits);
+  registry.register_counter("cache.write_hits", &metrics_.write_hits);
+  registry.register_counter("cache.inserts", &metrics_.inserts);
+  registry.register_counter("cache.read_misses", &metrics_.read_misses);
+  registry.register_counter("cache.bypass_pages", &metrics_.bypass_pages);
+  registry.register_counter("cache.evictions", &metrics_.evictions);
+  registry.register_counter("cache.evicted_pages", &metrics_.evicted_pages);
+  registry.register_counter("cache.flushed_pages", &metrics_.flushed_pages);
+  registry.register_gauge("cache.hit_ratio",
+                          [this] { return metrics_.hit_ratio(); });
+  registry.register_gauge("cache.resident_pages", [this] {
+    return static_cast<double>(pages_.size());
+  });
+  registry.register_gauge("cache.eviction_batch_mean", [this] {
+    return metrics_.eviction_batch.mean();
+  });
+  policy_->register_metrics(registry);
 }
 
 void CacheManager::reset_metrics() {

@@ -21,6 +21,9 @@
 
 #include "cache/write_buffer.h"
 #include "ssd/ftl.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/profiler.h"
+#include "telemetry/trace_buffer.h"
 #include "trace/io_request.h"
 #include "util/audit.h"
 #include "util/histogram.h"
@@ -102,6 +105,16 @@ class CacheManager {
   /// Clears the counters (cache contents stay). Used for warmup phases.
   void reset_metrics();
 
+  /// Wires the run's telemetry into this layer and the policy. The trace
+  /// pointer is only kept when cache events are enabled, so a disabled run
+  /// pays one null check per would-be event. Either argument may be null.
+  void set_telemetry(TraceBuffer* trace, Profiler* profiler);
+
+  /// Registers the cache gauges (cache.* — hits, inserts, evictions,
+  /// residency, hit ratio) plus the policy's own gauges for periodic
+  /// snapshots. The registry must not outlive this manager.
+  void register_metrics(MetricsRegistry& registry) const;
+
   /// Deep invariant audit of the cache layer at the given depth:
   ///   kLight — counter cross-checks (policy pages == resident pages,
   ///            occupancy ≥ residency, residency ≤ capacity, metric sums);
@@ -138,6 +151,8 @@ class CacheManager {
   std::unordered_map<Lpn, std::uint64_t> last_version_;
   CacheMetrics metrics_;
   std::uint64_t lookup_since_sample_ = 0;
+  TraceBuffer* trace_ = nullptr;  // non-null only when cache events are on
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace reqblock

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_buffer.h"
 #include "trace/io_request.h"
 #include "util/audit.h"
 #include "util/types.h"
@@ -84,6 +86,26 @@ class WriteBufferPolicy {
   virtual bool enumerate_pages(const std::function<void(Lpn)>& fn) const {
     (void)fn;
     return false;
+  }
+
+  /// Hands the policy the run's event sink for structural events
+  /// (Req-block split/promote/merge/batch-evict). The buffer outlives the
+  /// policy; null or cache-gated-off means "emit nothing". Default: the
+  /// policy has no structural events.
+  virtual void set_trace(TraceBuffer* trace) { (void)trace; }
+
+  /// Registers replacement-state gauges under "policy." (and, for list
+  /// schemes, "list.") for periodic snapshots. The registry must not
+  /// outlive the policy.
+  virtual void register_metrics(MetricsRegistry& registry) const {
+    registry.register_gauge("policy.pages",
+                            [this] { return static_cast<double>(pages()); });
+    registry.register_gauge("policy.occupied_pages", [this] {
+      return static_cast<double>(occupied_pages());
+    });
+    registry.register_gauge("policy.metadata_bytes", [this] {
+      return static_cast<double>(metadata_bytes());
+    });
   }
 };
 

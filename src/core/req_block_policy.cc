@@ -71,6 +71,7 @@ void ReqBlockPolicy::begin_request(const IoRequest& req) {
 
 void ReqBlockPolicy::on_insert(Lpn lpn, const IoRequest& req, bool) {
   ++tick_;
+  ++mutations_;
   REQB_DCHECK(!page_to_block_.contains(lpn));
   // create_req_blk(IRL, R): reuse the request's block at the IRL head.
   ReqBlock* target = nullptr;
@@ -90,6 +91,7 @@ void ReqBlockPolicy::on_insert(Lpn lpn, const IoRequest& req, bool) {
 
 void ReqBlockPolicy::on_hit(Lpn lpn, const IoRequest& req, bool) {
   ++tick_;
+  ++mutations_;
   const auto it = page_to_block_.find(lpn);
   REQB_CHECK_MSG(it != page_to_block_.end(),
                  "Req-block hit on untracked page");
@@ -99,6 +101,10 @@ void ReqBlockPolicy::on_hit(Lpn lpn, const IoRequest& req, bool) {
     // Small request block: promote to the Small Request List head.
     ++blk->access_cnt;
     move_block(blk, ReqList::kSRL);
+    if (trace_ != nullptr) {
+      trace_->emit({trace_->time(), 0, lpn, blk->page_count(),
+                    EventKind::kReqBlockPromote, kTrackSrl, 0});
+    }
     return;
   }
 
@@ -122,6 +128,10 @@ void ReqBlockPolicy::on_hit(Lpn lpn, const IoRequest& req, bool) {
   REQB_DCHECK(target != blk);
   target->pages.push_back(lpn);
   it->second = target;
+  if (trace_ != nullptr) {
+    trace_->emit({trace_->time(), 0, lpn, blk->page_count(),
+                  EventKind::kReqBlockSplit, kTrackDrl, 0});
+  }
 
   if (blk->pages.empty()) {
     list_for(blk->level).erase(blk);
@@ -160,8 +170,24 @@ VictimBatch ReqBlockPolicy::select_victim() {
       origin = it->second.get();
     }
   }
+  ++mutations_;
+  const auto victim_track =
+      static_cast<std::uint16_t>(static_cast<std::size_t>(victim->level) + 1);
+  const Lpn first_lpn = victim->pages.empty() ? 0 : victim->pages.front();
   consume_block(victim, batch.pages);
-  if (origin != nullptr) consume_block(origin, batch.pages);
+  if (origin != nullptr) {
+    const std::uint64_t before = batch.pages.size();
+    consume_block(origin, batch.pages);
+    if (trace_ != nullptr) {
+      trace_->emit({trace_->time(), 0, first_lpn,
+                    batch.pages.size() - before, EventKind::kReqBlockMerge,
+                    kTrackIrl, 0});
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->emit({trace_->time(), 0, first_lpn, batch.pages.size(),
+                  EventKind::kReqBlockBatchEvict, victim_track, 0});
+  }
   batch.colocate = opt_.colocate_flush;
   return batch;
 }
@@ -181,6 +207,45 @@ ListOccupancy ReqBlockPolicy::occupancy() const {
     ++occ.drl_blocks;
   });
   return occ;
+}
+
+const ListOccupancy& ReqBlockPolicy::occupancy_memo() const {
+  if (occ_memo_mutations_ != mutations_) {
+    occ_memo_ = occupancy();
+    occ_memo_mutations_ = mutations_;
+  }
+  return occ_memo_;
+}
+
+void ReqBlockPolicy::set_trace(TraceBuffer* trace) {
+  trace_ = trace != nullptr && trace->enabled(EventCategory::kCache)
+               ? trace
+               : nullptr;
+}
+
+void ReqBlockPolicy::register_metrics(MetricsRegistry& registry) const {
+  WriteBufferPolicy::register_metrics(registry);
+  registry.register_gauge("policy.blocks", [this] {
+    return static_cast<double>(blocks_.size());
+  });
+  registry.register_gauge("list.irl_pages", [this] {
+    return static_cast<double>(occupancy_memo().irl_pages);
+  });
+  registry.register_gauge("list.srl_pages", [this] {
+    return static_cast<double>(occupancy_memo().srl_pages);
+  });
+  registry.register_gauge("list.drl_pages", [this] {
+    return static_cast<double>(occupancy_memo().drl_pages);
+  });
+  registry.register_gauge("list.irl_blocks", [this] {
+    return static_cast<double>(occupancy_memo().irl_blocks);
+  });
+  registry.register_gauge("list.srl_blocks", [this] {
+    return static_cast<double>(occupancy_memo().srl_blocks);
+  });
+  registry.register_gauge("list.drl_blocks", [this] {
+    return static_cast<double>(occupancy_memo().drl_blocks);
+  });
 }
 
 const ReqBlock* ReqBlockPolicy::block_of(Lpn lpn) const {

@@ -65,6 +65,16 @@ class ReqBlockPolicy final : public WriteBufferPolicy {
   /// Fig. 13 probe: pages/blocks currently on each list.
   ListOccupancy occupancy() const;
 
+  /// Structural events (split/promote/merge/batch-evict) into the run's
+  /// trace buffer, stamped with the buffer's current sim time.
+  void set_trace(TraceBuffer* trace) override;
+
+  /// Adds the per-list occupancy gauges (list.{irl,srl,drl}_{pages,blocks},
+  /// policy.blocks) on top of the base policy gauges. One snapshot costs
+  /// one list walk: the six gauges share a memo keyed on a mutation
+  /// counter.
+  void register_metrics(MetricsRegistry& registry) const override;
+
   const ReqBlockOptions& options() const { return opt_; }
   Tick now() const { return tick_; }
 
@@ -123,6 +133,13 @@ class ReqBlockPolicy final : public WriteBufferPolicy {
   std::uint64_t current_req_id_ = ~0ULL;
   std::uint64_t guard_insert_block_ = 0;
   std::uint64_t guard_split_block_ = 0;
+
+  /// occupancy() memo for the snapshot gauges, keyed on mutations_.
+  const ListOccupancy& occupancy_memo() const;
+  TraceBuffer* trace_ = nullptr;  // non-null only when cache events are on
+  std::uint64_t mutations_ = 0;   // bumped on every structural change
+  mutable std::uint64_t occ_memo_mutations_ = ~0ULL;
+  mutable ListOccupancy occ_memo_;
 };
 
 }  // namespace reqblock

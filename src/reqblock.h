@@ -4,7 +4,7 @@
 //   #include "reqblock.h"     (in-tree)
 //
 // Layering (each header can also be included individually):
-//   util/   -> trace/ -> ssd/ -> cache/ + core/ -> sim/
+//   util/ -> telemetry/ -> trace/ -> ssd/ -> cache/ + core/ -> sim/
 #pragma once
 
 // Utilities
@@ -18,6 +18,14 @@
 #include "util/table.h"
 #include "util/types.h"
 #include "util/zipf.h"
+
+// Telemetry: event tracing, metric snapshots, self-profiling
+#include "telemetry/event.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/profiler.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_buffer.h"
 
 // Workloads
 #include "trace/io_request.h"

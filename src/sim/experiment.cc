@@ -1,9 +1,14 @@
 #include "sim/experiment.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
+#include "telemetry/exporters.h"
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace reqblock {
@@ -38,6 +43,52 @@ std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
     for (auto& t : pool) t.join();
   }
   return results;
+}
+
+namespace {
+
+std::string sanitize_stem(std::string s) {
+  for (char& c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '_' && c != '.') {
+      c = '_';
+    }
+  }
+  return s.empty() ? std::string("run") : s;
+}
+
+}  // namespace
+
+RunArtifacts export_run_artifacts(const RunResult& result,
+                                  const std::string& out_dir,
+                                  std::string stem) {
+  if (stem.empty()) stem = result.trace_name + "_" + result.policy_name;
+  stem = sanitize_stem(stem);
+  const std::filesystem::path dir(out_dir.empty() ? "." : out_dir);
+  std::filesystem::create_directories(dir);
+
+  RunArtifacts artifacts;
+  const auto write = [&](const char* suffix, const auto& writer) {
+    const std::filesystem::path path = dir / (stem + suffix);
+    std::ofstream os(path);
+    REQB_CHECK_MSG(os.good(), "cannot open " + path.string());
+    writer(os);
+    return path.string();
+  };
+  if (!result.telemetry.events.empty()) {
+    artifacts.chrome_trace = write(".trace.json", [&](std::ostream& os) {
+      write_chrome_trace(os, result.telemetry.events);
+    });
+    artifacts.events_jsonl = write(".events.jsonl", [&](std::ostream& os) {
+      write_events_jsonl(os, result.telemetry.events);
+    });
+  }
+  if (!result.telemetry.snapshots.empty()) {
+    artifacts.snapshots_csv = write(".snapshots.csv", [&](std::ostream& os) {
+      write_series_csv(os, result.telemetry.snapshots);
+    });
+  }
+  return artifacts;
 }
 
 std::uint64_t bench_request_cap(std::uint64_t fallback) {

@@ -27,6 +27,22 @@ struct ExperimentCase {
 std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
                                  unsigned max_threads = 0);
 
+/// Filesystem telemetry artifacts of one run. Empty strings mark files
+/// that were skipped because the run carried no matching data.
+struct RunArtifacts {
+  std::string chrome_trace;   // <stem>.trace.json (chrome://tracing)
+  std::string events_jsonl;   // <stem>.events.jsonl
+  std::string snapshots_csv;  // <stem>.snapshots.csv
+};
+
+/// Writes the run's telemetry under `out_dir` (created if missing):
+/// Chrome trace + JSONL when the run collected events, snapshot CSV when
+/// it collected snapshots. `stem` defaults to "<trace>_<policy>" with
+/// path-hostile characters replaced.
+RunArtifacts export_run_artifacts(const RunResult& result,
+                                  const std::string& out_dir,
+                                  std::string stem = "");
+
 /// Environment-tunable request cap for benches: REQBLOCK_BENCH_REQUESTS
 /// (default `fallback`, 0 = full traces).
 std::uint64_t bench_request_cap(std::uint64_t fallback);

@@ -1,5 +1,6 @@
 #include "sim/report.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "util/strings.h"
@@ -55,14 +56,15 @@ std::vector<std::string> result_row(const RunResult& r) {
 void write_results_csv(std::ostream& os,
                        const std::vector<RunResult>& results) {
   os << "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
-        "p99_ns,flash_writes,flash_reads,gc_moves,erases,waf,"
-        "pages_per_evict,metadata_pct,channel_util,chip_util\n";
+        "p95_ns,p99_ns,p999_ns,flash_writes,flash_reads,gc_moves,erases,"
+        "waf,pages_per_evict,metadata_pct,channel_util,chip_util\n";
   for (const auto& r : results) {
     os << r.trace_name << ',' << r.policy_name << ','
        << r.cache_capacity_pages << ',' << r.requests << ','
        << format_double(r.hit_ratio(), 6) << ','
        << static_cast<std::int64_t>(r.response.mean()) << ','
-       << r.response.p50() << ',' << r.response.p99() << ','
+       << r.response.p50() << ',' << r.response.p95() << ','
+       << r.response.p99() << ',' << r.response.p999() << ','
        << r.flash.host_page_writes << ',' << r.flash.host_page_reads << ','
        << r.flash.gc_page_moves << ',' << r.flash.erases << ','
        << format_double(r.flash.waf(), 4) << ','
@@ -71,6 +73,51 @@ void write_results_csv(std::ostream& os,
        << format_double(r.channel_utilization, 4) << ','
        << format_double(r.chip_utilization, 4) << '\n';
   }
+}
+
+void write_self_profile(std::ostream& os, const RunResult& r) {
+  const auto& entries = r.telemetry.profile.entries;
+  if (entries.empty()) return;
+  double total_ns = 0.0;
+  for (const auto& e : entries) {
+    total_ns += static_cast<double>(e.total_ns);
+  }
+  os << "Self-profile (" << r.trace_name << " / " << r.policy_name << ")\n";
+  TextTable t({"section", "calls", "total", "mean", "share"});
+  for (const auto& e : entries) {
+    const double ns = static_cast<double>(e.total_ns);
+    t.add_row({e.section, std::to_string(e.calls),
+               format_double(ns / 1e6, 2) + "ms",
+               format_double(e.calls == 0
+                                 ? 0.0
+                                 : ns / static_cast<double>(e.calls), 0) +
+                   "ns",
+               format_double(total_ns == 0.0 ? 0.0 : ns / total_ns * 100.0,
+                             1) +
+                   "%"});
+  }
+  t.print(os);
+}
+
+void write_snapshot_summary(std::ostream& os, const RunResult& r) {
+  const MetricsSeries& s = r.telemetry.snapshots;
+  if (s.empty()) return;
+  os << "Metric snapshots (" << r.trace_name << " / " << r.policy_name
+     << "): " << s.rows.size() << " samples, "
+     << s.columns.size() << " metrics\n";
+  TextTable t({"metric", "first", "last", "min", "max"});
+  for (std::size_t c = 0; c < s.columns.size(); ++c) {
+    double lo = s.rows.front().values[c];
+    double hi = lo;
+    for (const auto& row : s.rows) {
+      lo = std::min(lo, row.values[c]);
+      hi = std::max(hi, row.values[c]);
+    }
+    t.add_row({s.columns[c], format_double(s.rows.front().values[c], 4),
+               format_double(s.rows.back().values[c], 4),
+               format_double(lo, 4), format_double(hi, 4)});
+  }
+  t.print(os);
 }
 
 TextTable results_table(const std::vector<RunResult>& results) {

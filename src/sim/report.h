@@ -24,9 +24,18 @@ double metadata_percent(const RunResult& r);
 
 /// Machine-readable export: one CSV row per run, with a header line.
 /// Columns: trace, policy, cache_pages, requests, hit_ratio, mean_ns,
-/// p50_ns, p99_ns, flash_writes, flash_reads, gc_moves, erases, waf,
-/// pages_per_evict, metadata_pct, channel_util, chip_util.
+/// p50_ns, p95_ns, p99_ns, p999_ns, flash_writes, flash_reads, gc_moves,
+/// erases, waf, pages_per_evict, metadata_pct, channel_util, chip_util.
 void write_results_csv(std::ostream& os,
                        const std::vector<RunResult>& results);
+
+/// Wall-clock self-profile of one run: where the simulator itself spent
+/// its time (cache serve, flush, FTL dispatch, GC, snapshots). Prints
+/// nothing when the run was not profiled.
+void write_self_profile(std::ostream& os, const RunResult& r);
+
+/// Compact summary of the metric snapshot series: per-column first, last,
+/// min, and max over the run. Prints nothing when no snapshots were taken.
+void write_snapshot_summary(std::ostream& os, const RunResult& r);
 
 }  // namespace reqblock

@@ -15,6 +15,7 @@ Simulator::Simulator(SimOptions options) : options_(std::move(options)) {
                      options_.cache.capacity_pages ==
                          options_.policy.capacity_pages,
                  "cache and policy capacity must agree");
+  if (options_.telemetry_env_override) options_.telemetry.apply_env();
 }
 
 RunResult Simulator::run(TraceSource& trace) {
@@ -32,10 +33,33 @@ RunResult Simulator::run(TraceSource& trace) {
   auto* req_block =
       dynamic_cast<ReqBlockPolicy*>(&cache.policy());
 
+  // Per-run telemetry: one bundle per run, wired before the first request
+  // so warmup traffic is visible too (the buffer is cleared after warmup,
+  // like every other metric).
+  Telemetry telemetry(options_.telemetry);
+  cache.set_telemetry(&telemetry.trace(), &telemetry.profiler());
+  ftl.set_telemetry(&telemetry.trace(), &telemetry.profiler());
+  const std::uint64_t snap_requests =
+      options_.telemetry.snapshot_every_requests;
+  const SimTime snap_ns = options_.telemetry.snapshot_every_ns;
+  const bool snapshots_on = options_.telemetry.snapshots_enabled();
+
   RunResult result;
   result.trace_name = trace.name();
   result.policy_name = cache.policy().name();
   result.cache_capacity_pages = cache_opts.capacity_pages;
+  if (snapshots_on) {
+    cache.register_metrics(telemetry.registry());
+    ftl.register_metrics(telemetry.registry());
+    result.telemetry.snapshots.columns = telemetry.registry().names();
+  }
+  SimTime next_snap_ns = snap_ns;
+  const auto take_snapshot = [&] {
+    const ScopedTimer timer(&telemetry.profiler(),
+                            Profiler::Section::kSnapshot);
+    result.telemetry.snapshots.rows.push_back(
+        {result.requests, result.sim_end, telemetry.registry().sample()});
+  };
 
   trace.reset();
   IoRequest req;
@@ -51,6 +75,8 @@ RunResult Simulator::run(TraceSource& trace) {
   if (result.warmup_requests > 0) {
     cache.reset_metrics();
     ftl.reset_metrics();
+    telemetry.trace().clear();
+    telemetry.profiler().clear();
     for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
       warmup_channel_busy[c] = ftl.channel_busy(c);
     }
@@ -82,6 +108,15 @@ RunResult Simulator::run(TraceSource& trace) {
         result.requests % options_.occupancy_log_interval == 0) {
       result.occupancy_series.push_back(req_block->occupancy());
     }
+    if (snapshots_on) {
+      bool due = snap_requests != 0 &&
+                 result.requests % snap_requests == 0;
+      if (snap_ns != 0 && result.sim_end >= next_snap_ns) {
+        due = true;
+        while (next_snap_ns <= result.sim_end) next_snap_ns += snap_ns;
+      }
+      if (due) take_snapshot();
+    }
   }
   cache.finalize();
   // Per-request cache audits run inside CacheManager::serve; the deep
@@ -91,6 +126,13 @@ RunResult Simulator::run(TraceSource& trace) {
 
   result.cache = cache.metrics();
   result.flash = ftl.metrics();
+  if (telemetry.trace().any_enabled()) {
+    result.telemetry.events = telemetry.trace().drain();
+    result.telemetry.events_emitted = telemetry.trace().emitted();
+    result.telemetry.events_dropped = telemetry.trace().dropped();
+    result.telemetry.events_sampled_out = telemetry.trace().sampled_out();
+  }
+  result.telemetry.profile = profile_report(telemetry.profiler());
   if (result.sim_end > warmup_end) {
     double ch_busy = 0.0, chip_busy = 0.0;
     for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {

@@ -10,6 +10,7 @@
 #include "core/req_block.h"
 #include "ssd/config.h"
 #include "ssd/ftl.h"
+#include "telemetry/telemetry.h"
 #include "trace/io_request.h"
 #include "util/histogram.h"
 #include "util/types.h"
@@ -29,6 +30,12 @@ struct SimOptions {
   /// and device state carry over; counters and histograms reset). The
   /// warmup requests do not count toward max_requests.
   std::uint64_t warmup_requests = 0;
+  /// Event tracing, metric snapshots, and self-profiling for this run.
+  TelemetryOptions telemetry;
+  /// Let REQBLOCK_TRACE override telemetry.trace.level at Simulator
+  /// construction (benches and examples respond to the environment with
+  /// zero code; tests that assert specific gating turn this off).
+  bool telemetry_env_override = true;
 };
 
 /// Everything a single (trace, policy, cache size) run produces.
@@ -51,6 +58,10 @@ struct RunResult {
 
   /// Fig. 13 series: one sample per occupancy_log_interval requests.
   std::vector<ListOccupancy> occupancy_series;
+
+  /// Drained events, metric snapshots, and the wall-clock self-profile
+  /// (all empty unless SimOptions::telemetry asked for them).
+  TelemetryResult telemetry;
 
   SimTime sim_end = 0;
   double wall_seconds = 0.0;

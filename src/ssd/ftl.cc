@@ -34,6 +34,7 @@ bool Ftl::in_preexisting(Lpn lpn) const {
 }
 
 Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
+  const ScopedTimer timer(profiler_, Profiler::Section::kFtlRead);
   const auto it = l2p_.find(lpn);
   if (it == l2p_.end()) {
     if (in_preexisting(lpn)) {
@@ -46,6 +47,11 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
       const SimTime done =
           channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
       ++metrics_.host_page_reads;
+      if (trace_ != nullptr) {
+        trace_->emit({issue, done - issue, lpn, 0, EventKind::kPageRead,
+                      static_cast<std::uint16_t>(chip),
+                      static_cast<std::uint16_t>(ch)});
+      }
       return {done, 0, true};
     }
     // Reading a never-written page: served by the controller (zero-fill),
@@ -61,6 +67,11 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
   const SimTime done =
       channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
   ++metrics_.host_page_reads;
+  if (trace_ != nullptr) {
+    trace_->emit({issue, done - issue, lpn, 0, EventKind::kPageRead,
+                  static_cast<std::uint16_t>(chip),
+                  static_cast<std::uint16_t>(ch)});
+  }
   return {done, version_of(lpn), true};
 }
 
@@ -82,7 +93,17 @@ std::uint32_t Ftl::colocate_channel(Lpn lpn) const {
 }
 
 void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
+  if (!array_.gc_needed(plane)) return;
+  const ScopedTimer timer(profiler_, Profiler::Section::kGc);
   const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint16_t chip16 = static_cast<std::uint16_t>(chip);
+  const std::uint16_t ch16 =
+      static_cast<std::uint16_t>(amap_.channel_of_plane(plane));
+  const SimTime gc_begin = t;
+  std::uint64_t moves = 0;
+  if (trace_ != nullptr) {
+    trace_->emit({gc_begin, 0, 0, plane, EventKind::kGcStart, chip16, ch16});
+  }
   while (array_.gc_needed(plane)) {
     const std::uint32_t victim = array_.pick_gc_victim(plane);
     if (victim == FlashArray::kNoBlock) break;  // nothing reclaimable
@@ -95,16 +116,32 @@ void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
       array_.invalidate(old);
       l2p_[lpn] = fresh;
       ++metrics_.gc_page_moves;
+      const SimTime begin = t;
       t = chips_[chip].acquire(t, cfg_.read_latency + cfg_.program_latency);
+      if (trace_ != nullptr) {
+        trace_->emit({begin, t - begin, lpn, victim, EventKind::kGcMove,
+                      chip16, ch16});
+      }
+      ++moves;
     }
     array_.erase_block(plane, victim);
     ++metrics_.erases;
+    const SimTime begin = t;
     t = chips_[chip].acquire(t, cfg_.erase_latency);
+    if (trace_ != nullptr) {
+      trace_->emit({begin, t - begin, 0, victim, EventKind::kBlockErase,
+                    chip16, ch16});
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->emit({gc_begin, t - gc_begin, 0, moves, EventKind::kGcEnd, chip16,
+                  ch16});
   }
 }
 
 SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
                               std::uint64_t version, SimTime issue) {
+  const ScopedTimer timer(profiler_, Profiler::Section::kFtlProgram);
   maybe_collect(plane, issue);
   const Ppn fresh = array_.program(plane, lpn);
   const auto it = l2p_.find(lpn);
@@ -122,7 +159,40 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
       channels_[ch].acquire(issue, cfg_.page_transfer_time());
   const SimTime done = chips_[chip].acquire(bus_done, cfg_.program_latency);
   ++metrics_.host_page_writes;
+  if (trace_ != nullptr) {
+    trace_->emit({issue, done - issue, lpn, version, EventKind::kPageProgram,
+                  static_cast<std::uint16_t>(chip),
+                  static_cast<std::uint16_t>(ch)});
+  }
   return done;
+}
+
+void Ftl::set_telemetry(TraceBuffer* trace, Profiler* profiler) {
+  trace_ = trace != nullptr && trace->enabled(EventCategory::kFlash)
+               ? trace
+               : nullptr;
+  profiler_ = profiler;
+}
+
+void Ftl::register_metrics(MetricsRegistry& registry) const {
+  registry.register_counter("flash.host_page_writes",
+                            &metrics_.host_page_writes);
+  registry.register_counter("flash.host_page_reads",
+                            &metrics_.host_page_reads);
+  registry.register_counter("flash.gc_runs", &metrics_.gc_runs);
+  registry.register_counter("flash.gc_page_moves", &metrics_.gc_page_moves);
+  registry.register_counter("flash.erases", &metrics_.erases);
+  registry.register_gauge("flash.waf", [this] { return metrics_.waf(); });
+  registry.register_gauge("flash.mapped_pages", [this] {
+    return static_cast<double>(l2p_.size());
+  });
+  registry.register_gauge("flash.free_blocks", [this] {
+    std::uint64_t total = 0;
+    for (std::uint32_t p = 0; p < cfg_.total_planes(); ++p) {
+      total += array_.free_blocks(p);
+    }
+    return static_cast<double>(total);
+  });
 }
 
 SimTime Ftl::program_page(Lpn lpn, std::uint64_t version, SimTime issue) {

@@ -20,6 +20,9 @@
 #include "ssd/config.h"
 #include "ssd/flash_array.h"
 #include "ssd/timeline.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/profiler.h"
+#include "telemetry/trace_buffer.h"
 #include "util/audit.h"
 #include "util/types.h"
 
@@ -108,6 +111,16 @@ class Ftl {
   /// pages + physical pages).
   void audit(AuditReport& report) const;
 
+  /// Wires the run's telemetry. The trace pointer is only kept when flash
+  /// events are enabled, so a disabled run pays one null check per
+  /// would-be event. Either argument may be null.
+  void set_telemetry(TraceBuffer* trace, Profiler* profiler);
+
+  /// Registers the device gauges (flash.* — host ops, GC, WAF, free
+  /// blocks, mapped pages) for periodic snapshots. The registry must not
+  /// outlive this Ftl.
+  void register_metrics(MetricsRegistry& registry) const;
+
  private:
   /// Next plane in channel-major round-robin (consecutive pages land on
   /// consecutive channels, maximizing batch parallelism).
@@ -131,6 +144,8 @@ class Ftl {
   std::vector<std::pair<Lpn, Lpn>> preexisting_;  // sorted, disjoint
   std::uint64_t rr_counter_ = 0;
   FlashMetrics metrics_;
+  TraceBuffer* trace_ = nullptr;  // non-null only when flash events are on
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace reqblock

@@ -1,0 +1,94 @@
+// Structured trace events.
+//
+// One TraceEvent records one thing that happened inside a simulated run —
+// a cache lookup outcome, a Req-block structural move, a flash operation —
+// stamped with simulated time. Events are plain 48-byte PODs so the ring
+// buffer can hold millions without allocation churn; everything that is
+// not a number (names, categories, track labels) is derived from the kind
+// at export time, not stored per event.
+//
+// Field meaning by kind (see exporters.cc for the export mapping):
+//   cache events   track = list track (0 manager, 1 IRL, 2 SRL, 3 DRL)
+//   flash events   track = global chip index, channel = channel index
+//   arg            kCacheHit/kCacheMiss: 1 for writes, 0 for reads
+//                  kCacheEvict: victim pages, kCacheFlush: dirty pages
+//                  kReqBlock*: pages in the affected block/batch
+//                  kGcEnd: pages moved, kBlockErase: block index
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace reqblock {
+
+enum class EventKind : std::uint8_t {
+  // Cache-manager events.
+  kCacheHit = 0,
+  kCacheMiss,
+  kCacheInsert,
+  kCacheEvict,
+  kCacheFlush,
+  kCacheBypass,
+  // Req-block structural events (paper §3: Figs. 5-6).
+  kReqBlockSplit,
+  kReqBlockPromote,
+  kReqBlockMerge,
+  kReqBlockBatchEvict,
+  // Flash-device events.
+  kPageRead,
+  kPageProgram,
+  kBlockErase,
+  kGcStart,
+  kGcEnd,
+  kGcMove,
+};
+
+enum class EventCategory : std::uint8_t { kCache = 1, kFlash = 2 };
+
+constexpr EventCategory category_of(EventKind k) {
+  return k >= EventKind::kPageRead ? EventCategory::kFlash
+                                   : EventCategory::kCache;
+}
+
+constexpr const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kCacheInsert: return "cache_insert";
+    case EventKind::kCacheEvict: return "cache_evict";
+    case EventKind::kCacheFlush: return "cache_flush";
+    case EventKind::kCacheBypass: return "cache_bypass";
+    case EventKind::kReqBlockSplit: return "reqblock_split";
+    case EventKind::kReqBlockPromote: return "reqblock_promote";
+    case EventKind::kReqBlockMerge: return "reqblock_merge";
+    case EventKind::kReqBlockBatchEvict: return "reqblock_batch_evict";
+    case EventKind::kPageRead: return "page_read";
+    case EventKind::kPageProgram: return "page_program";
+    case EventKind::kBlockErase: return "block_erase";
+    case EventKind::kGcStart: return "gc_start";
+    case EventKind::kGcEnd: return "gc_end";
+    case EventKind::kGcMove: return "gc_move";
+  }
+  return "?";
+}
+
+/// Cache-event track ids (Chrome export: one lane per list).
+enum CacheTrack : std::uint16_t {
+  kTrackManager = 0,
+  kTrackIrl = 1,
+  kTrackSrl = 2,
+  kTrackDrl = 3,
+};
+
+struct TraceEvent {
+  SimTime at = 0;          // simulated start time, ns
+  SimTime dur = 0;         // simulated duration, ns (0 = instant)
+  Lpn lpn = 0;             // first logical page involved (0 if n/a)
+  std::uint64_t arg = 0;   // kind-specific payload, see header comment
+  EventKind kind = EventKind::kCacheHit;
+  std::uint16_t track = 0;    // cache: CacheTrack; flash: global chip index
+  std::uint16_t channel = 0;  // flash events only
+};
+
+}  // namespace reqblock

@@ -1,0 +1,128 @@
+#include "telemetry/exporters.h"
+
+#include <array>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "util/strings.h"
+
+namespace reqblock {
+namespace {
+
+constexpr const char* to_string(EventCategory c) {
+  return c == EventCategory::kCache ? "cache" : "flash";
+}
+
+// Chrome-trace process ids (arbitrary but stable).
+constexpr int kPidCache = 1;
+constexpr int kPidChips = 2;
+constexpr int kPidChannels = 3;
+
+constexpr std::array<const char*, 4> kCacheTrackNames = {
+    "manager", "IRL", "SRL", "DRL"};
+
+/// Microsecond timestamp with sub-ns kept as decimals (trace_event "ts").
+std::string us(SimTime ns) {
+  return format_double(static_cast<double>(ns) / 1000.0, 3);
+}
+
+void write_meta(std::ostream& os, int pid, int tid, const char* what,
+                const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << what << R"(","ph":"M","pid":)" << pid;
+  if (tid >= 0) os << R"(,"tid":)" << tid;
+  os << R"(,"args":{"name":")" << name << R"("}})";
+}
+
+void write_slice(std::ostream& os, const TraceEvent& e, int pid, int tid,
+                 bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << to_string(e.kind) << R"(","cat":")"
+     << to_string(category_of(e.kind)) << R"(","pid":)" << pid << R"(,"tid":)"
+     << tid << R"(,"ts":)" << us(e.at);
+  if (e.dur > 0) {
+    os << R"(,"ph":"X","dur":)" << us(e.dur);
+  } else {
+    os << R"(,"ph":"i","s":"t")";
+  }
+  os << R"(,"args":{"lpn":)" << e.lpn << R"(,"arg":)" << e.arg;
+  if (category_of(e.kind) == EventCategory::kFlash) {
+    os << R"(,"channel":)" << e.channel;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void write_events_jsonl(std::ostream& os,
+                        std::span<const TraceEvent> events) {
+  for (const TraceEvent& e : events) {
+    os << R"({"ts":)" << e.at << R"(,"dur":)" << e.dur << R"(,"kind":")"
+       << to_string(e.kind) << R"(","cat":")" << to_string(category_of(e.kind))
+       << R"(","track":)" << e.track << R"(,"channel":)" << e.channel
+       << R"(,"lpn":)" << e.lpn << R"(,"arg":)" << e.arg << "}\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceEvent> events) {
+  // Collect the tracks that actually carry events so the metadata block
+  // names exactly the lanes Perfetto will show.
+  std::set<std::uint16_t> cache_tracks, chips, channels;
+  for (const TraceEvent& e : events) {
+    if (category_of(e.kind) == EventCategory::kCache) {
+      cache_tracks.insert(e.track);
+    } else {
+      chips.insert(e.track);
+      if (e.kind == EventKind::kPageRead ||
+          e.kind == EventKind::kPageProgram) {
+        channels.insert(e.channel);
+      }
+    }
+  }
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  if (!cache_tracks.empty()) {
+    write_meta(os, kPidCache, -1, "process_name", "cache", first);
+    for (const auto t : cache_tracks) {
+      const char* name =
+          t < kCacheTrackNames.size() ? kCacheTrackNames[t] : "track";
+      write_meta(os, kPidCache, t, "thread_name", name, first);
+    }
+  }
+  if (!chips.empty()) {
+    write_meta(os, kPidChips, -1, "process_name", "flash chips", first);
+    for (const auto t : chips) {
+      write_meta(os, kPidChips, t, "thread_name",
+                 "chip " + std::to_string(t), first);
+    }
+  }
+  if (!channels.empty()) {
+    write_meta(os, kPidChannels, -1, "process_name", "flash channels",
+               first);
+    for (const auto t : channels) {
+      write_meta(os, kPidChannels, t, "thread_name",
+                 "channel " + std::to_string(t), first);
+    }
+  }
+
+  for (const TraceEvent& e : events) {
+    if (category_of(e.kind) == EventCategory::kCache) {
+      write_slice(os, e, kPidCache, e.track, first);
+      continue;
+    }
+    write_slice(os, e, kPidChips, e.track, first);
+    // Mirror page transfers onto their channel lane: the bus is the
+    // contended resource the paper's §4.2.2 colocation argument is about.
+    if (e.kind == EventKind::kPageRead || e.kind == EventKind::kPageProgram) {
+      write_slice(os, e, kPidChannels, e.channel, first);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace reqblock

@@ -1,0 +1,28 @@
+// Event export: JSONL for scripts, Chrome trace_event JSON for humans.
+//
+// The Chrome export follows the trace_event format accepted by
+// chrome://tracing and Perfetto: a {"traceEvents":[...]} object whose
+// slices use microsecond timestamps. Tracks are laid out as three
+// processes — "cache" (one thread per Req-block list plus the manager),
+// "flash chips" (one thread per chip), "flash channels" (one thread per
+// channel; page transfers are mirrored there so per-channel load is
+// visible) — with thread_name metadata emitted only for tracks that
+// actually carry events.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "telemetry/event.h"
+
+namespace reqblock {
+
+/// One JSON object per line:
+/// {"ts":<ns>,"dur":<ns>,"kind":"...","cat":"cache|flash","track":N,
+///  "channel":N,"lpn":N,"arg":N}
+void write_events_jsonl(std::ostream& os, std::span<const TraceEvent> events);
+
+/// Chrome trace_event JSON ready for chrome://tracing / Perfetto.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events);
+
+}  // namespace reqblock

@@ -1,0 +1,71 @@
+#include "telemetry/metrics_registry.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace reqblock {
+
+void MetricsRegistry::register_gauge(std::string name, Sampler fn) {
+  if (name.empty()) {
+    throw std::invalid_argument("metric name must not be empty");
+  }
+  if (name.find(',') != std::string::npos ||
+      name.find('\n') != std::string::npos) {
+    throw std::invalid_argument("metric name '" + name +
+                                "' contains a CSV delimiter");
+  }
+  if (fn == nullptr) {
+    throw std::invalid_argument("metric '" + name + "' needs a sampler");
+  }
+  const auto [it, inserted] = gauges_.emplace(std::move(name), std::move(fn));
+  if (!inserted) {
+    throw std::invalid_argument("metric '" + it->first +
+                                "' registered twice");
+  }
+}
+
+void MetricsRegistry::register_counter(std::string name,
+                                       const std::uint64_t* counter) {
+  if (counter == nullptr) {
+    throw std::invalid_argument("metric '" + name + "' needs a counter");
+  }
+  register_gauge(std::move(name),
+                 [counter] { return static_cast<double>(*counter); });
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) out.push_back(name);
+  return out;
+}
+
+std::vector<double> MetricsRegistry::sample() const {
+  std::vector<double> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) out.push_back(fn());
+  return out;
+}
+
+std::size_t MetricsSeries::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  return npos;
+}
+
+void write_series_csv(std::ostream& os, const MetricsSeries& series) {
+  os << "request,sim_ns";
+  for (const auto& c : series.columns) os << ',' << c;
+  os << '\n';
+  for (const auto& row : series.rows) {
+    os << row.request << ',' << row.sim_ns;
+    for (const double v : row.values) os << ',' << format_double(v, 6);
+    os << '\n';
+  }
+}
+
+}  // namespace reqblock

@@ -1,0 +1,75 @@
+// Named-metric registry and time-series snapshots.
+//
+// Components register named gauges — callbacks sampled on demand — once
+// per run; the simulator then snapshots the whole registry periodically
+// (every N requests or M sim-ns) into a MetricsSeries. This generalizes
+// the hard-wired Fig. 13 occupancy probe to *any* metric: hit ratio, WAF,
+// per-list sizes, free-block count all ride the same path and land in one
+// CSV with a `request` + `sim_ns` spine.
+//
+// Names are dot-scoped ("cache.hit_ratio", "flash.waf", "list.irl_pages");
+// duplicate registration throws (two components claiming one name is a
+// wiring bug, not a runtime condition). Sampling order is deterministic:
+// always ascending by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace reqblock {
+
+class MetricsRegistry {
+ public:
+  using Sampler = std::function<double()>;
+
+  /// Registers a gauge sampled by calling `fn`. Throws std::invalid_argument
+  /// when `name` is empty, contains a comma/newline (would corrupt the CSV),
+  /// or is already registered.
+  void register_gauge(std::string name, Sampler fn);
+
+  /// Convenience: gauge over an integer counter that outlives the registry.
+  void register_counter(std::string name, const std::uint64_t* counter);
+
+  bool contains(const std::string& name) const {
+    return gauges_.contains(name);
+  }
+  std::size_t size() const { return gauges_.size(); }
+
+  /// Registered names, ascending.
+  std::vector<std::string> names() const;
+
+  /// Samples every gauge, in names() order.
+  std::vector<double> sample() const;
+
+ private:
+  std::map<std::string, Sampler> gauges_;
+};
+
+/// Periodic whole-registry snapshots of one run.
+struct MetricsSeries {
+  struct Row {
+    std::uint64_t request = 0;  // requests served when the row was taken
+    SimTime sim_ns = 0;         // simulated time of the last completion
+    std::vector<double> values; // one per column, in column order
+  };
+
+  std::vector<std::string> columns;  // metric names, ascending
+  std::vector<Row> rows;
+
+  bool empty() const { return rows.empty(); }
+  /// Column index of `name`, or npos when absent.
+  static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+  std::size_t column_index(const std::string& name) const;
+};
+
+/// Writes `request,sim_ns,<columns...>` followed by one line per row.
+/// Values use fixed 6-decimal formatting (locale-independent).
+void write_series_csv(std::ostream& os, const MetricsSeries& series);
+
+}  // namespace reqblock

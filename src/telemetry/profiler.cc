@@ -1,0 +1,16 @@
+#include "telemetry/profiler.h"
+
+namespace reqblock {
+
+ProfileReport profile_report(const Profiler& profiler) {
+  ProfileReport report;
+  for (std::size_t i = 0; i < Profiler::kSections; ++i) {
+    const auto s = static_cast<Profiler::Section>(i);
+    if (profiler.calls(s) == 0) continue;
+    report.entries.push_back(
+        {Profiler::name(s), profiler.calls(s), profiler.total_ns(s)});
+  }
+  return report;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,121 @@
+// Wall-clock self-profiling of the simulator hot loop.
+//
+// The sections are fixed at compile time (an enum, not strings) so that a
+// ScopedTimer costs two steady_clock reads and one array add — cheap
+// enough to leave compiled in and gate at run time with a single branch.
+// When disabled (the default), ScopedTimer never touches the clock.
+//
+// The output is a per-run self-profile: calls, total wall time, and share
+// of the profiled total per section, so "where does simulation time go"
+// has an answer before the next perf PR.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reqblock {
+
+class Profiler {
+ public:
+  enum class Section : std::uint8_t {
+    kCacheServe = 0,  // CacheManager::serve, whole request
+    kEvictFlush,      // victim selection + flush dispatch
+    kFtlRead,         // Ftl::read_page
+    kFtlProgram,      // Ftl::program_to_plane (host + padding writes)
+    kGc,              // Ftl::maybe_collect when it actually collects
+    kSnapshot,        // metrics-registry sampling
+    kCount,
+  };
+  static constexpr std::size_t kSections =
+      static_cast<std::size_t>(Section::kCount);
+
+  static constexpr const char* name(Section s) {
+    switch (s) {
+      case Section::kCacheServe: return "cache_serve";
+      case Section::kEvictFlush: return "evict_flush";
+      case Section::kFtlRead: return "ftl_read";
+      case Section::kFtlProgram: return "ftl_program";
+      case Section::kGc: return "gc";
+      case Section::kSnapshot: return "snapshot";
+      case Section::kCount: break;
+    }
+    return "?";
+  }
+
+  explicit Profiler(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void add(Section s, std::uint64_t ns) {
+    auto& b = buckets_[static_cast<std::size_t>(s)];
+    ++b.calls;
+    b.total_ns += ns;
+  }
+
+  std::uint64_t calls(Section s) const {
+    return buckets_[static_cast<std::size_t>(s)].calls;
+  }
+  std::uint64_t total_ns(Section s) const {
+    return buckets_[static_cast<std::size_t>(s)].total_ns;
+  }
+
+  void clear() { buckets_.fill({}); }
+
+ private:
+  struct Bucket {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::array<Bucket, kSections> buckets_{};
+  bool enabled_ = false;
+};
+
+/// Times a scope into `profiler` (null or disabled => no clock reads).
+/// Sections nest: kCacheServe includes kEvictFlush includes kFtlProgram,
+/// so shares are of the *outermost* section, not additive across rows.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, Profiler::Section section)
+      : profiler_(profiler != nullptr && profiler->enabled() ? profiler
+                                                             : nullptr),
+        section_(section) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (profiler_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    profiler_->add(section_, static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  Profiler* profiler_;
+  Profiler::Section section_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Frozen per-run profile carried in RunResult.
+struct ProfileReport {
+  struct Entry {
+    std::string section;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::vector<Entry> entries;  // section order; zero-call sections omitted
+
+  bool empty() const { return entries.empty(); }
+};
+
+/// Snapshot of every section with at least one call.
+ProfileReport profile_report(const Profiler& profiler);
+
+}  // namespace reqblock

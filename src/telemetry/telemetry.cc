@@ -1,0 +1,22 @@
+#include "telemetry/telemetry.h"
+
+#include "util/args.h"
+
+namespace reqblock {
+
+void TelemetryOptions::apply_cli(const ArgParser& args) {
+  if (const auto v = args.get("trace")) {
+    trace.level = parse_trace_level(*v, trace.level);
+  }
+  trace.capacity = args.get_u64_or("trace-buffer", trace.capacity);
+  trace.sample_period = args.get_u64_or("trace-sample", trace.sample_period);
+  snapshot_every_requests =
+      args.get_u64_or("snapshot-every", snapshot_every_requests);
+  if (const auto v = args.get("snapshot-every-ms")) {
+    snapshot_every_ns = static_cast<SimTime>(
+        args.get_double_or("snapshot-every-ms", 0.0) * kMillisecond);
+  }
+  if (args.has("profile")) profile = true;
+}
+
+}  // namespace reqblock

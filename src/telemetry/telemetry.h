@@ -1,0 +1,88 @@
+// Per-run telemetry bundle: event trace + metrics registry + profiler.
+//
+// One Telemetry instance belongs to one simulated run (runs parallelize
+// at the experiment level, one bundle each; nothing here is shared or
+// thread-safe). The simulator wires the three pillars into the stack:
+//   * TraceBuffer    — structured events from CacheManager / policy / Ftl;
+//   * MetricsRegistry— named gauges, snapshotted every N requests or
+//                      M sim-ns into a MetricsSeries;
+//   * Profiler       — wall-clock scoped timers around the hot loop.
+//
+// Runtime gates:
+//   REQBLOCK_TRACE=off|cache|flash|all   event categories (default off)
+//   --trace/--trace-buffer/--trace-sample, --snapshot-every,
+//   --snapshot-every-ms, --profile       per-binary CLI (apply_cli)
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/profiler.h"
+#include "telemetry/trace_buffer.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+class ArgParser;
+
+struct TelemetryOptions {
+  TraceConfig trace;
+  /// Snapshot the metrics registry every N measured requests (0 = off).
+  std::uint64_t snapshot_every_requests = 0;
+  /// ... and/or every M sim-ns of completion-time progress (0 = off).
+  SimTime snapshot_every_ns = 0;
+  /// Collect the wall-clock self-profile.
+  bool profile = false;
+
+  bool snapshots_enabled() const {
+    return snapshot_every_requests > 0 || snapshot_every_ns > 0;
+  }
+
+  /// Overrides the trace level from REQBLOCK_TRACE when the variable is
+  /// set (explicitly configured binaries call this last — or not at all).
+  void apply_env() { trace.level = trace_level_from_env(trace.level); }
+
+  /// Reads the standard CLI flags: --trace LEVEL, --trace-buffer EVENTS,
+  /// --trace-sample N, --snapshot-every REQS, --snapshot-every-ms MS,
+  /// --profile. Flags the parser does not carry keep their current value.
+  void apply_cli(const ArgParser& args);
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options)
+      : options_(options),
+        trace_(options.trace),
+        profiler_(options.profile) {}
+
+  const TelemetryOptions& options() const { return options_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+
+ private:
+  TelemetryOptions options_;
+  TraceBuffer trace_;
+  MetricsRegistry registry_;
+  Profiler profiler_;
+};
+
+/// What a finished run hands back (drained, value-typed, thread-safe to
+/// move across the experiment runner).
+struct TelemetryResult {
+  std::vector<TraceEvent> events;
+  std::uint64_t events_emitted = 0;
+  std::uint64_t events_dropped = 0;
+  std::uint64_t events_sampled_out = 0;
+  MetricsSeries snapshots;
+  ProfileReport profile;
+
+  bool empty() const {
+    return events.empty() && snapshots.empty() && profile.empty();
+  }
+};
+
+}  // namespace reqblock

@@ -1,0 +1,79 @@
+#include "telemetry/trace_buffer.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace reqblock {
+
+TraceLevel parse_trace_level(std::string_view text, TraceLevel fallback) {
+  if (iequals(text, "off") || text == "0" || iequals(text, "none")) {
+    return TraceLevel::kOff;
+  }
+  if (iequals(text, "cache")) return TraceLevel::kCache;
+  if (iequals(text, "flash")) return TraceLevel::kFlash;
+  if (iequals(text, "all") || iequals(text, "on") || text == "1") {
+    return TraceLevel::kAll;
+  }
+  return fallback;
+}
+
+TraceLevel trace_level_from_env(TraceLevel fallback) {
+  const char* env = std::getenv("REQBLOCK_TRACE");
+  if (env == nullptr) return fallback;
+  return parse_trace_level(env, fallback);
+}
+
+TraceBuffer::TraceBuffer(TraceConfig config) : config_(config) {
+  REQB_CHECK_MSG(config_.capacity >= 1, "trace ring needs at least one slot");
+  if (config_.sample_period == 0) config_.sample_period = 1;
+  // Storage is reserved lazily in emit(): a buffer that never accepts an
+  // event (level off, or nothing instrumented ran) costs zero allocations.
+}
+
+void TraceBuffer::emit(const TraceEvent& e) {
+  const EventCategory cat = category_of(e.kind);
+  if (!enabled(cat)) return;
+  const std::size_t ci = cat == EventCategory::kCache ? 0 : 1;
+  if (offered_[ci]++ % config_.sample_period != 0) {
+    ++sampled_out_;
+    return;
+  }
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(e);
+    ++size_;
+  } else {
+    ring_[next_] = e;  // overwrite the oldest event
+  }
+  next_ = (next_ + 1) % config_.capacity;
+  ++emitted_;
+}
+
+std::vector<TraceEvent> TraceBuffer::drain() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  if (size_ < config_.capacity) {
+    // Never wrapped: events sit in insertion order from slot 0.
+    out.assign(ring_.begin(), ring_.end());
+    return out;
+  }
+  // Wrapped: the oldest surviving event is at next_.
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  size_ = 0;
+  emitted_ = 0;
+  sampled_out_ = 0;
+  offered_[0] = offered_[1] = 0;
+}
+
+}  // namespace reqblock

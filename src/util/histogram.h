@@ -32,6 +32,7 @@ class LogHistogram {
   std::int64_t p50() const { return quantile(0.50); }
   std::int64_t p95() const { return quantile(0.95); }
   std::int64_t p99() const { return quantile(0.99); }
+  std::int64_t p999() const { return quantile(0.999); }
 
  private:
   static std::size_t bucket_for(std::int64_t v);

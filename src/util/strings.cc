@@ -75,9 +75,22 @@ bool iequals(std::string_view a, std::string_view b) {
 }
 
 std::string format_double(double v, int decimals) {
+  // std::to_chars, not snprintf: %f honors the process locale, and a
+  // stray setlocale() would turn "0.5" into "0,5" in every CSV we write.
+  if (decimals < 0) decimals = 0;
+  if (decimals > 32) decimals = 32;
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
-  return buf;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::fixed, decimals);
+  if (ec != std::errc{}) {
+    // Out of range for the fixed representation (huge magnitude); fall
+    // back to scientific, which always fits.
+    const auto [p2, e2] =
+        std::to_chars(buf, buf + sizeof(buf), v,
+                      std::chars_format::scientific, decimals);
+    return std::string(buf, e2 == std::errc{} ? p2 : buf);
+  }
+  return std::string(buf, ptr);
 }
 
 std::string format_bytes(double bytes) {

@@ -27,7 +27,8 @@ std::optional<double> parse_double(std::string_view s);
 /// Case-insensitive ASCII comparison.
 bool iequals(std::string_view a, std::string_view b);
 
-/// Formats a double with the given number of decimals.
+/// Formats a double with the given number of decimals (fixed notation,
+/// locale-independent: always '.' as the decimal separator).
 std::string format_double(double v, int decimals);
 
 /// Human-friendly byte count, e.g. "16.0MB".

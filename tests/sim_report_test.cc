@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/simulator.h"
@@ -69,6 +70,92 @@ TEST(ReportTest, MetadataPercentConsistent) {
                         (static_cast<double>(r.cache_capacity_pages) * 4096) *
                         100.0;
   EXPECT_DOUBLE_EQ(pct, expect);
+}
+
+// Golden file: the CSV header and one hand-built row, byte for byte.
+// Every value is chosen to be exactly representable so the expectation
+// holds on any host/locale (format_double is locale-independent).
+TEST(ReportTest, ResultsCsvGolden) {
+  RunResult r;
+  r.trace_name = "golden";
+  r.policy_name = "lru";
+  r.cache_capacity_pages = 4096;
+  r.requests = 100;
+  r.response.record(10);  // buckets below 16 are exact: all quantiles = 10
+  r.cache.page_lookups = 200;
+  r.cache.page_hits = 150;  // hit_ratio = 0.75
+  r.cache.eviction_batch.record(4);
+  r.cache.eviction_batch.record(8);  // mean = 6
+  r.flash.host_page_writes = 50;
+  r.flash.host_page_reads = 25;
+  r.flash.gc_page_moves = 10;  // waf = 60/50 = 1.2
+  r.flash.erases = 2;
+  r.channel_utilization = 0.25;
+  r.chip_utilization = 0.125;
+
+  std::ostringstream os;
+  write_results_csv(os, {r});
+  EXPECT_EQ(os.str(),
+            "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
+            "p95_ns,p99_ns,p999_ns,flash_writes,flash_reads,gc_moves,"
+            "erases,waf,pages_per_evict,metadata_pct,channel_util,"
+            "chip_util\n"
+            "golden,lru,4096,100,0.750000,10,10,10,10,10,50,25,10,2,"
+            "1.2000,6.000,0.0000,0.2500,0.1250\n");
+}
+
+TEST(ReportTest, CsvTailColumnsFromRealRun) {
+  const RunResult r = sample_result();
+  std::ostringstream os;
+  write_results_csv(os, {r});
+  const std::string out = os.str();
+  // Header and row agree on column count.
+  const auto nl = out.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const auto cols = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',') + 1;
+  };
+  EXPECT_EQ(cols(out.substr(0, nl)), cols(out.substr(nl + 1)));
+  EXPECT_NE(out.find("p95_ns"), std::string::npos);
+  EXPECT_NE(out.find("p999_ns"), std::string::npos);
+}
+
+TEST(ReportTest, SelfProfileAndSnapshotSummarySilentWhenAbsent) {
+  RunResult r;  // no telemetry collected
+  std::ostringstream os;
+  write_self_profile(os, r);
+  write_snapshot_summary(os, r);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(ReportTest, SnapshotSummaryRendersColumns) {
+  RunResult r;
+  r.trace_name = "t";
+  r.policy_name = "p";
+  r.telemetry.snapshots.columns = {"cache.hit_ratio", "flash.waf"};
+  r.telemetry.snapshots.rows.push_back({100, 1000, {0.5, 1.0}});
+  r.telemetry.snapshots.rows.push_back({200, 2000, {0.75, 1.5}});
+  std::ostringstream os;
+  write_snapshot_summary(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cache.hit_ratio"), std::string::npos);
+  EXPECT_NE(out.find("flash.waf"), std::string::npos);
+  EXPECT_NE(out.find("0.7500"), std::string::npos);  // last hit ratio
+  EXPECT_NE(out.find("2 samples"), std::string::npos);
+}
+
+TEST(ReportTest, SelfProfileRendersSections) {
+  RunResult r;
+  r.trace_name = "t";
+  r.policy_name = "p";
+  r.telemetry.profile.entries.push_back({"cache_serve", 100, 1'000'000});
+  r.telemetry.profile.entries.push_back({"gc", 4, 3'000'000});
+  std::ostringstream os;
+  write_self_profile(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cache_serve"), std::string::npos);
+  EXPECT_NE(out.find("gc"), std::string::npos);
+  EXPECT_NE(out.find("75.0%"), std::string::npos);  // gc share of 4ms
 }
 
 TEST(ReportTest, MetadataPercentZeroCapacity) {

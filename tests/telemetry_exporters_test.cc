@@ -1,0 +1,80 @@
+#include "telemetry/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reqblock {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  return {
+      {1000, 0, 42, 1, EventKind::kCacheHit, kTrackManager, 0},
+      {2000, 500, 43, 4, EventKind::kCacheEvict, kTrackManager, 0},
+      {2000, 17000000, 43, 7, EventKind::kPageProgram, 3, 1},
+      {2500, 0, 0, 2, EventKind::kGcStart, 3, 1},
+  };
+}
+
+TEST(ExportersTest, JsonlEmitsOneObjectPerLine) {
+  std::ostringstream os;
+  write_events_jsonl(os, sample_events());
+  const std::string out = os.str();
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_NE(out.find("\"kind\":\"cache_hit\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"page_program\""), std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"flash\""), std::string::npos);
+  EXPECT_NE(out.find("\"lpn\":42"), std::string::npos);
+}
+
+TEST(ExportersTest, ChromeTraceHasMetadataAndSlices) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_events());
+  const std::string out = os.str();
+  // Valid envelope.
+  EXPECT_EQ(out.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(out.find("\"displayTimeUnit\""), std::string::npos);
+  // Process/thread naming metadata for the lanes actually used.
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"cache\""), std::string::npos);
+  EXPECT_NE(out.find("\"flash chips\""), std::string::npos);
+  EXPECT_NE(out.find("\"chip 3\""), std::string::npos);
+  EXPECT_NE(out.find("\"channel 1\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"manager\""), std::string::npos);
+  // Durations become "X" slices (ts in microseconds: 2000ns -> 2us),
+  // instants become "i".
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":17000"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check; the CI job
+  // additionally runs a real JSON parser over an exported file).
+  std::ptrdiff_t braces = 0, brackets = 0;
+  for (const char c : out) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ExportersTest, EmptyEventListsStillWellFormed) {
+  std::ostringstream os_jsonl, os_trace;
+  write_events_jsonl(os_jsonl, {});
+  EXPECT_TRUE(os_jsonl.str().empty());
+  write_chrome_trace(os_trace, {});
+  EXPECT_EQ(os_trace.str().find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(os_trace.str().find("]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reqblock

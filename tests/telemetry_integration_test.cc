@@ -1,0 +1,256 @@
+// End-to-end telemetry: the event stream, the metric snapshots, and the
+// self-profile must reconcile with the aggregates the simulator already
+// reports. Any drift means an instrumentation point was lost or doubled.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/vector_source.h"
+#include "util/rng.h"
+
+namespace reqblock {
+namespace {
+
+std::vector<IoRequest> churn_workload(std::uint64_t requests, Lpn footprint,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IoRequest> out;
+  out.reserve(requests);
+  for (std::uint64_t id = 0; id < requests; ++id) {
+    IoRequest r;
+    r.id = id;
+    r.arrival = static_cast<SimTime>(id) * 400 * kMicrosecond;
+    r.type = rng.next_bool(0.85) ? IoType::kWrite : IoType::kRead;
+    r.pages = static_cast<std::uint32_t>(rng.next_in(1, 6));
+    r.lpn = rng.next_below(footprint - r.pages + 1);
+    out.push_back(r);
+  }
+  return out;
+}
+
+SimOptions traced_options(const std::string& policy) {
+  SimOptions o;
+  o.ssd = testing::micro_ssd();
+  o.policy.name = policy;
+  o.policy.capacity_pages = 128;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 128;
+  o.telemetry.trace.level = TraceLevel::kAll;
+  o.telemetry.trace.capacity = 1u << 22;  // never wraps in these runs
+  o.telemetry_env_override = false;       // deterministic under any env
+  return o;
+}
+
+std::map<EventKind, std::uint64_t> count_by_kind(
+    const std::vector<TraceEvent>& events) {
+  std::map<EventKind, std::uint64_t> out;
+  for (const auto& e : events) ++out[e.kind];
+  return out;
+}
+
+class TelemetryReconcile : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TelemetryReconcile, EventCountsMatchRunAggregates) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(12000, cfg.total_pages() * 6 / 10, 77), "churn");
+  SimOptions o = traced_options(GetParam());
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+
+  ASSERT_FALSE(r.telemetry.events.empty());
+  EXPECT_EQ(r.telemetry.events_dropped, 0u) << "ring wrapped; grow capacity";
+  EXPECT_EQ(r.telemetry.events_sampled_out, 0u);
+  EXPECT_EQ(r.telemetry.events.size(), r.telemetry.events_emitted);
+
+  auto n = count_by_kind(r.telemetry.events);
+  EXPECT_EQ(n[EventKind::kCacheHit], r.cache.page_hits);
+  EXPECT_EQ(n[EventKind::kCacheMiss],
+            r.cache.page_lookups - r.cache.page_hits);
+  EXPECT_EQ(n[EventKind::kCacheInsert], r.cache.inserts);
+  EXPECT_EQ(n[EventKind::kCacheBypass], r.cache.bypass_pages);
+  EXPECT_EQ(n[EventKind::kCacheEvict], r.cache.evictions);
+  EXPECT_EQ(n[EventKind::kPageRead], r.flash.host_page_reads);
+  EXPECT_EQ(n[EventKind::kPageProgram], r.flash.host_page_writes);
+  EXPECT_EQ(n[EventKind::kGcMove], r.flash.gc_page_moves);
+  EXPECT_EQ(n[EventKind::kBlockErase], r.flash.erases);
+  EXPECT_EQ(n[EventKind::kGcStart], n[EventKind::kGcEnd]);
+  EXPECT_GT(r.flash.gc_page_moves, 0u) << "workload failed to pressure GC";
+
+  // Flush events carry the flushed page count in arg; the sum must equal
+  // the aggregate, and evicted pages ride kCacheEvict the same way.
+  std::uint64_t flushed = 0, evicted = 0;
+  for (const auto& e : r.telemetry.events) {
+    if (e.kind == EventKind::kCacheFlush) flushed += e.arg;
+    if (e.kind == EventKind::kCacheEvict) evicted += e.arg;
+  }
+  EXPECT_EQ(flushed, r.cache.flushed_pages);
+  EXPECT_EQ(evicted, r.cache.evicted_pages);
+
+  // Every event starts inside the simulated range.
+  for (const auto& e : r.telemetry.events) {
+    EXPECT_LE(e.at, r.sim_end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, TelemetryReconcile,
+                         ::testing::Values("reqblock", "lru", "cflru"));
+
+TEST(TelemetryIntegrationTest, WarmupEventsAreDiscarded) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(8000, cfg.total_pages() / 2, 99), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.warmup_requests = 3000;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+
+  // Reconciliation holds against the post-warmup aggregates: the trace
+  // buffer is cleared exactly when the counters are.
+  auto n = count_by_kind(r.telemetry.events);
+  EXPECT_EQ(n[EventKind::kCacheHit], r.cache.page_hits);
+  EXPECT_EQ(n[EventKind::kCacheInsert], r.cache.inserts);
+  EXPECT_EQ(n[EventKind::kPageProgram], r.flash.host_page_writes);
+  EXPECT_EQ(n[EventKind::kBlockErase], r.flash.erases);
+}
+
+TEST(TelemetryIntegrationTest, OffLevelCollectsAndAllocatesNothing) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(4000, cfg.total_pages() / 2, 5), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.telemetry.trace.level = TraceLevel::kOff;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+  EXPECT_TRUE(r.telemetry.events.empty());
+  EXPECT_EQ(r.telemetry.events_emitted, 0u);
+  EXPECT_TRUE(r.telemetry.snapshots.empty());
+  EXPECT_TRUE(r.telemetry.profile.empty());
+  EXPECT_TRUE(r.telemetry.empty());
+}
+
+TEST(TelemetryIntegrationTest, CacheLevelExcludesFlashEvents) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(4000, cfg.total_pages() / 2, 5), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.telemetry.trace.level = TraceLevel::kCache;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+  ASSERT_FALSE(r.telemetry.events.empty());
+  for (const auto& e : r.telemetry.events) {
+    EXPECT_EQ(category_of(e.kind), EventCategory::kCache);
+  }
+}
+
+TEST(TelemetryIntegrationTest, SnapshotsReproduceOccupancySeries) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(10000, cfg.total_pages() / 2, 31), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.telemetry.trace.level = TraceLevel::kOff;
+  o.occupancy_log_interval = 500;               // existing Fig. 13 probe
+  o.telemetry.snapshot_every_requests = 500;    // generalized probe
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+
+  const MetricsSeries& s = r.telemetry.snapshots;
+  ASSERT_FALSE(s.empty());
+  ASSERT_EQ(s.rows.size(), r.occupancy_series.size());
+  const std::array<std::pair<const char*,
+                             std::uint64_t ListOccupancy::*>, 6> cols = {{
+      {"list.irl_pages", &ListOccupancy::irl_pages},
+      {"list.srl_pages", &ListOccupancy::srl_pages},
+      {"list.drl_pages", &ListOccupancy::drl_pages},
+      {"list.irl_blocks", &ListOccupancy::irl_blocks},
+      {"list.srl_blocks", &ListOccupancy::srl_blocks},
+      {"list.drl_blocks", &ListOccupancy::drl_blocks},
+  }};
+  for (const auto& [name, member] : cols) {
+    const std::size_t c = s.column_index(name);
+    ASSERT_NE(c, MetricsSeries::npos) << name;
+    for (std::size_t i = 0; i < s.rows.size(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          s.rows[i].values[c],
+          static_cast<double>(r.occupancy_series[i].*member))
+          << name << " row " << i;
+    }
+  }
+  // The request spine matches the probe interval.
+  for (std::size_t i = 0; i < s.rows.size(); ++i) {
+    EXPECT_EQ(s.rows[i].request, (i + 1) * 500);
+  }
+}
+
+TEST(TelemetryIntegrationTest, SnapshotColumnsCoverCacheAndFlash) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(3000, cfg.total_pages() / 2, 8), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.telemetry.trace.level = TraceLevel::kOff;
+  o.telemetry.snapshot_every_requests = 1000;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+
+  const MetricsSeries& s = r.telemetry.snapshots;
+  ASSERT_EQ(s.rows.size(), 3u);
+  for (const char* name :
+       {"cache.hit_ratio", "cache.inserts", "cache.evictions",
+        "flash.host_page_writes", "flash.waf", "flash.free_blocks",
+        "policy.pages", "policy.blocks", "list.irl_pages"}) {
+    EXPECT_NE(s.column_index(name), MetricsSeries::npos) << name;
+  }
+  // Final snapshot row agrees with the end-of-run aggregates for the
+  // monotone counters (the last row is taken at the last request).
+  const auto& last = s.rows.back();
+  EXPECT_DOUBLE_EQ(last.values[s.column_index("cache.inserts")],
+                   static_cast<double>(r.cache.inserts));
+  // Rows carry values for every column.
+  for (const auto& row : s.rows) {
+    ASSERT_EQ(row.values.size(), s.columns.size());
+  }
+}
+
+TEST(TelemetryIntegrationTest, ProfilerReportsHotSections) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(6000, cfg.total_pages() / 2, 13), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.telemetry.trace.level = TraceLevel::kOff;
+  o.telemetry.profile = true;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+
+  ASSERT_FALSE(r.telemetry.profile.empty());
+  std::map<std::string, ProfileReport::Entry> by_name;
+  for (const auto& e : r.telemetry.profile.entries) by_name[e.section] = e;
+  ASSERT_TRUE(by_name.contains("cache_serve"));
+  EXPECT_EQ(by_name["cache_serve"].calls, r.requests);
+  EXPECT_TRUE(by_name.contains("evict_flush"));
+  EXPECT_TRUE(by_name.contains("ftl_program"));
+  EXPECT_TRUE(by_name.contains("gc"));
+}
+
+TEST(TelemetryIntegrationTest, SamplingAndWrapStatsSurviveIntoResult) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(
+      churn_workload(6000, cfg.total_pages() / 2, 21), "churn");
+  SimOptions o = traced_options("reqblock");
+  o.telemetry.trace.capacity = 256;  // force wraparound
+  o.telemetry.trace.sample_period = 3;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+
+  EXPECT_EQ(r.telemetry.events.size(), 256u);
+  EXPECT_GT(r.telemetry.events_dropped, 0u);
+  EXPECT_GT(r.telemetry.events_sampled_out, 0u);
+  EXPECT_EQ(r.telemetry.events_emitted,
+            r.telemetry.events.size() + r.telemetry.events_dropped);
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -1,0 +1,99 @@
+#include "telemetry/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace reqblock {
+namespace {
+
+TEST(MetricsRegistryTest, NamesAreSortedRegardlessOfRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.register_gauge("z.last", [] { return 1.0; });
+  reg.register_gauge("a.first", [] { return 2.0; });
+  reg.register_gauge("m.middle", [] { return 3.0; });
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.first");
+  EXPECT_EQ(names[1], "m.middle");
+  EXPECT_EQ(names[2], "z.last");
+  // sample() follows names() order.
+  const auto values = reg.sample();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 2.0);
+  EXPECT_DOUBLE_EQ(values[1], 3.0);
+  EXPECT_DOUBLE_EQ(values[2], 1.0);
+}
+
+TEST(MetricsRegistryTest, DuplicateNameThrows) {
+  MetricsRegistry reg;
+  reg.register_gauge("cache.hit_ratio", [] { return 0.0; });
+  EXPECT_THROW(reg.register_gauge("cache.hit_ratio", [] { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, InvalidNamesThrow) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.register_gauge("", [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_gauge("has,comma", [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_gauge("has\nnewline", [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_gauge("null.sampler", MetricsRegistry::Sampler{}),
+               std::invalid_argument);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistryTest, CounterGaugeTracksLiveValue) {
+  MetricsRegistry reg;
+  std::uint64_t counter = 7;
+  reg.register_counter("flash.writes", &counter);
+  EXPECT_DOUBLE_EQ(reg.sample()[0], 7.0);
+  counter = 42;
+  EXPECT_DOUBLE_EQ(reg.sample()[0], 42.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotSamplingIsDeterministic) {
+  MetricsRegistry reg;
+  double x = 1.5;
+  reg.register_gauge("b", [&] { return x; });
+  reg.register_gauge("a", [&] { return -x; });
+  const auto s1 = reg.sample();
+  const auto s2 = reg.sample();
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(MetricsSeriesTest, ColumnIndexFindsColumns) {
+  MetricsSeries s;
+  s.columns = {"a", "b", "c"};
+  EXPECT_EQ(s.column_index("a"), 0u);
+  EXPECT_EQ(s.column_index("c"), 2u);
+  EXPECT_EQ(s.column_index("missing"), MetricsSeries::npos);
+}
+
+TEST(MetricsSeriesTest, CsvGolden) {
+  MetricsSeries s;
+  s.columns = {"cache.hit_ratio", "flash.waf"};
+  s.rows.push_back({1000, 5000, {0.5, 1.25}});
+  s.rows.push_back({2000, 10000, {0.75, 1.5}});
+  std::ostringstream os;
+  write_series_csv(os, s);
+  EXPECT_EQ(os.str(),
+            "request,sim_ns,cache.hit_ratio,flash.waf\n"
+            "1000,5000,0.500000,1.250000\n"
+            "2000,10000,0.750000,1.500000\n");
+}
+
+TEST(MetricsSeriesTest, EmptySeriesWritesHeaderOnly) {
+  MetricsSeries s;
+  s.columns = {"only.metric"};
+  std::ostringstream os;
+  write_series_csv(os, s);
+  EXPECT_EQ(os.str(), "request,sim_ns,only.metric\n");
+}
+
+}  // namespace
+}  // namespace reqblock

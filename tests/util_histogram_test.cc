@@ -43,6 +43,28 @@ TEST(LogHistogramTest, QuantileWithinBucketResolution) {
   EXPECT_NEAR(p99, 9900.0, 9900.0 * 0.08);
 }
 
+TEST(LogHistogramTest, P999WithinBucketResolution) {
+  LogHistogram h;
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  const double p999 = static_cast<double>(h.p999());
+  EXPECT_NEAR(p999, 99900.0, 99900.0 * 0.08);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max());
+}
+
+TEST(LogHistogramTest, P999OfTailHeavySample) {
+  // 997 fast ops and 3 slow ones: p99 sits in the fast mass, p999
+  // must surface the outliers' bucket.
+  LogHistogram h;
+  for (int i = 0; i < 997; ++i) h.record(100);
+  for (int i = 0; i < 3; ++i) h.record(1'000'000);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 100.0, 100.0 * 0.08);
+  EXPECT_GT(h.p999(), 500'000);
+}
+
 TEST(LogHistogramTest, NegativeClampedToZero) {
   LogHistogram h;
   h.record(-5);

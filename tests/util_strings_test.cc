@@ -73,6 +73,21 @@ TEST(StringsTest, FormatDouble) {
   EXPECT_EQ(format_double(1.0, 0), "1");
 }
 
+TEST(StringsTest, FormatDoubleLocaleIndependent) {
+  // format_double feeds every CSV the simulator writes; the decimal
+  // separator must be '.' regardless of the process locale (to_chars
+  // ignores it; snprintf %f would not).
+  EXPECT_EQ(format_double(0.5, 6), "0.500000");
+  EXPECT_EQ(format_double(-2.25, 3), "-2.250");
+  EXPECT_EQ(format_double(0.0, 4), "0.0000");
+  EXPECT_EQ(format_double(1234567.0, 1), "1234567.0");
+  // Negative precision clamps to 0 rather than corrupting the output.
+  EXPECT_EQ(format_double(7.9, -3), "8");
+  // Huge magnitudes fall back to scientific instead of truncating.
+  const std::string huge = format_double(1e300, 2);
+  EXPECT_NE(huge.find('e'), std::string::npos);
+}
+
 TEST(StringsTest, FormatBytes) {
   EXPECT_EQ(format_bytes(512), "512.0B");
   EXPECT_EQ(format_bytes(2048), "2.0KB");
