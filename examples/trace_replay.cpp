@@ -59,6 +59,10 @@ int main(int argc, char** argv) {
                  " [--policy NAME] [--cache-mb MB] [--requests N]"
                  " [--delta D] [--warmup N] [--occupancy] [--stats-only]"
                  " [--csv FILE]\n"
+                 "fault injection: [--fault-seed S] [--fault-program-fail P]"
+                 " [--fault-read-fail P] [--fault-erase-fail P]"
+                 " [--fault-retries N] [--fault-spares N]"
+                 " [--fault-power-loss-every N]\n"
                  "profiles: hm_1 lun_1 usr_0 src1_2 ts_0 proj_0\n"
                  "policies: lru fifo lfu cflru fab bplru vbbms reqblock\n";
     return 0;
@@ -84,11 +88,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(args.get_u64_or("delta", 5)));
   options.warmup_requests = args.get_u64_or("warmup", 0);
   if (args.has("occupancy")) options.occupancy_log_interval = 10000;
+  options.fault.apply_cli(args);
 
   Simulator sim(options);
   const RunResult result = sim.run(*trace);
 
   results_table({result}).print(std::cout);
+  write_fault_summary(std::cout, result);
   if (const auto csv_path = args.get("csv")) {
     std::ofstream csv(*csv_path);
     if (csv) {

@@ -315,6 +315,46 @@ void CacheManager::audit(AuditReport& report, AuditLevel depth) const {
   policy_->audit(report);
 }
 
+SimTime CacheManager::power_loss(SimTime at, FaultInjector& fault) {
+  policy_->on_power_loss();  // release in-flight eviction guards
+  std::uint64_t lost_dirty = 0;
+  while (policy_->pages() > 0) {
+    VictimBatch victim = policy_->select_victim();
+    REQB_CHECK_MSG(!victim.empty(),
+                   "policy withheld pages while draining after power loss");
+    for (const Lpn lpn : victim.pages) {
+      const auto it = pages_.find(lpn);
+      REQB_CHECK_MSG(it != pages_.end(),
+                     "policy evicted a page the cache does not hold");
+      if (it->second.dirty) {
+        // The only copy was volatile: the write is gone. Roll the oracle
+        // back to the version flash still holds so post-recovery reads
+        // verify against the surviving data instead of the lost write.
+        ++lost_dirty;
+        last_version_[lpn] = ftl_.version_of(lpn);
+      }
+      retire_entry(lpn, it->second);
+      pages_.erase(it);
+    }
+  }
+  REQB_CHECK(pages_.empty());
+
+  FaultMetrics& fm = fault.metrics();
+  ++fm.power_loss_events;
+  fm.lost_dirty_pages += lost_dirty;
+  const SimTime recovery =
+      fault.plan().power_loss_downtime +
+      static_cast<SimTime>(lost_dirty) * fault.plan().recovery_replay_per_page;
+  fm.recovery_time_total += recovery;
+  if (trace_ != nullptr) {
+    trace_->emit({at, recovery, 0, lost_dirty, EventKind::kPowerLoss,
+                  kTrackManager, 0});
+  }
+  run_audit("CacheManager", AuditLevel::kLight,
+            [this](AuditReport& r) { audit(r, audit_level()); });
+  return at + recovery;
+}
+
 void CacheManager::finalize() {
   for (const auto& [lpn, entry] : pages_) retire_entry(lpn, entry);
 }

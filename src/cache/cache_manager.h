@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/write_buffer.h"
+#include "fault/fault.h"
 #include "ssd/ftl.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/profiler.h"
@@ -88,6 +89,14 @@ class CacheManager {
   /// Serves one host request starting at req.arrival; returns completion
   /// time. Must be called in nondecreasing arrival order.
   SimTime serve(const IoRequest& req);
+
+  /// Injected power loss at `at`: drops the whole volatile buffer (clean
+  /// and dirty pages alike), counts the dirty pages as lost into `fault`'s
+  /// metrics, rolls the write oracle back to what flash actually holds for
+  /// them (post-recovery reads then model the data loss consistently), and
+  /// returns when the device is back up — `at` plus the fixed downtime plus
+  /// the per-lost-page recovery replay.
+  SimTime power_loss(SimTime at, FaultInjector& fault);
 
   /// Flushes instrumentation for pages still resident (call once at end of
   /// a run so Fig. 3 reuse stats cover the whole population).

@@ -57,6 +57,11 @@ class WriteBufferPolicy {
   /// request); the manager then bypasses the cache for the pending page.
   virtual VictimBatch select_victim() = 0;
 
+  /// The volatile buffer is about to be dropped (injected power loss).
+  /// Policies that withhold victims for the in-flight request must release
+  /// those guards so the manager can drain every page via select_victim.
+  virtual void on_power_loss() {}
+
   /// Pages the policy currently tracks. Cross-checked against the
   /// manager's page table by the test suite.
   virtual std::size_t pages() const = 0;

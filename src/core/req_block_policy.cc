@@ -151,7 +151,10 @@ VictimBatch ReqBlockPolicy::select_victim() {
     while (cand != nullptr && guarded(cand)) cand = list.prev(cand);
     if (cand == nullptr) continue;
     const double f = req_block_freq(*cand, tick_, opt_.freq_mode);
-    if (f < best) {
+    // A just-inserted tail (age 0) scores +inf; it must still be
+    // evictable — the power-loss drain selects until the cache is empty,
+    // where such a block can be the only candidate left.
+    if (victim == nullptr || f < best) {
       best = f;
       victim = cand;
     }

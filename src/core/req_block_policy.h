@@ -57,6 +57,14 @@ class ReqBlockPolicy final : public WriteBufferPolicy {
   void on_hit(Lpn lpn, const IoRequest& req, bool is_write) override;
   void on_insert(Lpn lpn, const IoRequest& req, bool is_write) override;
   VictimBatch select_victim() override;
+  /// Drops the in-flight request's eviction guards: after a power loss
+  /// there is no request to protect and the manager must be able to drain
+  /// the whole buffer.
+  void on_power_loss() override {
+    current_req_id_ = ~0ULL;
+    guard_insert_block_ = 0;
+    guard_split_block_ = 0;
+  }
   std::size_t pages() const override { return page_to_block_.size(); }
   std::size_t metadata_bytes() const override {
     return blocks_.size() * 32;  // paper Fig. 12: 32 B per request block

@@ -1,0 +1,92 @@
+#include "fault/fault.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/args.h"
+
+namespace reqblock {
+
+namespace {
+
+void check_prob(double p, const char* name) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument(std::string(name) +
+                                " must be in [0, 1), got " +
+                                std::to_string(p));
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_prob(program_fail_prob, "program_fail_prob");
+  check_prob(read_fail_prob, "read_fail_prob");
+  check_prob(erase_fail_prob, "erase_fail_prob");
+  if (max_program_retries == 0) {
+    throw std::invalid_argument("max_program_retries must be >= 1");
+  }
+}
+
+void FaultPlan::apply_cli(const ArgParser& args) {
+  seed = args.get_u64_or("fault-seed", seed);
+  program_fail_prob =
+      args.get_double_or("fault-program-fail", program_fail_prob);
+  read_fail_prob = args.get_double_or("fault-read-fail", read_fail_prob);
+  erase_fail_prob = args.get_double_or("fault-erase-fail", erase_fail_prob);
+  max_program_retries = static_cast<std::uint32_t>(
+      args.get_u64_or("fault-retries", max_program_retries));
+  spare_blocks_per_plane = static_cast<std::uint32_t>(
+      args.get_u64_or("fault-spares", spare_blocks_per_plane));
+  power_loss_every_requests =
+      args.get_u64_or("fault-power-loss-every", power_loss_every_requests);
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+  plan_.validate();
+  metrics_.enabled = plan_.enabled();
+}
+
+bool FaultInjector::inject_program_fault() {
+  if (plan_.program_fail_prob <= 0.0) return false;
+  if (!rng_.next_bool(plan_.program_fail_prob)) return false;
+  ++metrics_.program_faults;
+  return true;
+}
+
+bool FaultInjector::inject_read_fault() {
+  if (plan_.read_fail_prob <= 0.0) return false;
+  if (!rng_.next_bool(plan_.read_fail_prob)) return false;
+  ++metrics_.read_faults;
+  return true;
+}
+
+bool FaultInjector::inject_erase_fault() {
+  if (plan_.erase_fail_prob <= 0.0) return false;
+  if (!rng_.next_bool(plan_.erase_fail_prob)) return false;
+  ++metrics_.erase_faults;
+  return true;
+}
+
+SimTime FaultInjector::program_backoff(std::uint32_t chip) {
+  if (chip_fail_streak_.size() <= chip) chip_fail_streak_.resize(chip + 1, 0);
+  const std::uint32_t streak = chip_fail_streak_[chip]++;
+  return plan_.retry_backoff << (streak < 6 ? streak : 6);
+}
+
+void FaultInjector::note_program_success(std::uint32_t chip) {
+  if (chip < chip_fail_streak_.size()) chip_fail_streak_[chip] = 0;
+}
+
+void FaultInjector::reset_metrics() {
+  const bool enabled = metrics_.enabled;
+  // degraded_planes describes current device state (like cache contents,
+  // it carries across the warmup boundary); the event counters reset.
+  const std::uint64_t degraded = metrics_.degraded_planes;
+  metrics_ = FaultMetrics{};
+  metrics_.enabled = enabled;
+  metrics_.degraded_planes = degraded;
+}
+
+}  // namespace reqblock

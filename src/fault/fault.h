@@ -1,0 +1,136 @@
+// Deterministic fault injection: plan + injector.
+//
+// A FaultPlan is the seeded, immutable description of every fault a run
+// may experience: NAND program/read/erase failure probabilities, the
+// bounded program-retry budget with per-chip backoff, the spare-block
+// budget behind bad-block retirement, and the power-loss schedule. A
+// FaultInjector is the per-run mutable state: one RNG stream (consulted in
+// device-operation order, which is deterministic because each simulated
+// run is single-threaded), per-chip consecutive-failure counters, and the
+// fault accounting the report layer exposes.
+//
+// Determinism contract: with the same plan, a run produces bit-identical
+// results at any experiment thread count (runs own private injectors);
+// with every probability at zero and no power loss scheduled, the
+// instrumented hot paths never consult the injector and behave exactly
+// like a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+class ArgParser;
+
+/// Seeded, immutable description of the faults a run may inject.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // --- NAND operation failure probabilities (per attempt) -------------
+  double program_fail_prob = 0.0;
+  double read_fail_prob = 0.0;
+  double erase_fail_prob = 0.0;
+
+  // --- Program retry ---------------------------------------------------
+  /// Failed program attempts tolerated per page write before the block is
+  /// declared bad; the attempt after the last retry always succeeds (on a
+  /// fresh block), bounding the retry loop.
+  std::uint32_t max_program_retries = 3;
+  /// Base chip backoff after a failed program; doubles per consecutive
+  /// failure on the same chip (capped), resets on success.
+  SimTime retry_backoff = 50 * kMicrosecond;
+
+  // --- Bad-block retirement --------------------------------------------
+  /// Blocks reserved per plane at wiring time. Retiring a block consumes
+  /// one spare; when the pool is empty the plane runs degraded.
+  std::uint32_t spare_blocks_per_plane = 8;
+  /// Extra chip time per program on a degraded plane (read-retry / soft
+  /// ECC overhead of running past the spare budget).
+  SimTime degraded_program_penalty = 200 * kMicrosecond;
+
+  // --- Power loss -------------------------------------------------------
+  /// Drop the volatile write buffer after every N served requests
+  /// (0 = never). Deterministic by construction — no RNG involved.
+  std::uint64_t power_loss_every_requests = 0;
+  /// Fixed controller restart cost charged per power-loss event.
+  SimTime power_loss_downtime = 10 * kMillisecond;
+  /// Recovery-replay cost per lost dirty page (mapping-journal scan and
+  /// rebuild work is proportional to what was in flight).
+  SimTime recovery_replay_per_page = 10 * kMicrosecond;
+
+  /// True when any fault class can fire. Disabled plans are never wired,
+  /// so the hot paths keep their fault-free behavior bit-for-bit.
+  bool enabled() const {
+    return program_fail_prob > 0.0 || read_fail_prob > 0.0 ||
+           erase_fail_prob > 0.0 || power_loss_every_requests > 0;
+  }
+
+  /// Throws std::invalid_argument on out-of-range probabilities.
+  void validate() const;
+
+  /// Reads the standard CLI flags: --fault-seed, --fault-program-fail,
+  /// --fault-read-fail, --fault-erase-fail, --fault-retries,
+  /// --fault-spares, --fault-power-loss-every. Flags the parser does not
+  /// carry keep their current value.
+  void apply_cli(const ArgParser& args);
+};
+
+/// Everything the injector counted. Reconciled 1:1 against fault-class
+/// TraceEvents and the report/CSV columns by the test suite.
+struct FaultMetrics {
+  bool enabled = false;
+  std::uint64_t program_faults = 0;   // injected program-attempt failures
+  std::uint64_t read_faults = 0;      // injected read failures (1 retry each)
+  std::uint64_t erase_faults = 0;     // injected erase failures
+  std::uint64_t blocks_retired = 0;   // blocks taken out of service
+  std::uint64_t retires_refused = 0;  // retirement denied: no capacity slack
+  std::uint64_t bad_block_marks = 0;  // blocks that exhausted their retries
+  std::uint64_t degraded_planes = 0;  // planes running past the spare pool
+  std::uint64_t power_loss_events = 0;
+  std::uint64_t lost_dirty_pages = 0;  // dirty pages dropped by power loss
+  SimTime recovery_time_total = 0;     // summed recovery-replay stalls
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Draws, in device-operation order, from the single stream. Each
+  /// returns true when the fault fires and counts it. A zero probability
+  /// never touches the RNG, so unrelated fault classes do not perturb
+  /// each other's sequences when toggled off.
+  bool inject_program_fault();
+  bool inject_read_fault();
+  bool inject_erase_fault();
+
+  /// Chip backoff for the next retry after a failed program: the base
+  /// doubles per consecutive failure on that chip (capped at 2^6x) and
+  /// resets on success.
+  SimTime program_backoff(std::uint32_t chip);
+  void note_program_success(std::uint32_t chip);
+
+  /// True when the power-loss schedule fires at this served-request count.
+  bool power_loss_due(std::uint64_t served_requests) const {
+    return plan_.power_loss_every_requests != 0 && served_requests != 0 &&
+           served_requests % plan_.power_loss_every_requests == 0;
+  }
+
+  FaultMetrics& metrics() { return metrics_; }
+  const FaultMetrics& metrics() const { return metrics_; }
+  /// Clears the counters (RNG stream and chip state continue). Warmup.
+  void reset_metrics();
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<std::uint32_t> chip_fail_streak_;
+  FaultMetrics metrics_;
+};
+
+}  // namespace reqblock

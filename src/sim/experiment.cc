@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 
 #include "telemetry/exporters.h"
@@ -13,8 +14,8 @@
 
 namespace reqblock {
 
-std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
-                                 unsigned max_threads) {
+std::vector<RunResult> run_cases_nothrow(
+    const std::vector<ExperimentCase>& cases, unsigned max_threads) {
   if (max_threads == 0) {
     max_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -28,9 +29,24 @@ std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
       const std::size_t i = next.fetch_add(1);
       if (i >= cases.size()) return;
       const ExperimentCase& c = cases[i];
-      SyntheticTraceSource trace(c.profile);
-      Simulator sim(c.options);
-      results[i] = sim.run(trace);
+      // A throwing case must not escape the worker thread (that would
+      // std::terminate the whole process and lose every other result);
+      // it becomes a per-case failure status instead.
+      try {
+        SyntheticTraceSource trace(c.profile);
+        Simulator sim(c.options);
+        results[i] = sim.run(trace);
+      } catch (const std::exception& e) {
+        results[i] = RunResult{};
+        results[i].trace_name = c.profile.name;
+        results[i].policy_name = c.options.policy.name;
+        results[i].error = e.what();
+      } catch (...) {
+        results[i] = RunResult{};
+        results[i].trace_name = c.profile.name;
+        results[i].policy_name = c.options.policy.name;
+        results[i].error = "unknown exception";
+      }
     }
   };
 
@@ -41,6 +57,24 @@ std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
     pool.reserve(workers);
     for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
     for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
+                                 unsigned max_threads) {
+  std::vector<RunResult> results = run_cases_nothrow(cases, max_threads);
+  std::string failures;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) continue;
+    if (!failures.empty()) failures += "; ";
+    failures += "case " + std::to_string(i) + " (" +
+                (cases[i].label.empty() ? results[i].policy_name
+                                        : cases[i].label) +
+                "): " + results[i].error;
+  }
+  if (!failures.empty()) {
+    throw std::runtime_error("run_cases: " + failures);
   }
   return results;
 }

@@ -23,9 +23,17 @@ struct ExperimentCase {
 };
 
 /// Runs all cases, in parallel up to `max_threads` (0 = hardware
-/// concurrency). Results come back in case order.
+/// concurrency). Results come back in case order. A case that throws is
+/// reported (with its index and label) via one aggregated
+/// std::runtime_error after every other case finished — a bad case can no
+/// longer std::terminate the process from inside a worker thread.
 std::vector<RunResult> run_cases(const std::vector<ExperimentCase>& cases,
                                  unsigned max_threads = 0);
+
+/// Like run_cases, but never throws on case failure: a failed case comes
+/// back with RunResult::ok() == false and the message in RunResult::error.
+std::vector<RunResult> run_cases_nothrow(
+    const std::vector<ExperimentCase>& cases, unsigned max_threads = 0);
 
 /// Filesystem telemetry artifacts of one run. Empty strings mark files
 /// that were skipped because the run carried no matching data.

@@ -55,9 +55,20 @@ std::vector<std::string> result_row(const RunResult& r) {
 
 void write_results_csv(std::ostream& os,
                        const std::vector<RunResult>& results) {
+  // Fault columns appear only when some run injected faults, so fault-free
+  // result files stay byte-identical to builds without the fault subsystem.
+  const bool any_fault =
+      std::any_of(results.begin(), results.end(),
+                  [](const RunResult& r) { return r.fault.enabled; });
   os << "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
         "p95_ns,p99_ns,p999_ns,flash_writes,flash_reads,gc_moves,erases,"
-        "waf,pages_per_evict,metadata_pct,channel_util,chip_util\n";
+        "waf,pages_per_evict,metadata_pct,channel_util,chip_util";
+  if (any_fault) {
+    os << ",program_faults,read_faults,erase_faults,"
+          "bad_block_marks,blocks_retired,retires_refused,degraded_planes,"
+          "power_loss_events,lost_dirty_pages,recovery_ns";
+  }
+  os << '\n';
   for (const auto& r : results) {
     os << r.trace_name << ',' << r.policy_name << ','
        << r.cache_capacity_pages << ',' << r.requests << ','
@@ -71,8 +82,37 @@ void write_results_csv(std::ostream& os,
        << format_double(r.cache.eviction_batch.mean(), 3) << ','
        << format_double(metadata_percent(r), 4) << ','
        << format_double(r.channel_utilization, 4) << ','
-       << format_double(r.chip_utilization, 4) << '\n';
+       << format_double(r.chip_utilization, 4);
+    if (any_fault) {
+      os << ',' << r.fault.program_faults << ',' << r.fault.read_faults
+         << ',' << r.fault.erase_faults
+         << ',' << r.fault.bad_block_marks << ',' << r.fault.blocks_retired
+         << ',' << r.fault.retires_refused << ',' << r.fault.degraded_planes
+         << ',' << r.fault.power_loss_events << ','
+         << r.fault.lost_dirty_pages << ',' << r.fault.recovery_time_total;
+    }
+    os << '\n';
   }
+}
+
+void write_fault_summary(std::ostream& os, const RunResult& r) {
+  if (!r.fault.enabled) return;
+  os << "Fault injection (" << r.trace_name << " / " << r.policy_name
+     << ")\n";
+  TextTable t({"fault class", "count", "outcome", "count"});
+  t.add_row({"program faults", std::to_string(r.fault.program_faults),
+             "bad-block marks", std::to_string(r.fault.bad_block_marks)});
+  t.add_row({"read faults", std::to_string(r.fault.read_faults),
+             "blocks retired", std::to_string(r.fault.blocks_retired)});
+  t.add_row({"erase faults", std::to_string(r.fault.erase_faults),
+             "retires refused", std::to_string(r.fault.retires_refused)});
+  t.add_row({"power losses", std::to_string(r.fault.power_loss_events),
+             "degraded planes", std::to_string(r.fault.degraded_planes)});
+  t.add_row({"lost dirty pages", std::to_string(r.fault.lost_dirty_pages),
+             "recovery time",
+             format_double(static_cast<double>(r.fault.recovery_time_total) /
+                               kMillisecond, 2) + "ms"});
+  t.print(os);
 }
 
 void write_self_profile(std::ostream& os, const RunResult& r) {

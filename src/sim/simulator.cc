@@ -16,6 +16,7 @@ Simulator::Simulator(SimOptions options) : options_(std::move(options)) {
                          options_.policy.capacity_pages,
                  "cache and policy capacity must agree");
   if (options_.telemetry_env_override) options_.telemetry.apply_env();
+  options_.fault.validate();
 }
 
 RunResult Simulator::run(TraceSource& trace) {
@@ -32,6 +33,16 @@ RunResult Simulator::run(TraceSource& trace) {
   // The occupancy probe only applies to Req-block.
   auto* req_block =
       dynamic_cast<ReqBlockPolicy*>(&cache.policy());
+
+  // Faults: one injector per run, so experiment-level parallelism never
+  // perturbs the per-run RNG stream. Disabled plans are not wired at all.
+  std::unique_ptr<FaultInjector> fault;
+  if (options_.fault.enabled()) {
+    fault = std::make_unique<FaultInjector>(options_.fault);
+    ftl.set_fault_injector(fault.get());
+  }
+  std::uint64_t served = 0;  // warmup + measured, drives the loss schedule
+  SimTime resume_at = 0;     // device unavailable before this time
 
   // Per-run telemetry: one bundle per run, wired before the first request
   // so warmup traffic is visible too (the buffer is cleared after warmup,
@@ -66,8 +77,13 @@ RunResult Simulator::run(TraceSource& trace) {
   // Warmup: populate the cache/device without counting anything.
   while (result.warmup_requests < options_.warmup_requests &&
          trace.next(req)) {
-    cache.serve(req);
+    if (req.arrival < resume_at) req.arrival = resume_at;
+    const SimTime done = cache.serve(req);
     ++result.warmup_requests;
+    ++served;
+    if (fault != nullptr && fault->power_loss_due(served)) {
+      resume_at = cache.power_loss(done, *fault);
+    }
   }
   std::vector<SimTime> warmup_channel_busy(options_.ssd.channels, 0);
   std::vector<SimTime> warmup_chip_busy(options_.ssd.total_chips(), 0);
@@ -75,6 +91,7 @@ RunResult Simulator::run(TraceSource& trace) {
   if (result.warmup_requests > 0) {
     cache.reset_metrics();
     ftl.reset_metrics();
+    if (fault != nullptr) fault->reset_metrics();
     telemetry.trace().clear();
     telemetry.profiler().clear();
     for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
@@ -91,8 +108,13 @@ RunResult Simulator::run(TraceSource& trace) {
         result.requests >= options_.max_requests) {
       break;
     }
+    // A request arriving while the device recovers from a power loss
+    // waits; its latency still counts from the original arrival, so the
+    // downtime shows up in the response distribution.
+    const SimTime host_arrival = req.arrival;
+    if (req.arrival < resume_at) req.arrival = resume_at;
     const SimTime done = cache.serve(req);
-    const SimTime latency = done - req.arrival;
+    const SimTime latency = done - host_arrival;
     result.response.record(latency);
     if (req.is_write()) {
       ++result.write_requests;
@@ -103,6 +125,11 @@ RunResult Simulator::run(TraceSource& trace) {
     }
     ++result.requests;
     result.sim_end = std::max(result.sim_end, done);
+    ++served;
+    if (fault != nullptr && fault->power_loss_due(served)) {
+      resume_at = cache.power_loss(done, *fault);
+      result.sim_end = std::max(result.sim_end, resume_at);
+    }
 
     if (req_block != nullptr && options_.occupancy_log_interval != 0 &&
         result.requests % options_.occupancy_log_interval == 0) {
@@ -126,6 +153,7 @@ RunResult Simulator::run(TraceSource& trace) {
 
   result.cache = cache.metrics();
   result.flash = ftl.metrics();
+  if (fault != nullptr) result.fault = fault->metrics();
   if (telemetry.trace().any_enabled()) {
     result.telemetry.events = telemetry.trace().drain();
     result.telemetry.events_emitted = telemetry.trace().emitted();

@@ -7,6 +7,7 @@
 
 #include "cache/cache_manager.h"
 #include "cache/policy_factory.h"
+#include "fault/fault.h"
 #include "core/req_block.h"
 #include "ssd/config.h"
 #include "ssd/ftl.h"
@@ -30,6 +31,10 @@ struct SimOptions {
   /// and device state carry over; counters and histograms reset). The
   /// warmup requests do not count toward max_requests.
   std::uint64_t warmup_requests = 0;
+  /// Deterministic fault injection for this run. With the default plan
+  /// (everything off) the injector is never wired and the run is
+  /// bit-identical to a fault-free build.
+  FaultPlan fault;
   /// Event tracing, metric snapshots, and self-profiling for this run.
   TelemetryOptions telemetry;
   /// Let REQBLOCK_TRACE override telemetry.trace.level at Simulator
@@ -55,6 +60,12 @@ struct RunResult {
 
   CacheMetrics cache;
   FlashMetrics flash;
+  /// Injected-fault accounting (fault.enabled == false on fault-free runs).
+  FaultMetrics fault;
+  /// Empty on success; run_cases fills it with the case's failure message
+  /// instead of tearing the whole experiment down.
+  std::string error;
+  bool ok() const { return error.empty(); }
 
   /// Fig. 13 series: one sample per occupancy_log_interval requests.
   std::vector<ListOccupancy> occupancy_series;

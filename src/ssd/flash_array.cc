@@ -174,6 +174,7 @@ void FlashArray::erase_block(std::uint32_t plane, std::uint32_t block) {
   REQB_CHECK_MSG(b.valid_count == 0,
                  "erase of a block that still holds valid pages");
   REQB_CHECK_MSG(block != pl.active, "erase of the active block");
+  REQB_CHECK_MSG(!b.retired, "erase of a retired block");
   if (b.states) {
     std::fill_n(b.states.get(), cfg_.pages_per_block, PageState::kFree);
   }
@@ -187,6 +188,102 @@ void FlashArray::erase_block(std::uint32_t plane, std::uint32_t block) {
 std::uint32_t FlashArray::erase_count(std::uint32_t plane,
                                       std::uint32_t block) const {
   return block_at(plane, block).erase_count;
+}
+
+void FlashArray::reserve_spares(std::uint32_t per_plane) {
+  for (std::uint32_t p = 0; p < planes_.size(); ++p) {
+    Plane& pl = planes_[p];
+    REQB_CHECK_MSG(pl.spare_list.empty(), "spares already reserved");
+    REQB_CHECK_MSG(pl.free_list.size() >
+                       per_plane + cfg_.gc_threshold_blocks() + 1,
+                   "spare pool would leave the plane unable to allocate");
+    for (std::uint32_t i = 0; i < per_plane; ++i) {
+      pl.spare_list.push_back(pl.free_list.back());
+      pl.free_list.pop_back();
+    }
+    pl.spares_reserved = per_plane;
+  }
+}
+
+bool FlashArray::mark_bad(std::uint32_t plane, std::uint32_t block) {
+  Block& b = block_at(plane, block);
+  REQB_CHECK_MSG(!b.retired, "marking a retired block bad");
+  if (b.marked_bad) return false;
+  b.marked_bad = true;
+  return true;
+}
+
+bool FlashArray::is_marked_bad(std::uint32_t plane,
+                               std::uint32_t block) const {
+  return block_at(plane, block).marked_bad;
+}
+
+bool FlashArray::retire_block(std::uint32_t plane, std::uint32_t block) {
+  Plane& pl = planes_[plane];
+  Block& b = block_at(plane, block);
+  REQB_CHECK_MSG(b.valid_count == 0,
+                 "retire of a block that still holds valid pages");
+  REQB_CHECK_MSG(block != pl.active, "retire of the active block");
+  REQB_CHECK_MSG(!b.retired, "double retirement");
+  if (b.states) {
+    std::fill_n(b.states.get(), cfg_.pages_per_block, PageState::kFree);
+  }
+  b.write_ptr = 0;
+  b.invalid_count = 0;
+  b.retired = true;
+  ++pl.retired_count;
+  ++total_retired_;
+  if (!pl.spare_list.empty()) {
+    // Remap: a spare takes the retired block's place in the free pool.
+    pl.free_list.push_back(pl.spare_list.back());
+    pl.spare_list.pop_back();
+    return false;
+  }
+  if (pl.degraded) return false;
+  pl.degraded = true;
+  return true;
+}
+
+void FlashArray::close_active(std::uint32_t plane) {
+  planes_[plane].active = kNoBlock;
+}
+
+bool FlashArray::can_lose_block(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  const Plane& pl = planes_[plane];
+  // Hard budget: capacity actually lost (retirements not absorbed by a
+  // spare remap) never exceeds one GC-threshold's worth of blocks. The
+  // plane's current occupancy is a poor predictor of its future share —
+  // data written while the plane was near-empty redistributes later — so
+  // the bound must not depend on it.
+  const std::uint64_t spares_used = pl.spares_reserved - pl.spare_list.size();
+  const std::uint64_t capacity_lost = pl.retired_count - spares_used;
+  if (capacity_lost >= cfg_.gc_threshold_blocks()) return false;
+  const std::uint64_t usable =
+      pl.blocks.size() - pl.retired_count - pl.spare_list.size();
+  const std::uint64_t data_blocks =
+      (pl.valid_pages + cfg_.pages_per_block - 1) / cfg_.pages_per_block;
+  return usable > data_blocks + cfg_.gc_threshold_blocks() + 2;
+}
+
+bool FlashArray::can_accept_page(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  const Plane& pl = planes_[plane];
+  const std::uint64_t usable =
+      pl.blocks.size() - pl.retired_count - pl.spare_list.size();
+  const std::uint64_t reserve = cfg_.gc_threshold_blocks() + 2;
+  if (usable <= reserve) return false;
+  return pl.valid_pages + 1 <= (usable - reserve) * cfg_.pages_per_block;
+}
+
+std::uint64_t FlashArray::spares_remaining(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  return planes_[plane].spare_list.size();
+}
+
+bool FlashArray::plane_degraded(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  return planes_[plane].degraded;
 }
 
 FlashArray::WearStats FlashArray::wear_stats() const {
@@ -244,8 +341,34 @@ void FlashArray::audit(AuditReport& report) const {
                          blk.invalid_count == 0,
                      plane_tag + " free block " + std::to_string(b) +
                          " is not empty");
+      REQB_AUDIT_MSG(report, !blk.retired,
+                     plane_tag + " retired block " + std::to_string(b) +
+                         " is on the free list");
     }
 
+    for (const std::uint32_t b : pl.spare_list) {
+      if (!REQB_AUDIT_MSG(report, b < pl.blocks.size(),
+                          plane_tag + " spare list holds invalid block " +
+                              std::to_string(b))) {
+        continue;
+      }
+      REQB_AUDIT_MSG(report, !on_free_list[b],
+                     plane_tag + " block " + std::to_string(b) +
+                         " is on both the free and spare lists");
+      REQB_AUDIT_MSG(report, b != pl.active,
+                     plane_tag + " active block " + std::to_string(b) +
+                         " is on the spare list");
+      const Block& blk = pl.blocks[b];
+      REQB_AUDIT_MSG(report,
+                     blk.write_ptr == 0 && blk.valid_count == 0 &&
+                         !blk.retired,
+                     plane_tag + " spare block " + std::to_string(b) +
+                         " is not an empty in-service block");
+    }
+    REQB_AUDIT_MSG(report, !pl.degraded || pl.spare_list.empty(),
+                   plane_tag + " degraded while spares remain");
+
+    std::uint64_t plane_retired = 0;
     std::uint64_t plane_valid = 0;
     for (std::uint32_t b = 0; b < pl.blocks.size(); ++b) {
       const Block& blk = pl.blocks[b];
@@ -253,6 +376,13 @@ void FlashArray::audit(AuditReport& report) const {
           plane_tag + " block " + std::to_string(b);
       REQB_AUDIT_MSG(report, blk.write_ptr <= cfg_.pages_per_block,
                      tag + " write pointer past the block end");
+      if (blk.retired) {
+        ++plane_retired;
+        REQB_AUDIT_MSG(report, blk.write_ptr == 0 && blk.valid_count == 0 &&
+                           blk.invalid_count == 0,
+                       tag + " retired but not empty");
+        REQB_AUDIT_MSG(report, b != pl.active, tag + " retired yet active");
+      }
       REQB_AUDIT_MSG(report,
                      blk.valid_count + blk.invalid_count == blk.write_ptr,
                      tag + " counters " + std::to_string(blk.valid_count) +
@@ -287,6 +417,10 @@ void FlashArray::audit(AuditReport& report) const {
                    plane_tag + " blocks hold " + std::to_string(plane_valid) +
                        " valid pages, counter says " +
                        std::to_string(pl.valid_pages));
+    REQB_AUDIT_MSG(report, plane_retired == pl.retired_count,
+                   plane_tag + " holds " + std::to_string(plane_retired) +
+                       " retired blocks, counter says " +
+                       std::to_string(pl.retired_count));
   }
 }
 

@@ -54,6 +54,51 @@ class FlashArray {
   /// Erases a block; it must hold no valid pages.
   void erase_block(std::uint32_t plane, std::uint32_t block);
 
+  // --- Bad-block management (fault subsystem) -------------------------
+
+  /// Moves `per_plane` blocks from every plane's free list into its spare
+  /// pool. Call once, at wiring time, before traffic; spares only return
+  /// to service through retire_block remapping.
+  void reserve_spares(std::uint32_t per_plane);
+
+  /// Flags a block as grown-bad (program retries exhausted on it). The
+  /// block stays in service until GC empties it; the FTL then retires it
+  /// instead of erasing. Returns false when it was already marked.
+  bool mark_bad(std::uint32_t plane, std::uint32_t block);
+  bool is_marked_bad(std::uint32_t plane, std::uint32_t block) const;
+
+  /// Takes an empty, inactive block permanently out of service. Remaps a
+  /// spare into the free list when one is left; otherwise the plane loses
+  /// a block of capacity and enters degraded mode. Returns true when this
+  /// call transitioned the plane into degraded mode.
+  bool retire_block(std::uint32_t plane, std::uint32_t block);
+
+  /// Closes the plane's active block (next program allocates a fresh
+  /// one). Used after the active block is declared bad mid-write.
+  void close_active(std::uint32_t plane);
+
+  /// True when the plane can afford to permanently lose one more block:
+  /// after the retirement it could still hold its current valid data plus
+  /// the GC operating reserve. Measures usable capacity (total minus
+  /// retired minus unreclaimed spares), not the transient free count —
+  /// retirement happens during GC, when free blocks are at the threshold
+  /// by construction.
+  bool can_lose_block(std::uint32_t plane) const;
+
+  /// True when the plane can take one more host page and still keep GC
+  /// operational: valid data stays below usable capacity minus the GC
+  /// reserve. Planes shrunk by retirement shed host-write load through
+  /// this check (GC copyback never grows a plane's valid count, so
+  /// gating host programs bounds occupancy).
+  bool can_accept_page(std::uint32_t plane) const;
+
+  std::uint64_t spares_remaining(std::uint32_t plane) const;
+  bool spare_available(std::uint32_t plane) const {
+    return spares_remaining(plane) > 0;
+  }
+  bool plane_degraded(std::uint32_t plane) const;
+  std::uint64_t retired_blocks() const { return total_retired_; }
+
   std::uint64_t total_erases() const { return total_erases_; }
   std::uint32_t erase_count(std::uint32_t plane, std::uint32_t block) const;
   std::uint64_t valid_page_count(std::uint32_t plane) const;
@@ -86,11 +131,17 @@ class FlashArray {
     std::uint16_t valid_count = 0;
     std::uint16_t invalid_count = 0;
     std::uint32_t erase_count = 0;
+    bool marked_bad = false;  // retries exhausted; retire at next erase
+    bool retired = false;     // permanently out of service
   };
 
   struct Plane {
     std::vector<Block> blocks;
     std::vector<std::uint32_t> free_list;  // LIFO of erased block indices
+    std::vector<std::uint32_t> spare_list;  // bad-block replacement pool
+    std::uint64_t spares_reserved = 0;      // pool size at reservation time
+    std::uint64_t retired_count = 0;
+    bool degraded = false;  // retirement outran the spare pool
     std::uint32_t active = kNoBlock;
     // Lazy max-heap of (invalid_count, block). Stale entries are skipped
     // on pop by re-checking the live count.
@@ -108,6 +159,7 @@ class FlashArray {
   AddressMap amap_;
   std::vector<Plane> planes_;
   std::uint64_t total_erases_ = 0;
+  std::uint64_t total_retired_ = 0;
 };
 
 }  // namespace reqblock

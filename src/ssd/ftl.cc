@@ -41,17 +41,7 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
       // Pre-conditioned data: full flash-read timing from the plane the
       // page would statically live on, version 0.
       const auto plane = static_cast<std::uint32_t>(lpn % cfg_.total_planes());
-      const std::uint32_t chip = amap_.chip_global(plane);
-      const std::uint32_t ch = amap_.channel_of_plane(plane);
-      const SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
-      const SimTime done =
-          channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
-      ++metrics_.host_page_reads;
-      if (trace_ != nullptr) {
-        trace_->emit({issue, done - issue, lpn, 0, EventKind::kPageRead,
-                      static_cast<std::uint16_t>(chip),
-                      static_cast<std::uint16_t>(ch)});
-      }
+      const SimTime done = flash_read(plane, lpn, issue);
       return {done, 0, true};
     }
     // Reading a never-written page: served by the controller (zero-fill),
@@ -60,10 +50,25 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
     return {issue + cfg_.cache_access_latency, 0, false};
   }
   const Ppn ppn = it->second;
-  const std::uint32_t plane = amap_.plane_of(ppn);
+  const SimTime done = flash_read(amap_.plane_of(ppn), lpn, issue);
+  return {done, version_of(lpn), true};
+}
+
+SimTime Ftl::flash_read(std::uint32_t plane, Lpn lpn, SimTime issue) {
   const std::uint32_t chip = amap_.chip_global(plane);
   const std::uint32_t ch = amap_.channel_of_plane(plane);
-  const SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
+  SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
+  if (fault_ != nullptr && fault_->inject_read_fault()) {
+    // Injected read failure (uncorrectable on the first sense): one
+    // chip-level re-read before the data crosses the bus.
+    const SimTime begin = cell_done;
+    cell_done = chips_[chip].acquire(cell_done, cfg_.read_latency);
+    if (trace_ != nullptr) {
+      trace_->emit({begin, cell_done - begin, lpn, 0, EventKind::kReadRetry,
+                    static_cast<std::uint16_t>(chip),
+                    static_cast<std::uint16_t>(ch)});
+    }
+  }
   const SimTime done =
       channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
   ++metrics_.host_page_reads;
@@ -72,7 +77,7 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
                   static_cast<std::uint16_t>(chip),
                   static_cast<std::uint16_t>(ch)});
   }
-  return {done, version_of(lpn), true};
+  return done;
 }
 
 std::uint32_t Ftl::next_plane_rr() {
@@ -85,6 +90,21 @@ std::uint32_t Ftl::next_plane_rr() {
               cfg_.chips_per_channel)) %
       cfg_.planes_per_chip);
   return (ch * cfg_.chips_per_channel + chip) * cfg_.planes_per_chip + plane;
+}
+
+std::uint32_t Ftl::pick_write_plane() {
+  std::uint32_t plane = next_plane_rr();
+  if (fault_ == nullptr) return plane;
+  // Under fault injection planes can shrink (retirement past the spare
+  // pool). A plane that cannot take more data without starving its GC
+  // sheds host writes onto the next candidates; if every plane is
+  // saturated the device is genuinely full and the last candidate's
+  // allocation check reports it.
+  for (std::uint32_t i = 1; i < cfg_.total_planes(); ++i) {
+    if (array_.can_accept_page(plane)) return plane;
+    plane = next_plane_rr();
+  }
+  return plane;
 }
 
 std::uint32_t Ftl::colocate_channel(Lpn lpn) const {
@@ -124,13 +144,15 @@ void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
       }
       ++moves;
     }
-    array_.erase_block(plane, victim);
-    ++metrics_.erases;
-    const SimTime begin = t;
-    t = chips_[chip].acquire(t, cfg_.erase_latency);
-    if (trace_ != nullptr) {
-      trace_->emit({begin, t - begin, 0, victim, EventKind::kBlockErase,
-                    chip16, ch16});
+    if (fault_ == nullptr || !maybe_retire(plane, victim, t)) {
+      array_.erase_block(plane, victim);
+      ++metrics_.erases;
+      const SimTime begin = t;
+      t = chips_[chip].acquire(t, cfg_.erase_latency);
+      if (trace_ != nullptr) {
+        trace_->emit({begin, t - begin, 0, victim, EventKind::kBlockErase,
+                      chip16, ch16});
+      }
     }
   }
   if (trace_ != nullptr) {
@@ -143,7 +165,53 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
                               std::uint64_t version, SimTime issue) {
   const ScopedTimer timer(profiler_, Profiler::Section::kFtlProgram);
   maybe_collect(plane, issue);
-  const Ppn fresh = array_.program(plane, lpn);
+
+  const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint32_t ch = amap_.channel_of_plane(plane);
+  const SimTime bus_done =
+      channels_[ch].acquire(issue, cfg_.page_transfer_time());
+  SimTime t = bus_done;
+  std::uint32_t attempt = 0;
+  Ppn fresh = 0;
+  for (;;) {
+    fresh = array_.program(plane, lpn);
+    t = chips_[chip].acquire(t, cfg_.program_latency);
+    if (fault_ == nullptr || attempt >= fault_->plan().max_program_retries ||
+        !fault_->inject_program_fault()) {
+      break;
+    }
+    // Injected program failure: the attempt burned a page (now garbage)
+    // and the chip backs off before retrying. A block that eats the whole
+    // retry budget is declared grown-bad and closed, so the final attempt
+    // lands on a fresh block and is forced to succeed.
+    ++attempt;
+    const std::uint32_t failed_block = amap_.to_addr(fresh).block;
+    array_.invalidate(fresh);
+    const SimTime backoff_begin = t;
+    t = chips_[chip].acquire(t, fault_->program_backoff(chip));
+    if (trace_ != nullptr) {
+      trace_->emit({backoff_begin, t - backoff_begin, lpn, attempt,
+                    EventKind::kProgramRetry, static_cast<std::uint16_t>(chip),
+                    static_cast<std::uint16_t>(ch)});
+    }
+    if (attempt >= fault_->plan().max_program_retries) {
+      if (array_.mark_bad(plane, failed_block)) {
+        ++fault_->metrics().bad_block_marks;
+      }
+      array_.close_active(plane);
+    }
+    maybe_collect(plane, t);  // retries burn pages; keep GC honest
+  }
+  if (fault_ != nullptr) {
+    fault_->note_program_success(chip);
+    if (array_.plane_degraded(plane)) {
+      // Degraded planes pay a controller-side remapping penalty on every
+      // program (capacity loss already slows them through extra GC).
+      t = chips_[chip].acquire(t, fault_->plan().degraded_program_penalty);
+    }
+  }
+  const SimTime done = t;
+
   const auto it = l2p_.find(lpn);
   if (it != l2p_.end()) {
     array_.invalidate(it->second);
@@ -152,12 +220,6 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
     l2p_.emplace(lpn, fresh);
   }
   versions_[lpn] = version;
-
-  const std::uint32_t chip = amap_.chip_global(plane);
-  const std::uint32_t ch = amap_.channel_of_plane(plane);
-  const SimTime bus_done =
-      channels_[ch].acquire(issue, cfg_.page_transfer_time());
-  const SimTime done = chips_[chip].acquire(bus_done, cfg_.program_latency);
   ++metrics_.host_page_writes;
   if (trace_ != nullptr) {
     trace_->emit({issue, done - issue, lpn, version, EventKind::kPageProgram,
@@ -165,6 +227,51 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
                   static_cast<std::uint16_t>(ch)});
   }
   return done;
+}
+
+bool Ftl::maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t) {
+  const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint16_t chip16 = static_cast<std::uint16_t>(chip);
+  const std::uint16_t ch16 =
+      static_cast<std::uint16_t>(amap_.channel_of_plane(plane));
+  bool want_retire = array_.is_marked_bad(plane, block);
+  if (fault_->inject_erase_fault()) {
+    // The failed erase attempt occupies the chip before the controller
+    // gives up on the block.
+    const SimTime begin = t;
+    t = chips_[chip].acquire(t, cfg_.erase_latency);
+    if (trace_ != nullptr) {
+      trace_->emit({begin, t - begin, 0, block, EventKind::kEraseFault,
+                    chip16, ch16});
+    }
+    want_retire = true;
+  }
+  if (!want_retire) return false;
+  if (!array_.spare_available(plane) &&
+      (!array_.can_lose_block(plane) || array_.free_blocks(plane) <= 2)) {
+    // No spare left and no slack: keep the block in service (a later
+    // erase attempt succeeds) rather than shrink the plane below its GC
+    // operating point. The free-list floor matters inside a GC burst —
+    // retirement, unlike erase, returns no free block, while the next
+    // victim's copyback still consumes them.
+    ++fault_->metrics().retires_refused;
+    return false;
+  }
+  if (array_.retire_block(plane, block)) {
+    ++fault_->metrics().degraded_planes;
+  }
+  ++fault_->metrics().blocks_retired;
+  if (trace_ != nullptr) {
+    trace_->emit({t, 0, 0, block, EventKind::kBlockRetire, chip16, ch16});
+  }
+  return true;
+}
+
+void Ftl::set_fault_injector(FaultInjector* injector) {
+  fault_ = injector;
+  if (fault_ != nullptr && fault_->plan().spare_blocks_per_plane > 0) {
+    array_.reserve_spares(fault_->plan().spare_blocks_per_plane);
+  }
 }
 
 void Ftl::set_telemetry(TraceBuffer* trace, Profiler* profiler) {
@@ -196,7 +303,7 @@ void Ftl::register_metrics(MetricsRegistry& registry) const {
 }
 
 SimTime Ftl::program_page(Lpn lpn, std::uint64_t version, SimTime issue) {
-  return program_to_plane(next_plane_rr(), lpn, version, issue);
+  return program_to_plane(pick_write_plane(), lpn, version, issue);
 }
 
 void Ftl::audit(AuditReport& report) const {
@@ -255,14 +362,27 @@ SimTime Ftl::program_batch(std::span<const FlushPage> pages, SimTime issue,
         cfg_.chips_per_channel * cfg_.planes_per_chip;
     std::uint32_t next = 0;
     for (const auto& p : pages) {
-      const std::uint32_t plane =
-          ch * planes_in_channel + (next++ % planes_in_channel);
+      std::uint32_t plane = ch * planes_in_channel + (next % planes_in_channel);
+      if (fault_ != nullptr) {
+        // Same load-shedding as pick_write_plane, restricted to the
+        // pinned channel's planes.
+        for (std::uint32_t i = 0; i < planes_in_channel; ++i) {
+          const std::uint32_t cand =
+              ch * planes_in_channel + ((next + i) % planes_in_channel);
+          if (array_.can_accept_page(cand)) {
+            plane = cand;
+            next += i;
+            break;
+          }
+        }
+      }
+      ++next;
       done = std::max(done, program_to_plane(plane, p.lpn, p.version, issue));
     }
   } else {
     for (const auto& p : pages) {
       done = std::max(done,
-                      program_to_plane(next_plane_rr(), p.lpn, p.version,
+                      program_to_plane(pick_write_plane(), p.lpn, p.version,
                                        issue));
     }
   }

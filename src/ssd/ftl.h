@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "ssd/address.h"
 #include "ssd/config.h"
 #include "ssd/flash_array.h"
@@ -116,6 +117,11 @@ class Ftl {
   /// would-be event. Either argument may be null.
   void set_telemetry(TraceBuffer* trace, Profiler* profiler);
 
+  /// Wires the run's fault injector (null = fault-free operation, the
+  /// default) and reserves the plan's spare-block pool. Call before any
+  /// traffic; the injector must outlive this Ftl.
+  void set_fault_injector(FaultInjector* injector);
+
   /// Registers the device gauges (flash.* — host ops, GC, WAF, free
   /// blocks, mapped pages) for periodic snapshots. The registry must not
   /// outlive this Ftl.
@@ -125,12 +131,22 @@ class Ftl {
   /// Next plane in channel-major round-robin (consecutive pages land on
   /// consecutive channels, maximizing batch parallelism).
   std::uint32_t next_plane_rr();
+  /// Round-robin plane for a host write. Under fault injection, planes
+  /// that cannot accept more data (shrunk by retirement) are skipped.
+  std::uint32_t pick_write_plane();
   /// Channel a logical block is pinned to for colocated flushes.
   std::uint32_t colocate_channel(Lpn lpn) const;
   SimTime program_to_plane(std::uint32_t plane, Lpn lpn,
                            std::uint64_t version, SimTime issue);
+  /// Full flash-read timing (chip sense, optional injected re-read, bus
+  /// transfer) plus the kPageRead event.
+  SimTime flash_read(std::uint32_t plane, Lpn lpn, SimTime issue);
   /// Runs greedy GC on the plane until it is above the free threshold.
   void maybe_collect(std::uint32_t plane, SimTime t);
+  /// Retires `block` instead of erasing it when the injector demands it
+  /// (grown-bad mark or injected erase fault) and capacity allows.
+  /// Advances `t` by any failed-erase attempt it charged on the chip.
+  bool maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t);
 
   SsdConfig cfg_;
   AddressMap amap_;
@@ -146,6 +162,7 @@ class Ftl {
   FlashMetrics metrics_;
   TraceBuffer* trace_ = nullptr;  // non-null only when flash events are on
   Profiler* profiler_ = nullptr;
+  FaultInjector* fault_ = nullptr;  // non-null only when faults are planned
 };
 
 }  // namespace reqblock

@@ -14,6 +14,9 @@
 //                  kCacheEvict: victim pages, kCacheFlush: dirty pages
 //                  kReqBlock*: pages in the affected block/batch
 //                  kGcEnd: pages moved, kBlockErase: block index
+//                  kPowerLoss: dirty pages lost
+//                  kProgramRetry: attempt number, kEraseFault/kBlockRetire:
+//                  block index
 #pragma once
 
 #include <cstdint>
@@ -35,6 +38,8 @@ enum class EventKind : std::uint8_t {
   kReqBlockPromote,
   kReqBlockMerge,
   kReqBlockBatchEvict,
+  // Injected power loss: the volatile write buffer is dropped.
+  kPowerLoss,
   // Flash-device events.
   kPageRead,
   kPageProgram,
@@ -42,6 +47,11 @@ enum class EventKind : std::uint8_t {
   kGcStart,
   kGcEnd,
   kGcMove,
+  // Injected device faults (fault subsystem).
+  kProgramRetry,
+  kReadRetry,
+  kEraseFault,
+  kBlockRetire,
 };
 
 enum class EventCategory : std::uint8_t { kCache = 1, kFlash = 2 };
@@ -63,12 +73,17 @@ constexpr const char* to_string(EventKind k) {
     case EventKind::kReqBlockPromote: return "reqblock_promote";
     case EventKind::kReqBlockMerge: return "reqblock_merge";
     case EventKind::kReqBlockBatchEvict: return "reqblock_batch_evict";
+    case EventKind::kPowerLoss: return "power_loss";
     case EventKind::kPageRead: return "page_read";
     case EventKind::kPageProgram: return "page_program";
     case EventKind::kBlockErase: return "block_erase";
     case EventKind::kGcStart: return "gc_start";
     case EventKind::kGcEnd: return "gc_end";
     case EventKind::kGcMove: return "gc_move";
+    case EventKind::kProgramRetry: return "program_retry";
+    case EventKind::kReadRetry: return "read_retry";
+    case EventKind::kEraseFault: return "erase_fault";
+    case EventKind::kBlockRetire: return "block_retire";
   }
   return "?";
 }

@@ -55,8 +55,18 @@ std::optional<IoRequest> parse_msr_line(std::string_view line,
   const std::uint64_t page = opts.page_size;
   const Lpn first = *offset / page;
   // A zero-byte request still touches the page containing the offset.
-  const std::uint64_t end_byte = *offset + (*size == 0 ? 1 : *size);
+  const std::uint64_t span = *size == 0 ? 1 : *size;
+  // Reject byte ranges that wrap the 64-bit address space and page counts
+  // that do not fit the request representation: they are corrupt input,
+  // not giant requests (a wrapped end_byte used to produce garbage LPNs).
+  if (*offset > std::numeric_limits<std::uint64_t>::max() - span) {
+    return std::nullopt;
+  }
+  const std::uint64_t end_byte = *offset + span;
   const Lpn last = (end_byte - 1) / page;
+  if (last - first >= std::numeric_limits<std::uint32_t>::max()) {
+    return std::nullopt;
+  }
 
   IoRequest req;
   if (raw_ticks != nullptr) *raw_ticks = *ts;

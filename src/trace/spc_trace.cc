@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <stdexcept>
 
 #include "util/strings.h"
@@ -37,10 +38,28 @@ std::optional<IoRequest> parse_spc_line(std::string_view line,
     return std::nullopt;
   }
 
+  // Reject timestamps the ns clock cannot represent (including inf/nan,
+  // which strtod accepts): llround on them is undefined behaviour.
+  if (!std::isfinite(*ts) || *ts > 9.0e9) return std::nullopt;
+
+  // Reject byte ranges that wrap the 64-bit address space and page counts
+  // that do not fit the request representation: corrupt input, not giant
+  // requests (a wrapped byte_offset used to produce garbage LPNs).
+  if (opts.sector_size != 0 &&
+      *lba > std::numeric_limits<std::uint64_t>::max() / opts.sector_size) {
+    return std::nullopt;
+  }
   const std::uint64_t byte_offset = *lba * opts.sector_size;
+  const std::uint64_t span = *size == 0 ? 1 : *size;
+  if (byte_offset > std::numeric_limits<std::uint64_t>::max() - span) {
+    return std::nullopt;
+  }
   const Lpn first = byte_offset / opts.page_size;
-  const std::uint64_t end_byte = byte_offset + (*size == 0 ? 1 : *size);
+  const std::uint64_t end_byte = byte_offset + span;
   const Lpn last = (end_byte - 1) / opts.page_size;
+  if (last - first >= std::numeric_limits<std::uint32_t>::max()) {
+    return std::nullopt;
+  }
 
   IoRequest req;
   req.arrival = static_cast<SimTime>(std::llround(*ts * 1e9));

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "test_util.h"
 
@@ -61,6 +63,40 @@ TEST(ExperimentTest, ParallelEqualsSerial) {
 
 TEST(ExperimentTest, EmptyCaseListOk) {
   EXPECT_TRUE(run_cases({}, 4).empty());
+}
+
+TEST(ExperimentTest, ThrowingCaseBecomesPerCaseStatus) {
+  // Regression: a case throwing inside a worker thread used to escape the
+  // thread body and std::terminate the whole process. It must come back
+  // as a per-case failure status; healthy cases must be unaffected.
+  std::vector<ExperimentCase> cases;
+  cases.push_back({tiny_profile(1), tiny_options("lru"), "good-a"});
+  ExperimentCase bad{tiny_profile(2), tiny_options("reqblock"), "bad"};
+  bad.options.fault.program_fail_prob = 1.5;  // validate() rejects this
+  cases.push_back(bad);
+  cases.push_back({tiny_profile(3), tiny_options("fifo"), "good-b"});
+
+  const auto results = run_cases_nothrow(cases, 3);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_GT(results[0].requests, 0u);
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("program_fail_prob"), std::string::npos);
+  EXPECT_EQ(results[1].requests, 0u);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_GT(results[2].requests, 0u);
+
+  // The throwing variant reports every failed case, with its label, after
+  // all cases finished.
+  try {
+    run_cases(cases, 3);
+    FAIL() << "run_cases should throw when a case fails";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("case 1"), std::string::npos);
+    EXPECT_NE(msg.find("bad"), std::string::npos);
+    EXPECT_NE(msg.find("program_fail_prob"), std::string::npos);
+  }
 }
 
 TEST(ExperimentTest, BenchRequestCapEnv) {

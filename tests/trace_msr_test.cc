@@ -4,6 +4,9 @@
 
 #include <limits>
 #include <sstream>
+#include <string>
+
+#include "util/rng.h"
 
 namespace reqblock {
 namespace {
@@ -140,6 +143,56 @@ TEST(MsrTraceTest, StreamRebasesRealFiletimeStampsExactly) {
   ASSERT_EQ(reqs.size(), 2u);
   EXPECT_EQ(reqs[0].arrival, 0);
   EXPECT_EQ(reqs[1].arrival, 100000);  // 1000 ticks * 100 ns
+}
+
+// Regression: an (offset + size) pair that wraps the 64-bit byte space
+// used to produce garbage LPNs and a wrapped 32-bit page count. Corrupt
+// extents are rejected, not reinterpreted.
+TEST(MsrTraceTest, OverflowingExtentsRejected) {
+  // offset + size wraps uint64.
+  EXPECT_FALSE(parse_msr_line("0,h,0,Write,18446744073709551615,4096,0",
+                              opts()).has_value());
+  // offset + 1 (the zero-size span) wraps uint64.
+  EXPECT_FALSE(parse_msr_line("0,h,0,Write,18446744073709551615,0,0",
+                              opts()).has_value());
+  // Page count does not fit the 32-bit request representation.
+  EXPECT_FALSE(parse_msr_line("0,h,0,Write,0,18446744073709551615,0",
+                              opts()).has_value());
+  // A huge-but-sane offset still parses.
+  const auto r =
+      parse_msr_line("0,h,0,Write,9223372036854775808,4096,0", opts());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->pages, 1u);
+  EXPECT_EQ(r->lpn, 9223372036854775808ull / 4096);
+}
+
+// Deterministic fuzz: truncated lines, flipped characters, and random
+// field soup must never crash the parser or yield a request that violates
+// its representation invariants.
+TEST(MsrTraceTest, FuzzedLinesNeverCrashAndKeepInvariants) {
+  Rng rng(2024);
+  const std::string valid = "1000,h,0,Write,8192,4096,0";
+  const char alphabet[] = "0123456789,,.-+eEWRrw#x \t";
+  constexpr std::size_t kAlpha = sizeof(alphabet) - 1;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string line;
+    if (rng.next_bool(0.5)) {
+      line = valid.substr(0, rng.next_u64() % (valid.size() + 1));
+      for (char& c : line) {
+        if (rng.next_bool(0.1)) c = alphabet[rng.next_u64() % kAlpha];
+      }
+    } else {
+      const std::size_t len = rng.next_u64() % 48;
+      for (std::size_t i = 0; i < len; ++i) {
+        line += alphabet[rng.next_u64() % kAlpha];
+      }
+    }
+    const auto r = parse_msr_line(line, opts());
+    if (r.has_value()) {
+      EXPECT_GE(r->pages, 1u) << "line: " << line;
+      EXPECT_GE(r->arrival, 0) << "line: " << line;
+    }
+  }
 }
 
 // Out-of-order stamps earlier than the base clamp to zero rather than

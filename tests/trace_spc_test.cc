@@ -4,6 +4,9 @@
 
 #include <fstream>
 #include <sstream>
+#include <string>
+
+#include "util/rng.h"
 
 namespace reqblock {
 namespace {
@@ -85,6 +88,57 @@ TEST(SpcTraceTest, MaxRequestsCap) {
   SpcParseOptions o = opts();
   o.max_requests = 2;
   EXPECT_EQ(parse_spc_stream(in, o).size(), 2u);
+}
+
+// Regression: lba * sector_size (and byte_offset + size) used to wrap the
+// 64-bit byte space, producing garbage LPNs; and strtod happily parses
+// "inf"/"nan"/1e300 timestamps, which made llround undefined behaviour.
+TEST(SpcTraceTest, OverflowingFieldsRejected) {
+  // lba * 512 wraps uint64.
+  EXPECT_FALSE(
+      parse_spc_line("0,18446744073709551615,4096,w,0", opts()).has_value());
+  // byte_offset + size wraps uint64.
+  EXPECT_FALSE(parse_spc_line("0,36028797018963967,18446744073709551615,w,0",
+                              opts()).has_value());
+  // Page count does not fit the 32-bit request representation.
+  EXPECT_FALSE(
+      parse_spc_line("0,0,18446744073709551615,w,0", opts()).has_value());
+  // Timestamps the ns clock cannot represent.
+  EXPECT_FALSE(parse_spc_line("0,0,4096,w,inf", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("0,0,4096,w,nan", opts()).has_value());
+  EXPECT_FALSE(parse_spc_line("0,0,4096,w,1e300", opts()).has_value());
+  // A large-but-sane line still parses.
+  EXPECT_TRUE(parse_spc_line("0,1000000000,4096,w,1000000.5",
+                             opts()).has_value());
+}
+
+// Deterministic fuzz: truncated lines, flipped characters, and random
+// field soup must never crash the parser or yield a request that violates
+// its representation invariants.
+TEST(SpcTraceTest, FuzzedLinesNeverCrashAndKeepInvariants) {
+  Rng rng(4096);
+  const std::string valid = "0,16,4096,w,1.5";
+  const char alphabet[] = "0123456789,,.-+eEWRrwinfa#x \t";
+  constexpr std::size_t kAlpha = sizeof(alphabet) - 1;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string line;
+    if (rng.next_bool(0.5)) {
+      line = valid.substr(0, rng.next_u64() % (valid.size() + 1));
+      for (char& c : line) {
+        if (rng.next_bool(0.15)) c = alphabet[rng.next_u64() % kAlpha];
+      }
+    } else {
+      const std::size_t len = rng.next_u64() % 40;
+      for (std::size_t i = 0; i < len; ++i) {
+        line += alphabet[rng.next_u64() % kAlpha];
+      }
+    }
+    const auto r = parse_spc_line(line, opts());
+    if (r.has_value()) {
+      EXPECT_GE(r->pages, 1u) << "line: " << line;
+      EXPECT_GE(r->arrival, 0) << "line: " << line;
+    }
+  }
 }
 
 TEST(SpcTraceTest, MissingFileThrows) {
