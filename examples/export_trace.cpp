@@ -5,13 +5,14 @@
 //   ./examples/export_trace --profile ts_0 --requests 100000
 //        --out /tmp/ts_0.csv
 //   ./examples/export_trace --profile src1_2 --stdout | head
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "trace/msr_trace.h"
 #include "trace/profiles.h"
 #include "trace/trace_stats.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 using namespace reqblock;
@@ -30,12 +31,15 @@ int main(int argc, char** argv) {
   }
 
   const std::string path = args.get_or("out", "/tmp/" + name + ".csv");
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot open " << path << " for writing\n";
+  // Atomic write: readers never observe a half-exported trace.
+  std::ostringstream out;
+  write_msr_stream(out, requests, 4096, name);
+  try {
+    write_file_atomic(path, out.str());
+  } catch (const std::exception& e) {
+    std::cerr << "cannot write " << path << ": " << e.what() << "\n";
     return 1;
   }
-  write_msr_stream(out, requests, 4096, name);
 
   // Round-trip sanity + summary for the user.
   const auto stats = [&] {

@@ -9,9 +9,9 @@
 // paper's original traces can be replayed unchanged when available.
 #include <iostream>
 #include <memory>
+#include <sstream>
 
-#include <fstream>
-
+#include "sim/checkpoint.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 #include "trace/msr_trace.h"
@@ -20,6 +20,7 @@
 #include "trace/trace_stats.h"
 #include "trace/vector_source.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 using namespace reqblock;
@@ -51,7 +52,7 @@ std::unique_ptr<TraceSource> open_trace(const ArgParser& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const ArgParser args(argc, argv);
   if (args.has("help")) {
     std::cout << "usage: " << args.program()
@@ -63,6 +64,8 @@ int main(int argc, char** argv) {
                  " [--fault-read-fail P] [--fault-erase-fail P]"
                  " [--fault-retries N] [--fault-spares N]"
                  " [--fault-power-loss-every N]\n"
+                 "checkpointing: [--checkpoint-dir DIR]"
+                 " [--checkpoint-every-n REQS] [--resume-from FILE]\n"
                  "profiles: hm_1 lun_1 usr_0 src1_2 ts_0 proj_0\n"
                  "policies: lru fifo lfu cflru fab bplru vbbms reqblock\n";
     return 0;
@@ -90,19 +93,35 @@ int main(int argc, char** argv) {
   if (args.has("occupancy")) options.occupancy_log_interval = 10000;
   options.fault.apply_cli(args);
 
-  Simulator sim(options);
-  const RunResult result = sim.run(*trace);
+  CheckpointOptions ckpt;
+  ckpt.dir = args.get_or("checkpoint-dir", "");
+  ckpt.every_n_requests = args.get_u64_strict("checkpoint-every-n", 0);
+  std::string resume_from = args.get_or("resume-from", "");
+  if (resume_from.empty() && !ckpt.dir.empty()) {
+    // Restarted with the same --checkpoint-dir: pick up where we died.
+    resume_from = find_latest_checkpoint(ckpt.dir, "run");
+    if (!resume_from.empty()) {
+      std::cout << "Resuming from " << resume_from << "\n";
+    }
+  }
+
+  RunResult result;
+  if (!ckpt.dir.empty() || !resume_from.empty()) {
+    result = run_with_checkpoints(options, *trace, ckpt, resume_from);
+  } else {
+    Simulator sim(options);
+    result = sim.run(*trace);
+  }
 
   results_table({result}).print(std::cout);
   write_fault_summary(std::cout, result);
   if (const auto csv_path = args.get("csv")) {
-    std::ofstream csv(*csv_path);
-    if (csv) {
-      write_results_csv(csv, {result});
-      std::cout << "\nWrote CSV row to " << *csv_path << "\n";
-    } else {
-      std::cerr << "cannot open " << *csv_path << " for writing\n";
-    }
+    // Temp file + atomic rename: a crash mid-write never leaves a
+    // truncated CSV where a complete one is expected.
+    std::ostringstream csv;
+    write_results_csv(csv, {result});
+    write_file_atomic(*csv_path, csv.str());
+    std::cout << "\nWrote CSV row to " << *csv_path << "\n";
   }
   if (!result.occupancy_series.empty()) {
     std::cout << "\nList occupancy every 10k requests (IRL/SRL/DRL pages):\n";
@@ -113,4 +132,7 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "trace_replay: " << e.what() << "\n";
+  return 1;
 }

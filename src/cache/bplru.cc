@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -130,6 +131,41 @@ bool BplruPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
     for (const Lpn lpn : b.pages) fn(lpn);
   }
   return true;
+}
+
+void BplruPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("bplru");
+  w.u64(blocks_.size());
+  lru_.for_each([&](const Block* b) {
+    w.u64(b->block_id);
+    w.u32(b->next_seq_offset);
+    w.b(b->sequential);
+    w.b(b->demoted);
+    w.u64(b->pages.size());
+    for (const Lpn lpn : b->pages) w.u64(lpn);
+  });
+}
+
+void BplruPolicy::deserialize(SnapshotReader& r) {
+  r.tag("bplru");
+  REQB_CHECK_MSG(blocks_.empty(), "deserialize into a non-fresh BPLRU policy");
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Lpn block_id = r.u64();
+    auto [it, inserted] = blocks_.try_emplace(block_id);
+    if (!inserted) throw SnapshotError("BPLRU snapshot repeats a block");
+    Block& b = it->second;
+    b.block_id = block_id;
+    b.next_seq_offset = r.u32();
+    b.sequential = r.b();
+    b.demoted = r.b();
+    const std::uint64_t pages = r.count(8);
+    if (pages == 0) throw SnapshotError("BPLRU snapshot has an empty block");
+    b.pages.reserve(pages);
+    for (std::uint64_t p = 0; p < pages; ++p) b.pages.push_back(r.u64());
+    total_pages_ += pages;
+    lru_.push_back(&b);
+  }
 }
 
 }  // namespace reqblock

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -397,6 +398,109 @@ void CacheManager::reset_metrics() {
   metrics_.pages_retired_by_req_size.assign(buckets, 0);
   metrics_.pages_reused_by_req_size.assign(buckets, 0);
   lookup_since_sample_ = 0;
+}
+
+void CacheMetrics::serialize(SnapshotWriter& w) const {
+  w.tag("cache_metrics");
+  w.u64(page_lookups);
+  w.u64(page_hits);
+  w.u64(read_hits);
+  w.u64(write_hits);
+  w.u64(inserts);
+  w.u64(read_misses);
+  w.u64(bypass_pages);
+  w.u64(evictions);
+  w.u64(evicted_pages);
+  w.u64(flushed_pages);
+  w.u64(padding_pages);
+  reqblock::serialize(w, eviction_batch);
+  reqblock::serialize(w, metadata_bytes);
+  w.vec_u64(inserts_by_req_size);
+  w.vec_u64(hits_by_req_size);
+  w.vec_u64(pages_retired_by_req_size);
+  w.vec_u64(pages_reused_by_req_size);
+}
+
+void CacheMetrics::deserialize(SnapshotReader& r) {
+  r.tag("cache_metrics");
+  page_lookups = r.u64();
+  page_hits = r.u64();
+  read_hits = r.u64();
+  write_hits = r.u64();
+  inserts = r.u64();
+  read_misses = r.u64();
+  bypass_pages = r.u64();
+  evictions = r.u64();
+  evicted_pages = r.u64();
+  flushed_pages = r.u64();
+  padding_pages = r.u64();
+  reqblock::deserialize(r, eviction_batch);
+  reqblock::deserialize(r, metadata_bytes);
+  inserts_by_req_size = r.vec_u64();
+  hits_by_req_size = r.vec_u64();
+  pages_retired_by_req_size = r.vec_u64();
+  pages_reused_by_req_size = r.vec_u64();
+}
+
+void CacheManager::serialize(SnapshotWriter& w) const {
+  w.tag("cache");
+  // Page table and write oracle in sorted LPN order: the hash maps iterate
+  // nondeterministically, but equal logical state must produce equal bytes.
+  std::vector<Lpn> lpns;
+  lpns.reserve(pages_.size());
+  for (const auto& [lpn, entry] : pages_) lpns.push_back(lpn);
+  std::sort(lpns.begin(), lpns.end());
+  w.u64(lpns.size());
+  for (const Lpn lpn : lpns) {
+    const PageEntry& e = pages_.at(lpn);
+    w.u64(lpn);
+    w.u64(e.version);
+    w.u32(e.insert_req_pages);
+    w.b(e.dirty);
+    w.b(e.reused);
+  }
+  lpns.clear();
+  for (const auto& [lpn, version] : last_version_) lpns.push_back(lpn);
+  std::sort(lpns.begin(), lpns.end());
+  w.u64(lpns.size());
+  for (const Lpn lpn : lpns) {
+    w.u64(lpn);
+    w.u64(last_version_.at(lpn));
+  }
+  metrics_.serialize(w);
+  w.u64(lookup_since_sample_);
+  policy_->serialize(w);
+}
+
+void CacheManager::deserialize(SnapshotReader& r) {
+  r.tag("cache");
+  REQB_CHECK_MSG(pages_.empty() && last_version_.empty(),
+                 "deserialize into a non-fresh cache manager");
+  const std::uint64_t resident = r.count(22);
+  pages_.reserve(resident);
+  for (std::uint64_t i = 0; i < resident; ++i) {
+    const Lpn lpn = r.u64();
+    PageEntry e;
+    e.version = r.u64();
+    e.insert_req_pages = r.u32();
+    e.dirty = r.b();
+    e.reused = r.b();
+    if (!pages_.emplace(lpn, e).second) {
+      throw SnapshotError("cache snapshot repeats a resident page");
+    }
+  }
+  const std::uint64_t oracle = r.count(16);
+  last_version_.reserve(oracle);
+  for (std::uint64_t i = 0; i < oracle; ++i) {
+    const Lpn lpn = r.u64();
+    const std::uint64_t version = r.u64();
+    if (!last_version_.emplace(lpn, version).second) {
+      throw SnapshotError("cache snapshot repeats an oracle entry");
+    }
+  }
+  metrics_.deserialize(r);
+  lookup_since_sample_ = r.u64();
+  policy_->deserialize(r);
 }
 
 }  // namespace reqblock

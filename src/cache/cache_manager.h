@@ -79,6 +79,9 @@ struct CacheMetrics {
                              : static_cast<double>(page_hits) /
                                    static_cast<double>(page_lookups);
   }
+
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 };
 
 class CacheManager {
@@ -134,6 +137,12 @@ class CacheManager {
   /// request (the mutation batch of this layer).
   void audit(AuditReport& report,
              AuditLevel depth = AuditLevel::kFull) const;
+
+  /// Checkpoint: page table, write oracle, metrics, and the policy's own
+  /// replacement state. deserialize() restores into a freshly constructed
+  /// manager wired to the same policy type and FTL configuration.
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 
  private:
   struct PageEntry {

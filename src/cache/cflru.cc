@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -69,6 +70,30 @@ void CflruPolicy::audit(AuditReport& report) const {
 bool CflruPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
   for (const auto& [lpn, node] : nodes_) fn(lpn);
   return true;
+}
+
+void CflruPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("cflru");
+  w.u64(nodes_.size());
+  list_.for_each([&](const Node* n) {
+    w.u64(n->lpn);
+    w.b(n->dirty);
+  });
+}
+
+void CflruPolicy::deserialize(SnapshotReader& r) {
+  r.tag("cflru");
+  REQB_CHECK_MSG(nodes_.empty(), "deserialize into a non-fresh CFLRU policy");
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Lpn lpn = r.u64();
+    const bool dirty = r.b();
+    auto [it, inserted] = nodes_.try_emplace(lpn);
+    if (!inserted) throw SnapshotError("CFLRU snapshot repeats a page");
+    it->second.lpn = lpn;
+    it->second.dirty = dirty;
+    list_.push_back(&it->second);
+  }
 }
 
 }  // namespace reqblock

@@ -1,5 +1,8 @@
 #include "cache/fab.h"
 
+#include <algorithm>
+
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -99,6 +102,43 @@ bool FabPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
     for (const Lpn lpn : group.pages) fn(lpn);
   }
   return true;
+}
+
+void FabPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("fab");
+  // Groups sorted by block id for byte determinism; the size index is
+  // derived state and rebuilt on restore. Page order inside a group is
+  // preserved (it is the flush order of the victim batch).
+  std::vector<Lpn> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [block_id, group] : groups_) ids.push_back(block_id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (const Lpn block_id : ids) {
+    w.u64(block_id);
+    const Group& g = groups_.at(block_id);
+    w.u64(g.pages.size());
+    for (const Lpn lpn : g.pages) w.u64(lpn);
+  }
+}
+
+void FabPolicy::deserialize(SnapshotReader& r) {
+  r.tag("fab");
+  REQB_CHECK_MSG(groups_.empty(), "deserialize into a non-fresh FAB policy");
+  const std::uint64_t group_count = r.u64();
+  for (std::uint64_t gi = 0; gi < group_count; ++gi) {
+    const Lpn block_id = r.u64();
+    const std::uint64_t pages = r.count(8);
+    if (pages == 0) throw SnapshotError("FAB snapshot has an empty group");
+    auto [it, inserted] = groups_.try_emplace(block_id);
+    if (!inserted) throw SnapshotError("FAB snapshot repeats a block");
+    it->second.pages.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      it->second.pages.push_back(r.u64());
+    }
+    reindex(block_id, 0, pages);
+    total_pages_ += pages;
+  }
 }
 
 }  // namespace reqblock

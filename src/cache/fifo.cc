@@ -1,5 +1,6 @@
 #include "cache/fifo.h"
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -42,6 +43,25 @@ void FifoPolicy::audit(AuditReport& report) const {
 bool FifoPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
   for (const auto& [lpn, node] : nodes_) fn(lpn);
   return true;
+}
+
+void FifoPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("fifo");
+  w.u64(nodes_.size());
+  list_.for_each([&](const Node* n) { w.u64(n->lpn); });
+}
+
+void FifoPolicy::deserialize(SnapshotReader& r) {
+  r.tag("fifo");
+  REQB_CHECK_MSG(nodes_.empty(), "deserialize into a non-fresh FIFO policy");
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Lpn lpn = r.u64();
+    auto [it, inserted] = nodes_.try_emplace(lpn);
+    if (!inserted) throw SnapshotError("FIFO snapshot repeats a page");
+    it->second.lpn = lpn;
+    list_.push_back(&it->second);
+  }
 }
 
 }  // namespace reqblock

@@ -19,6 +19,8 @@ class FifoPolicy final : public WriteBufferPolicy {
   std::size_t metadata_bytes() const override { return nodes_.size() * 12; }
   void audit(AuditReport& report) const override;
   bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+  void serialize(SnapshotWriter& w) const override;
+  void deserialize(SnapshotReader& r) override;
 
  private:
   struct Node {

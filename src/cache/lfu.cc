@@ -1,5 +1,6 @@
 #include "cache/lfu.h"
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -82,6 +83,40 @@ void LfuPolicy::audit(AuditReport& report) const {
 bool LfuPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
   for (const auto& [lpn, entry] : index_) fn(lpn);
   return true;
+}
+
+void LfuPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("lfu");
+  // Frequency classes in ascending order, each front-to-back (MRU first):
+  // the index iterators are rebuilt on restore.
+  w.u64(by_freq_.size());
+  for (const auto& [freq, lst] : by_freq_) {
+    w.u64(freq);
+    w.u64(lst.size());
+    for (const Lpn lpn : lst) w.u64(lpn);
+  }
+}
+
+void LfuPolicy::deserialize(SnapshotReader& r) {
+  r.tag("lfu");
+  REQB_CHECK_MSG(index_.empty(), "deserialize into a non-fresh LFU policy");
+  const std::uint64_t classes = r.u64();
+  for (std::uint64_t c = 0; c < classes; ++c) {
+    const std::uint64_t freq = r.u64();
+    const std::uint64_t pages = r.u64();
+    if (freq < 1 || pages == 0) {
+      throw SnapshotError("LFU snapshot has an invalid frequency class");
+    }
+    auto& lst = by_freq_[freq];
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const Lpn lpn = r.u64();
+      lst.push_back(lpn);
+      auto [it, inserted] = index_.try_emplace(lpn);
+      if (!inserted) throw SnapshotError("LFU snapshot repeats a page");
+      it->second.freq = freq;
+      it->second.pos = std::prev(lst.end());
+    }
+  }
 }
 
 }  // namespace reqblock

@@ -28,6 +28,8 @@ class LfuPolicy final : public WriteBufferPolicy {
 
   void audit(AuditReport& report) const override;
   bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+  void serialize(SnapshotWriter& w) const override;
+  void deserialize(SnapshotReader& r) override;
 
  private:
   struct Entry {

@@ -1,5 +1,6 @@
 #include "cache/lru.h"
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -43,6 +44,26 @@ void LruPolicy::audit(AuditReport& report) const {
 bool LruPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
   for (const auto& [lpn, node] : nodes_) fn(lpn);
   return true;
+}
+
+void LruPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("lru");
+  w.u64(nodes_.size());
+  // Head-to-tail list order is the entire replacement state.
+  list_.for_each([&](const Node* n) { w.u64(n->lpn); });
+}
+
+void LruPolicy::deserialize(SnapshotReader& r) {
+  r.tag("lru");
+  REQB_CHECK_MSG(nodes_.empty(), "deserialize into a non-fresh LRU policy");
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Lpn lpn = r.u64();
+    auto [it, inserted] = nodes_.try_emplace(lpn);
+    if (!inserted) throw SnapshotError("LRU snapshot repeats a page");
+    it->second.lpn = lpn;
+    list_.push_back(&it->second);
+  }
 }
 
 }  // namespace reqblock

@@ -21,6 +21,8 @@ class LruPolicy final : public WriteBufferPolicy {
   }
   void audit(AuditReport& report) const override;
   bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+  void serialize(SnapshotWriter& w) const override;
+  void deserialize(SnapshotReader& r) override;
 
  private:
   static constexpr std::size_t kNodeBytes = 12;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -138,6 +139,61 @@ void VbbmsPolicy::audit(AuditReport& report) const {
 bool VbbmsPolicy::enumerate_pages(const std::function<void(Lpn)>& fn) const {
   for (const auto& [lpn, seq] : page_is_seq_) fn(lpn);
   return true;
+}
+
+void VbbmsPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("vbbms");
+  // Each region is fully described by its list order plus per-vblock page
+  // vectors; the page->region map and the page counters are derived.
+  const auto write_region = [&w](const IntrusiveList<VBlock, &VBlock::hook>&
+                                     list,
+                                 std::size_t count) {
+    w.u64(count);
+    list.for_each([&](const VBlock* vb) {
+      w.u64(vb->vb_id);
+      w.u64(vb->pages.size());
+      for (const Lpn lpn : vb->pages) w.u64(lpn);
+    });
+  };
+  write_region(random_lru_, random_vbs_.size());
+  write_region(seq_fifo_, seq_vbs_.size());
+}
+
+void VbbmsPolicy::deserialize(SnapshotReader& r) {
+  r.tag("vbbms");
+  REQB_CHECK_MSG(page_is_seq_.empty(),
+                 "deserialize into a non-fresh VBBMS policy");
+  const auto read_region =
+      [this, &r](std::unordered_map<std::uint64_t, VBlock>& vbs,
+                 IntrusiveList<VBlock, &VBlock::hook>& list, bool seq,
+                 std::size_t& page_counter) {
+        const std::uint64_t count = r.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::uint64_t vb_id = r.u64();
+          auto [it, inserted] = vbs.try_emplace(vb_id);
+          if (!inserted) {
+            throw SnapshotError("VBBMS snapshot repeats a virtual block");
+          }
+          VBlock& vb = it->second;
+          vb.vb_id = vb_id;
+          const std::uint64_t pages = r.count(8);
+          if (pages == 0) {
+            throw SnapshotError("VBBMS snapshot has an empty virtual block");
+          }
+          vb.pages.reserve(pages);
+          for (std::uint64_t p = 0; p < pages; ++p) {
+            const Lpn lpn = r.u64();
+            vb.pages.push_back(lpn);
+            if (!page_is_seq_.emplace(lpn, seq).second) {
+              throw SnapshotError("VBBMS snapshot repeats a page");
+            }
+          }
+          page_counter += pages;
+          list.push_back(&vb);
+        }
+      };
+  read_region(random_vbs_, random_lru_, false, random_pages_);
+  read_region(seq_vbs_, seq_fifo_, true, seq_pages_);
 }
 
 VictimBatch VbbmsPolicy::select_victim() {

@@ -20,6 +20,9 @@
 
 namespace reqblock {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// What the policy wants evicted. All pages must currently be cached.
 struct VictimBatch {
   std::vector<Lpn> pages;
@@ -92,6 +95,16 @@ class WriteBufferPolicy {
     (void)fn;
     return false;
   }
+
+  /// Checkpoint: writes the full replacement state (list orders, counters,
+  /// in-flight guards) so that deserialize() on a *freshly constructed*
+  /// policy with the same configuration continues bit-identically.
+  /// Deterministic: equal logical state always produces equal bytes.
+  virtual void serialize(SnapshotWriter& w) const = 0;
+
+  /// Restores state written by serialize(). Must only be called on a fresh
+  /// instance; throws SnapshotError on malformed input.
+  virtual void deserialize(SnapshotReader& r) = 0;
 
   /// Hands the policy the run's event sink for structural events
   /// (Req-block split/promote/merge/batch-evict). The buffer outlives the

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -405,6 +406,70 @@ void ReqBlockPolicy::audit(AuditReport& report) const {
                  "blocks hold " + std::to_string(block_pages) +
                      " pages, page table tracks " +
                      std::to_string(page_to_block_.size()));
+}
+
+void ReqBlockPolicy::serialize(SnapshotWriter& w) const {
+  w.tag("reqblock");
+  w.u64(tick_);
+  w.u64(next_block_id_);
+  w.u64(current_req_id_);
+  w.u64(guard_insert_block_);
+  w.u64(guard_split_block_);
+  w.u64(mutations_);
+  // Three lists head-to-tail; list membership implies the level field and
+  // page order within a block is the victim-batch flush order.
+  for (const auto& list : lists_) {
+    w.u64(list.size());
+    list.for_each([&](const ReqBlock* b) {
+      w.u64(b->block_id);
+      w.u64(b->req_id);
+      w.u64(b->access_cnt);
+      w.u64(b->insert_tick);
+      w.u64(b->origin_id);
+      w.u64(b->pages.size());
+      for (const Lpn lpn : b->pages) w.u64(lpn);
+    });
+  }
+}
+
+void ReqBlockPolicy::deserialize(SnapshotReader& r) {
+  r.tag("reqblock");
+  REQB_CHECK_MSG(blocks_.empty(),
+                 "deserialize into a non-fresh Req-block policy");
+  tick_ = r.u64();
+  next_block_id_ = r.u64();
+  current_req_id_ = r.u64();
+  guard_insert_block_ = r.u64();
+  guard_split_block_ = r.u64();
+  mutations_ = r.u64();
+  for (std::size_t level = 0; level < lists_.size(); ++level) {
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto blk = std::make_unique<ReqBlock>();
+      blk->block_id = r.u64();
+      blk->req_id = r.u64();
+      blk->level = static_cast<ReqList>(level);
+      blk->access_cnt = r.u64();
+      blk->insert_tick = r.u64();
+      blk->origin_id = r.u64();
+      const std::uint64_t pages = r.count(8);
+      blk->pages.reserve(pages);
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        const Lpn lpn = r.u64();
+        blk->pages.push_back(lpn);
+        if (!page_to_block_.emplace(lpn, blk.get()).second) {
+          throw SnapshotError("Req-block snapshot repeats a page");
+        }
+      }
+      ReqBlock* raw = blk.get();
+      if (!blocks_.emplace(raw->block_id, std::move(blk)).second) {
+        throw SnapshotError("Req-block snapshot repeats a block id");
+      }
+      lists_[level].push_back(raw);
+    }
+  }
+  // The occupancy memo key starts at ~0 on a fresh instance, which can
+  // never equal the restored mutation counter, so the memo rebuilds lazily.
 }
 
 }  // namespace reqblock

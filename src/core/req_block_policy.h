@@ -107,6 +107,8 @@ class ReqBlockPolicy final : public WriteBufferPolicy {
   /// no-block-on-two-lists. O(blocks + pages).
   void audit(AuditReport& report) const override;
   bool enumerate_pages(const std::function<void(Lpn)>& fn) const override;
+  void serialize(SnapshotWriter& w) const override;
+  void deserialize(SnapshotReader& r) override;
   /// Full structural dump (lists, blocks, guards) attached to failed
   /// audits.
   std::string dump_structure() const;

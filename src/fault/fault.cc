@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "snapshot/snapshot.h"
 #include "util/args.h"
 
 namespace reqblock {
@@ -87,6 +88,50 @@ void FaultInjector::reset_metrics() {
   metrics_ = FaultMetrics{};
   metrics_.enabled = enabled;
   metrics_.degraded_planes = degraded;
+}
+
+void FaultMetrics::serialize(SnapshotWriter& w) const {
+  w.tag("fault_metrics");
+  w.b(enabled);
+  w.u64(program_faults);
+  w.u64(read_faults);
+  w.u64(erase_faults);
+  w.u64(blocks_retired);
+  w.u64(retires_refused);
+  w.u64(bad_block_marks);
+  w.u64(degraded_planes);
+  w.u64(power_loss_events);
+  w.u64(lost_dirty_pages);
+  w.i64(recovery_time_total);
+}
+
+void FaultMetrics::deserialize(SnapshotReader& r) {
+  r.tag("fault_metrics");
+  enabled = r.b();
+  program_faults = r.u64();
+  read_faults = r.u64();
+  erase_faults = r.u64();
+  blocks_retired = r.u64();
+  retires_refused = r.u64();
+  bad_block_marks = r.u64();
+  degraded_planes = r.u64();
+  power_loss_events = r.u64();
+  lost_dirty_pages = r.u64();
+  recovery_time_total = r.i64();
+}
+
+void FaultInjector::serialize(SnapshotWriter& w) const {
+  w.tag("fault_injector");
+  reqblock::serialize(w, rng_);
+  w.vec_u32(chip_fail_streak_);
+  metrics_.serialize(w);
+}
+
+void FaultInjector::deserialize(SnapshotReader& r) {
+  r.tag("fault_injector");
+  reqblock::deserialize(r, rng_);
+  chip_fail_streak_ = r.vec_u32();
+  metrics_.deserialize(r);
 }
 
 }  // namespace reqblock

@@ -25,6 +25,8 @@
 namespace reqblock {
 
 class ArgParser;
+class SnapshotReader;
+class SnapshotWriter;
 
 /// Seeded, immutable description of the faults a run may inject.
 struct FaultPlan {
@@ -93,6 +95,9 @@ struct FaultMetrics {
   std::uint64_t power_loss_events = 0;
   std::uint64_t lost_dirty_pages = 0;  // dirty pages dropped by power loss
   SimTime recovery_time_total = 0;     // summed recovery-replay stalls
+
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 };
 
 class FaultInjector {
@@ -125,6 +130,13 @@ class FaultInjector {
   const FaultMetrics& metrics() const { return metrics_; }
   /// Clears the counters (RNG stream and chip state continue). Warmup.
   void reset_metrics();
+
+  /// Checkpoint: RNG stream position, per-chip failure streaks, and the
+  /// metrics. The plan itself is not stored — deserialize() restores into
+  /// an injector constructed from the identical plan (the run's config
+  /// fingerprint covers the plan, so a mismatch is refused upstream).
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 
  private:
   FaultPlan plan_;

@@ -1,0 +1,402 @@
+#include "sim/checkpoint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "snapshot/snapshot.h"
+#include "util/atomic_file.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace reqblock {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSessionKind = "session";
+constexpr const char* kResultKind = "run_result";
+constexpr const char* kManifestName = "manifest";
+constexpr const char* kManifestMagic = "reqblock-matrix-manifest 1";
+
+std::string ckpt_prefix(const std::string& stem) { return stem + ".ckpt."; }
+
+/// All `<stem>.ckpt.<seq>` files in `dir` as (sequence, path), ascending
+/// by sequence. Malformed suffixes are ignored.
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& dir, const std::string& stem) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  const std::string prefix = ckpt_prefix(stem);
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const auto seq = parse_u64(name.substr(prefix.size()));
+    if (!seq) continue;
+    found.emplace_back(*seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+std::string save_session_checkpoint(const SimulationSession& session,
+                                    const std::string& dir,
+                                    const std::string& stem,
+                                    std::uint32_t keep_last) {
+  REQB_CHECK_MSG(keep_last >= 1, "keep_last must retain at least one file");
+  fs::create_directories(dir);
+  SnapshotWriter w;
+  session.serialize(w);
+  SnapshotHeader header;
+  header.kind = kSessionKind;
+  header.config_hash = session.config_hash();
+  header.trace_hash = session.trace_hash();
+  header.sequence = session.served();
+  const std::string path =
+      (fs::path(dir) / (ckpt_prefix(stem) + std::to_string(session.served())))
+          .string();
+  save_snapshot_file(path, header, w.take());
+  // Prune only after the new checkpoint is durably in place, so a crash
+  // here never leaves fewer checkpoints than before the save.
+  auto all = list_checkpoints(dir, stem);
+  while (all.size() > keep_last) {
+    std::error_code ec;
+    fs::remove(all.front().second, ec);
+    all.erase(all.begin());
+  }
+  return path;
+}
+
+void restore_session_checkpoint(SimulationSession& session,
+                                const std::string& path) {
+  SnapshotHeader header;
+  const std::string payload = load_snapshot_file(path, header);
+  require_snapshot_identity(header, kSessionKind, session.config_hash(),
+                            session.trace_hash(), path);
+  SnapshotReader r(payload);
+  session.deserialize(r);
+  r.expect_end();
+}
+
+std::string find_latest_checkpoint(const std::string& dir,
+                                   const std::string& stem) {
+  const auto all = list_checkpoints(dir, stem);
+  return all.empty() ? std::string() : all.back().second;
+}
+
+RunResult run_with_checkpoints(const SimOptions& options, TraceSource& trace,
+                               const CheckpointOptions& ckpt,
+                               const std::string& resume_from) {
+  SimulationSession session(options, trace);
+  if (!resume_from.empty()) restore_session_checkpoint(session, resume_from);
+  const bool periodic = !ckpt.dir.empty() && ckpt.every_n_requests != 0;
+  std::uint64_t next_ckpt = 0;
+  if (periodic) {
+    next_ckpt =
+        (session.served() / ckpt.every_n_requests + 1) * ckpt.every_n_requests;
+  }
+  while (session.step()) {
+    if (periodic && session.served() >= next_ckpt) {
+      save_session_checkpoint(session, ckpt.dir, "run", ckpt.keep_last);
+      next_ckpt += ckpt.every_n_requests;
+    }
+  }
+  return session.finish();
+}
+
+// --- RunResult storage -----------------------------------------------------
+
+void serialize_run_result(SnapshotWriter& w, const RunResult& res) {
+  w.tag("run_result");
+  w.str(res.trace_name);
+  w.str(res.policy_name);
+  w.u64(res.cache_capacity_pages);
+  w.u64(res.requests);
+  w.u64(res.read_requests);
+  w.u64(res.write_requests);
+  serialize(w, res.response);
+  serialize(w, res.read_response);
+  serialize(w, res.write_response);
+  res.cache.serialize(w);
+  res.flash.serialize(w);
+  res.fault.serialize(w);
+  w.str(res.error);
+  w.u64(res.occupancy_series.size());
+  for (const ListOccupancy& occ : res.occupancy_series) {
+    w.u64(occ.irl_pages);
+    w.u64(occ.srl_pages);
+    w.u64(occ.drl_pages);
+    w.u64(occ.irl_blocks);
+    w.u64(occ.srl_blocks);
+    w.u64(occ.drl_blocks);
+  }
+  w.tag("telemetry");
+  w.u64(res.telemetry.events.size());
+  for (const TraceEvent& e : res.telemetry.events) {
+    w.i64(e.at);
+    w.i64(e.dur);
+    w.u64(e.lpn);
+    w.u64(e.arg);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u16(e.track);
+    w.u16(e.channel);
+  }
+  w.u64(res.telemetry.events_emitted);
+  w.u64(res.telemetry.events_dropped);
+  w.u64(res.telemetry.events_sampled_out);
+  res.telemetry.snapshots.serialize(w);
+  w.u64(res.telemetry.profile.entries.size());
+  for (const auto& entry : res.telemetry.profile.entries) {
+    w.str(entry.section);
+    w.u64(entry.calls);
+    w.u64(entry.total_ns);
+  }
+  w.i64(res.sim_end);
+  w.f64(res.wall_seconds);
+  w.u64(res.warmup_requests);
+  w.f64(res.channel_utilization);
+  w.f64(res.chip_utilization);
+}
+
+void deserialize_run_result(SnapshotReader& r, RunResult& res) {
+  r.tag("run_result");
+  res.trace_name = r.str();
+  res.policy_name = r.str();
+  res.cache_capacity_pages = r.u64();
+  res.requests = r.u64();
+  res.read_requests = r.u64();
+  res.write_requests = r.u64();
+  deserialize(r, res.response);
+  deserialize(r, res.read_response);
+  deserialize(r, res.write_response);
+  res.cache.deserialize(r);
+  res.flash.deserialize(r);
+  res.fault.deserialize(r);
+  res.error = r.str();
+  const std::uint64_t occ_count = r.count(48);
+  res.occupancy_series.clear();
+  res.occupancy_series.reserve(occ_count);
+  for (std::uint64_t i = 0; i < occ_count; ++i) {
+    ListOccupancy occ;
+    occ.irl_pages = r.u64();
+    occ.srl_pages = r.u64();
+    occ.drl_pages = r.u64();
+    occ.irl_blocks = r.u64();
+    occ.srl_blocks = r.u64();
+    occ.drl_blocks = r.u64();
+    res.occupancy_series.push_back(occ);
+  }
+  r.tag("telemetry");
+  const std::uint64_t events = r.count(37);
+  res.telemetry.events.clear();
+  res.telemetry.events.reserve(events);
+  for (std::uint64_t i = 0; i < events; ++i) {
+    TraceEvent e;
+    e.at = r.i64();
+    e.dur = r.i64();
+    e.lpn = r.u64();
+    e.arg = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::kBlockRetire)) {
+      throw SnapshotError("stored result has an unknown event kind");
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.track = r.u16();
+    e.channel = r.u16();
+    res.telemetry.events.push_back(e);
+  }
+  res.telemetry.events_emitted = r.u64();
+  res.telemetry.events_dropped = r.u64();
+  res.telemetry.events_sampled_out = r.u64();
+  res.telemetry.snapshots.deserialize(r);
+  const std::uint64_t profile_entries = r.count(20);
+  res.telemetry.profile.entries.clear();
+  res.telemetry.profile.entries.reserve(profile_entries);
+  for (std::uint64_t i = 0; i < profile_entries; ++i) {
+    ProfileReport::Entry entry;
+    entry.section = r.str();
+    entry.calls = r.u64();
+    entry.total_ns = r.u64();
+    res.telemetry.profile.entries.push_back(entry);
+  }
+  res.sim_end = r.i64();
+  res.wall_seconds = r.f64();
+  res.warmup_requests = r.u64();
+  res.channel_utilization = r.f64();
+  res.chip_utilization = r.f64();
+}
+
+void save_run_result(const RunResult& result, const std::string& path,
+                     std::uint64_t config_hash, std::uint64_t trace_hash) {
+  SnapshotWriter w;
+  serialize_run_result(w, result);
+  SnapshotHeader header;
+  header.kind = kResultKind;
+  header.config_hash = config_hash;
+  header.trace_hash = trace_hash;
+  header.sequence = result.requests;
+  save_snapshot_file(path, header, w.take());
+}
+
+RunResult load_run_result(const std::string& path, std::uint64_t config_hash,
+                          std::uint64_t trace_hash) {
+  SnapshotHeader header;
+  const std::string payload = load_snapshot_file(path, header);
+  require_snapshot_identity(header, kResultKind, config_hash, trace_hash,
+                            path);
+  SnapshotReader r(payload);
+  RunResult result;
+  deserialize_run_result(r, result);
+  r.expect_end();
+  return result;
+}
+
+// --- Matrix manifest -------------------------------------------------------
+
+std::uint64_t matrix_fingerprint(const std::vector<ExperimentCase>& cases) {
+  Fingerprint fp;
+  fp.add_string("experiment_matrix");
+  fp.add(cases.size());
+  for (const ExperimentCase& c : cases) {
+    fp.add(config_fingerprint(c.options));
+    fp.add(SyntheticTraceSource(c.profile).identity_hash());
+    fp.add_string(c.label);
+  }
+  return fp.value();
+}
+
+namespace {
+
+std::string manifest_path(const std::string& dir) {
+  return (fs::path(dir) / kManifestName).string();
+}
+
+void write_manifest(const std::string& dir, std::uint64_t matrix_hash,
+                    std::size_t case_count, const std::set<std::size_t>& done) {
+  std::ostringstream os;
+  os << kManifestMagic << '\n';
+  os << "matrix " << matrix_hash << '\n';
+  os << "cases " << case_count << '\n';
+  for (const std::size_t i : done) os << "done " << i << '\n';
+  write_file_atomic(manifest_path(dir), os.str());
+}
+
+/// Parses the manifest, refusing (SnapshotError) one written for a
+/// different matrix. Returns the completed-case set; empty when no
+/// manifest exists yet.
+std::set<std::size_t> read_manifest(const std::string& dir,
+                                    std::uint64_t matrix_hash,
+                                    std::size_t case_count) {
+  std::set<std::size_t> done;
+  const std::string path = manifest_path(dir);
+  std::ifstream in(path);
+  if (!in) return done;
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    throw SnapshotError(path + ": not a matrix manifest");
+  }
+  std::uint64_t stored_hash = 0;
+  std::uint64_t stored_cases = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "matrix") {
+      ls >> stored_hash;
+    } else if (key == "cases") {
+      ls >> stored_cases;
+    } else if (key == "done") {
+      std::size_t idx = 0;
+      ls >> idx;
+      done.insert(idx);
+    } else if (!key.empty()) {
+      throw SnapshotError(path + ": unknown manifest entry '" + key + "'");
+    }
+  }
+  if (in.bad()) {
+    throw std::runtime_error("I/O error reading manifest: " + path);
+  }
+  if (stored_hash != matrix_hash) {
+    throw SnapshotError(
+        path + ": manifest belongs to a different experiment matrix "
+               "(delete the checkpoint directory to start over)");
+  }
+  if (stored_cases != case_count) {
+    throw SnapshotError(path + ": manifest case count mismatch");
+  }
+  for (const std::size_t i : done) {
+    if (i >= case_count) {
+      throw SnapshotError(path + ": manifest marks a case out of range");
+    }
+  }
+  return done;
+}
+
+void remove_case_checkpoints(const std::string& dir, const std::string& stem) {
+  for (const auto& [seq, path] : list_checkpoints(dir, stem)) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+}
+
+}  // namespace
+
+std::vector<RunResult> run_cases_resumable(
+    const std::vector<ExperimentCase>& cases, const CheckpointOptions& ckpt) {
+  REQB_CHECK_MSG(!ckpt.dir.empty(),
+                 "run_cases_resumable needs a checkpoint directory");
+  fs::create_directories(ckpt.dir);
+  const std::uint64_t matrix_hash = matrix_fingerprint(cases);
+  std::set<std::size_t> done = read_manifest(ckpt.dir, matrix_hash,
+                                             cases.size());
+
+  std::vector<RunResult> results(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const ExperimentCase& c = cases[i];
+    const std::string stem = "case_" + std::to_string(i);
+    const std::string result_path =
+        (fs::path(ckpt.dir) / (stem + ".result")).string();
+    SyntheticTraceSource trace(c.profile);
+    SimulationSession session(c.options, trace);
+    if (done.contains(i)) {
+      results[i] = load_run_result(result_path, session.config_hash(),
+                                   session.trace_hash());
+      continue;
+    }
+    const std::string latest = find_latest_checkpoint(ckpt.dir, stem);
+    if (!latest.empty()) restore_session_checkpoint(session, latest);
+    std::uint64_t next_ckpt = 0;
+    const bool periodic = ckpt.every_n_requests != 0;
+    if (periodic) {
+      next_ckpt = (session.served() / ckpt.every_n_requests + 1) *
+                  ckpt.every_n_requests;
+    }
+    while (session.step()) {
+      if (periodic && session.served() >= next_ckpt) {
+        save_session_checkpoint(session, ckpt.dir, stem, ckpt.keep_last);
+        next_ckpt += ckpt.every_n_requests;
+      }
+    }
+    results[i] = session.finish();
+    // Completion order matters for crash consistency: the stored result
+    // must be durable before the manifest says the case is done; stale
+    // mid-case checkpoints are deleted last (harmless leftovers if the
+    // process dies in between).
+    save_run_result(results[i], result_path, session.config_hash(),
+                    session.trace_hash());
+    done.insert(i);
+    write_manifest(ckpt.dir, matrix_hash, cases.size(), done);
+    remove_case_checkpoints(ckpt.dir, stem);
+  }
+  return results;
+}
+
+}  // namespace reqblock

@@ -1,0 +1,104 @@
+// Checkpoint files and resumable runs.
+//
+// Three layers ride on the snapshot container (src/snapshot/):
+//
+//   1. Session checkpoints — `<stem>.ckpt.<sequence>` files holding one
+//      SimulationSession mid-run. Written crash-consistently (temp file +
+//      fsync + atomic rename), pruned to the newest keep_last per stem, and
+//      validated on restore: format version, config fingerprint, and trace
+//      identity must all match or the restore refuses loudly.
+//
+//   2. Stored results — `case_<i>.result` files holding one finished
+//      RunResult, so a resumed experiment matrix can emit the exact bytes
+//      an uninterrupted one would without re-running finished cases.
+//
+//   3. The matrix manifest — `manifest` records the matrix fingerprint and
+//      which cases completed. run_cases_resumable() consults it on start:
+//      finished cases load from disk, the in-flight case resumes from its
+//      newest valid checkpoint, untouched cases run from scratch.
+//
+// Kill a matrix run at any instant and rerun it with the same arguments:
+// the final results (and their CSV) are byte-identical to a run that was
+// never interrupted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/session.h"
+
+namespace reqblock {
+
+struct CheckpointOptions {
+  /// Directory checkpoints/manifest live in (created if missing).
+  std::string dir;
+  /// Checkpoint after every N served requests (warmup included; 0 = only
+  /// record case completion, never mid-case state).
+  std::uint64_t every_n_requests = 0;
+  /// Newest checkpoints retained per run; older ones are pruned after
+  /// each successful save. At least 1.
+  std::uint32_t keep_last = 2;
+};
+
+/// Writes one checkpoint of `session` as `<dir>/<stem>.ckpt.<served>` and
+/// prunes older `<stem>.ckpt.*` files down to `keep_last`. Returns the
+/// path written.
+std::string save_session_checkpoint(const SimulationSession& session,
+                                    const std::string& dir,
+                                    const std::string& stem,
+                                    std::uint32_t keep_last);
+
+/// Restores `session` (freshly constructed, same options + trace) from a
+/// checkpoint file. Throws SnapshotError when the file is corrupt or was
+/// taken under a different config/trace; std::runtime_error when it
+/// cannot be read.
+void restore_session_checkpoint(SimulationSession& session,
+                                const std::string& path);
+
+/// Highest-sequence `<stem>.ckpt.*` file under `dir`, or "" when none
+/// exists. Files with a malformed sequence suffix are ignored.
+std::string find_latest_checkpoint(const std::string& dir,
+                                   const std::string& stem);
+
+/// Runs one trace to completion with periodic checkpoints. When
+/// `resume_from` is non-empty the session is restored from that file
+/// first (it must match `options` and `trace`). With an empty
+/// CheckpointOptions::dir this degenerates to Simulator::run.
+RunResult run_with_checkpoints(const SimOptions& options, TraceSource& trace,
+                               const CheckpointOptions& ckpt,
+                               const std::string& resume_from = "");
+
+/// Serialization of a finished RunResult (wall_seconds and the
+/// self-profile included — a stored result reproduces everything the
+/// report layer prints).
+void serialize_run_result(SnapshotWriter& w, const RunResult& result);
+void deserialize_run_result(SnapshotReader& r, RunResult& result);
+
+/// Stores/loads one finished result. The header carries the case's config
+/// fingerprint and trace identity; load_run_result re-validates both.
+void save_run_result(const RunResult& result, const std::string& path,
+                     std::uint64_t config_hash, std::uint64_t trace_hash);
+RunResult load_run_result(const std::string& path, std::uint64_t config_hash,
+                          std::uint64_t trace_hash);
+
+/// Order-sensitive hash over every case's config fingerprint, trace
+/// identity, and label. A manifest written under a different matrix hash
+/// is refused.
+std::uint64_t matrix_fingerprint(const std::vector<ExperimentCase>& cases);
+
+/// Like run_cases, but resumable. Per-case completion is recorded in
+/// `<dir>/manifest` (rewritten atomically after every finished case);
+/// finished results are stored as `<dir>/case_<i>.result`; the in-flight
+/// case checkpoints every `every_n_requests` served requests. On start,
+/// completed cases load from disk, a case with checkpoints resumes from
+/// the newest one, and everything else runs fresh. Cases run sequentially
+/// in index order (resume granularity is one request, and matrices that
+/// need resuming are dominated by their longest single runs).
+///
+/// Throws SnapshotError when the manifest belongs to a different matrix.
+std::vector<RunResult> run_cases_resumable(
+    const std::vector<ExperimentCase>& cases, const CheckpointOptions& ckpt);
+
+}  // namespace reqblock

@@ -4,12 +4,12 @@
 #include <cctype>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "telemetry/exporters.h"
-#include "util/check.h"
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace reqblock {
@@ -102,11 +102,14 @@ RunArtifacts export_run_artifacts(const RunResult& result,
   std::filesystem::create_directories(dir);
 
   RunArtifacts artifacts;
+  // Temp file + atomic rename per artifact: a crash mid-export never
+  // leaves a truncated file that downstream tooling would mistake for a
+  // complete one.
   const auto write = [&](const char* suffix, const auto& writer) {
     const std::filesystem::path path = dir / (stem + suffix);
-    std::ofstream os(path);
-    REQB_CHECK_MSG(os.good(), "cannot open " + path.string());
+    std::ostringstream os;
     writer(os);
+    write_file_atomic(path.string(), os.str());
     return path.string();
   };
   if (!result.telemetry.events.empty()) {

@@ -1,0 +1,373 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/req_block_policy.h"
+#include "snapshot/snapshot.h"
+#include "util/audit.h"
+#include "util/check.h"
+
+namespace reqblock {
+
+std::uint64_t config_fingerprint(const SimOptions& o) {
+  Fingerprint fp;
+  fp.add_string("sim_options");
+  const SsdConfig& s = o.ssd;
+  fp.add(s.channels);
+  fp.add(s.chips_per_channel);
+  fp.add(s.planes_per_chip);
+  fp.add(s.pages_per_block);
+  fp.add(s.page_size);
+  fp.add(s.capacity_bytes);
+  fp.add_i64(s.read_latency);
+  fp.add_i64(s.program_latency);
+  fp.add_i64(s.erase_latency);
+  fp.add_i64(s.transfer_per_byte);
+  fp.add_i64(s.command_overhead);
+  fp.add_i64(s.cache_access_latency);
+  fp.add_double(s.gc_free_threshold);
+  fp.add(static_cast<std::uint64_t>(s.gc_victim_policy));
+  fp.add(s.gc_wear_tie_margin);
+  const CacheOptions& c = o.cache;
+  fp.add(c.capacity_pages);
+  fp.add_bool(c.cache_reads);
+  fp.add_bool(c.verify_consistency);
+  fp.add(c.metadata_sample_interval);
+  fp.add(c.max_tracked_request_pages);
+  const PolicyConfig& p = o.policy;
+  fp.add_string(p.name);
+  fp.add(p.capacity_pages);
+  fp.add(p.pages_per_block);
+  fp.add(p.reqblock.delta);
+  fp.add_bool(p.reqblock.merge_on_evict);
+  fp.add(static_cast<std::uint64_t>(p.reqblock.freq_mode));
+  fp.add_bool(p.reqblock.colocate_flush);
+  fp.add_double(p.vbbms.random_fraction);
+  fp.add(p.vbbms.random_vb_pages);
+  fp.add(p.vbbms.seq_vb_pages);
+  fp.add(p.vbbms.seq_request_threshold);
+  fp.add_bool(p.bplru.page_padding);
+  fp.add_bool(p.bplru.block_unit_allocation);
+  fp.add_double(p.cflru_window);
+  fp.add(o.occupancy_log_interval);
+  fp.add(o.max_requests);
+  fp.add(o.warmup_requests);
+  const FaultPlan& f = o.fault;
+  fp.add(f.seed);
+  fp.add_double(f.program_fail_prob);
+  fp.add_double(f.read_fail_prob);
+  fp.add_double(f.erase_fail_prob);
+  fp.add(f.max_program_retries);
+  fp.add_i64(f.retry_backoff);
+  fp.add(f.spare_blocks_per_plane);
+  fp.add_i64(f.degraded_program_penalty);
+  fp.add(f.power_loss_every_requests);
+  fp.add_i64(f.power_loss_downtime);
+  fp.add_i64(f.recovery_replay_per_page);
+  const TelemetryOptions& t = o.telemetry;
+  fp.add(static_cast<std::uint64_t>(t.trace.level));
+  fp.add(t.trace.capacity);
+  fp.add(t.trace.sample_period);
+  fp.add(t.snapshot_every_requests);
+  fp.add_i64(t.snapshot_every_ns);
+  fp.add_bool(t.profile);
+  return fp.value();
+}
+
+SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
+    : options_(std::move(options)), trace_(trace) {
+  options_.ssd.validate();
+  REQB_CHECK_MSG(options_.cache.capacity_pages == 0 ||
+                     options_.cache.capacity_pages ==
+                         options_.policy.capacity_pages,
+                 "cache and policy capacity must agree");
+  if (options_.telemetry_env_override) {
+    options_.telemetry.apply_env();
+    options_.telemetry_env_override = false;  // already folded in
+  }
+  options_.fault.validate();
+  config_hash_ = config_fingerprint(options_);
+  trace_hash_ = trace_.identity_hash();
+
+  wall_start_ = std::chrono::steady_clock::now();
+  ftl_ = std::make_unique<Ftl>(options_.ssd);
+  for (const auto& [begin, end] : trace_.preexisting_ranges()) {
+    ftl_->add_preexisting_range(begin, end);
+  }
+  CacheOptions cache_opts = options_.cache;
+  cache_opts.capacity_pages = options_.policy.capacity_pages;
+  cache_ = std::make_unique<CacheManager>(cache_opts,
+                                          make_policy(options_.policy), *ftl_);
+  req_block_ = dynamic_cast<ReqBlockPolicy*>(&cache_->policy());
+  if (options_.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(options_.fault);
+    ftl_->set_fault_injector(fault_.get());
+  }
+  telemetry_ = std::make_unique<Telemetry>(options_.telemetry);
+  cache_->set_telemetry(&telemetry_->trace(), &telemetry_->profiler());
+  ftl_->set_telemetry(&telemetry_->trace(), &telemetry_->profiler());
+
+  result_.trace_name = trace_.name();
+  result_.policy_name = cache_->policy().name();
+  result_.cache_capacity_pages = cache_opts.capacity_pages;
+  if (options_.telemetry.snapshots_enabled()) {
+    cache_->register_metrics(telemetry_->registry());
+    ftl_->register_metrics(telemetry_->registry());
+    result_.telemetry.snapshots.columns = telemetry_->registry().names();
+  }
+  next_snap_ns_ = options_.telemetry.snapshot_every_ns;
+  warmup_channel_busy_.assign(options_.ssd.channels, 0);
+  warmup_chip_busy_.assign(options_.ssd.total_chips(), 0);
+
+  trace_.reset();
+}
+
+void SimulationSession::take_snapshot() {
+  const ScopedTimer timer(&telemetry_->profiler(),
+                          Profiler::Section::kSnapshot);
+  result_.telemetry.snapshots.rows.push_back(
+      {result_.requests, result_.sim_end, telemetry_->registry().sample()});
+}
+
+void SimulationSession::end_warmup() {
+  warmup_done_ = true;
+  if (result_.warmup_requests == 0) return;
+  cache_->reset_metrics();
+  ftl_->reset_metrics();
+  if (fault_ != nullptr) fault_->reset_metrics();
+  telemetry_->trace().clear();
+  telemetry_->profiler().clear();
+  for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
+    warmup_channel_busy_[c] = ftl_->channel_busy(c);
+  }
+  for (std::uint32_t c = 0; c < options_.ssd.total_chips(); ++c) {
+    warmup_chip_busy_[c] = ftl_->chip_busy(c);
+  }
+  warmup_end_ = last_warmup_arrival_;
+}
+
+void SimulationSession::serve_measured(IoRequest& req) {
+  // A request arriving while the device recovers from a power loss waits;
+  // its latency still counts from the original arrival, so the downtime
+  // shows up in the response distribution.
+  const SimTime host_arrival = req.arrival;
+  if (req.arrival < resume_at_) req.arrival = resume_at_;
+  const SimTime done = cache_->serve(req);
+  const SimTime latency = done - host_arrival;
+  result_.response.record(latency);
+  if (req.is_write()) {
+    ++result_.write_requests;
+    result_.write_response.record(latency);
+  } else {
+    ++result_.read_requests;
+    result_.read_response.record(latency);
+  }
+  ++result_.requests;
+  result_.sim_end = std::max(result_.sim_end, done);
+  ++served_;
+  if (fault_ != nullptr && fault_->power_loss_due(served_)) {
+    resume_at_ = cache_->power_loss(done, *fault_);
+    result_.sim_end = std::max(result_.sim_end, resume_at_);
+  }
+
+  if (req_block_ != nullptr && options_.occupancy_log_interval != 0 &&
+      result_.requests % options_.occupancy_log_interval == 0) {
+    result_.occupancy_series.push_back(req_block_->occupancy());
+  }
+  if (options_.telemetry.snapshots_enabled()) {
+    const std::uint64_t snap_requests =
+        options_.telemetry.snapshot_every_requests;
+    const SimTime snap_ns = options_.telemetry.snapshot_every_ns;
+    bool due = snap_requests != 0 && result_.requests % snap_requests == 0;
+    if (snap_ns != 0 && result_.sim_end >= next_snap_ns_) {
+      due = true;
+      while (next_snap_ns_ <= result_.sim_end) next_snap_ns_ += snap_ns;
+    }
+    if (due) take_snapshot();
+  }
+}
+
+bool SimulationSession::step() {
+  REQB_CHECK_MSG(!finalized_, "step() after finish()");
+  if (finished_) return false;
+  IoRequest req;
+  if (!warmup_done_) {
+    if (result_.warmup_requests < options_.warmup_requests) {
+      if (!trace_.next(req)) {
+        // Trace exhausted inside warmup: close warmup bookkeeping; the
+        // measured phase would see an empty trace immediately.
+        end_warmup();
+        finished_ = true;
+        return false;
+      }
+      if (req.arrival < resume_at_) req.arrival = resume_at_;
+      const SimTime done = cache_->serve(req);
+      ++result_.warmup_requests;
+      ++served_;
+      last_warmup_arrival_ = req.arrival;
+      if (fault_ != nullptr && fault_->power_loss_due(served_)) {
+        resume_at_ = cache_->power_loss(done, *fault_);
+      }
+      if (result_.warmup_requests >= options_.warmup_requests) end_warmup();
+      return true;
+    }
+    end_warmup();  // no warmup configured
+  }
+  if (!trace_.next(req)) {
+    finished_ = true;
+    return false;
+  }
+  if (options_.max_requests != 0 &&
+      result_.requests >= options_.max_requests) {
+    // Keeps the historical loop shape: the request that trips the cap was
+    // already consumed from the trace and is dropped.
+    finished_ = true;
+    return false;
+  }
+  serve_measured(req);
+  return true;
+}
+
+RunResult SimulationSession::finish() {
+  REQB_CHECK_MSG(!finalized_, "finish() called twice");
+  finalized_ = true;
+  cache_->finalize();
+  // Per-request cache audits run inside CacheManager::serve; the deep
+  // device audit is O(mapped pages), so it runs once per replay here.
+  run_audit("Ftl (end of run)", AuditLevel::kFull,
+            [&](AuditReport& r) { ftl_->audit(r); });
+
+  result_.cache = cache_->metrics();
+  result_.flash = ftl_->metrics();
+  if (fault_ != nullptr) result_.fault = fault_->metrics();
+  if (telemetry_->trace().any_enabled()) {
+    result_.telemetry.events = telemetry_->trace().drain();
+    result_.telemetry.events_emitted = telemetry_->trace().emitted();
+    result_.telemetry.events_dropped = telemetry_->trace().dropped();
+    result_.telemetry.events_sampled_out = telemetry_->trace().sampled_out();
+  }
+  result_.telemetry.profile = profile_report(telemetry_->profiler());
+  if (result_.sim_end > warmup_end_) {
+    double ch_busy = 0.0, chip_busy = 0.0;
+    for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
+      ch_busy += static_cast<double>(ftl_->channel_busy(c) -
+                                     warmup_channel_busy_[c]);
+    }
+    for (std::uint32_t c = 0; c < options_.ssd.total_chips(); ++c) {
+      chip_busy +=
+          static_cast<double>(ftl_->chip_busy(c) - warmup_chip_busy_[c]);
+    }
+    const double span = static_cast<double>(result_.sim_end - warmup_end_);
+    result_.channel_utilization = ch_busy / (span * options_.ssd.channels);
+    result_.chip_utilization = chip_busy / (span * options_.ssd.total_chips());
+  }
+  result_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  return std::move(result_);
+}
+
+void SimulationSession::serialize(SnapshotWriter& w) const {
+  REQB_CHECK_MSG(!finalized_, "serialize() after finish()");
+  w.tag("session");
+  w.u64(served_);
+  w.u64(result_.warmup_requests);
+  w.b(warmup_done_);
+  w.b(finished_);
+  w.i64(resume_at_);
+  w.i64(next_snap_ns_);
+  w.i64(last_warmup_arrival_);
+  w.i64(warmup_end_);
+  w.u64(warmup_channel_busy_.size());
+  for (const SimTime t : warmup_channel_busy_) w.i64(t);
+  w.u64(warmup_chip_busy_.size());
+  for (const SimTime t : warmup_chip_busy_) w.i64(t);
+
+  // Partial result accumulators.
+  w.tag("partial_result");
+  w.u64(result_.requests);
+  w.u64(result_.read_requests);
+  w.u64(result_.write_requests);
+  reqblock::serialize(w, result_.response);
+  reqblock::serialize(w, result_.read_response);
+  reqblock::serialize(w, result_.write_response);
+  w.i64(result_.sim_end);
+  w.u64(result_.occupancy_series.size());
+  for (const ListOccupancy& occ : result_.occupancy_series) {
+    w.u64(occ.irl_pages);
+    w.u64(occ.srl_pages);
+    w.u64(occ.drl_pages);
+    w.u64(occ.irl_blocks);
+    w.u64(occ.srl_blocks);
+    w.u64(occ.drl_blocks);
+  }
+  result_.telemetry.snapshots.serialize(w);
+
+  // Layers, outermost first.
+  trace_.serialize(w);
+  cache_->serialize(w);
+  ftl_->serialize(w);
+  w.b(fault_ != nullptr);
+  if (fault_ != nullptr) fault_->serialize(w);
+  telemetry_->trace().serialize(w);
+}
+
+void SimulationSession::deserialize(SnapshotReader& r) {
+  REQB_CHECK_MSG(served_ == 0 && !finalized_,
+                 "deserialize into a non-fresh session");
+  r.tag("session");
+  served_ = r.u64();
+  result_.warmup_requests = r.u64();
+  warmup_done_ = r.b();
+  finished_ = r.b();
+  resume_at_ = r.i64();
+  next_snap_ns_ = r.i64();
+  last_warmup_arrival_ = r.i64();
+  warmup_end_ = r.i64();
+  if (r.u64() != warmup_channel_busy_.size()) {
+    throw SnapshotError("session snapshot has a different channel count");
+  }
+  for (SimTime& t : warmup_channel_busy_) t = r.i64();
+  if (r.u64() != warmup_chip_busy_.size()) {
+    throw SnapshotError("session snapshot has a different chip count");
+  }
+  for (SimTime& t : warmup_chip_busy_) t = r.i64();
+
+  r.tag("partial_result");
+  result_.requests = r.u64();
+  result_.read_requests = r.u64();
+  result_.write_requests = r.u64();
+  reqblock::deserialize(r, result_.response);
+  reqblock::deserialize(r, result_.read_response);
+  reqblock::deserialize(r, result_.write_response);
+  result_.sim_end = r.i64();
+  const std::uint64_t occ_count = r.count(48);
+  result_.occupancy_series.clear();
+  result_.occupancy_series.reserve(occ_count);
+  for (std::uint64_t i = 0; i < occ_count; ++i) {
+    ListOccupancy occ;
+    occ.irl_pages = r.u64();
+    occ.srl_pages = r.u64();
+    occ.drl_pages = r.u64();
+    occ.irl_blocks = r.u64();
+    occ.srl_blocks = r.u64();
+    occ.drl_blocks = r.u64();
+    result_.occupancy_series.push_back(occ);
+  }
+  result_.telemetry.snapshots.deserialize(r);
+
+  trace_.deserialize(r);
+  cache_->deserialize(r);
+  ftl_->deserialize(r);
+  const bool had_fault = r.b();
+  if (had_fault != (fault_ != nullptr)) {
+    throw SnapshotError(
+        "session snapshot disagrees about fault injection being wired");
+  }
+  if (fault_ != nullptr) fault_->deserialize(r);
+  telemetry_->trace().deserialize(r);
+}
+
+}  // namespace reqblock

@@ -1,0 +1,111 @@
+// Stepwise, checkpointable simulation of one run.
+//
+// SimulationSession is Simulator::run unrolled into an object: construct
+// it around a trace, call step() once per request, then finish() to close
+// the run and collect the RunResult. The stepped form exists so a long run
+// can be checkpointed between any two requests — serialize() captures
+// every piece of state the next step depends on (cache + policy, FTL +
+// flash array, fault-injector RNG stream, trace cursor, partial result
+// accumulators, telemetry buffers), and a session deserialized from that
+// snapshot continues the run bit-for-bit as if it had never stopped.
+//
+// What is deliberately NOT checkpointed:
+//   * wall-clock accounting — RunResult::wall_seconds of a resumed run
+//     covers only the resumed segment (wall time is not simulated state
+//     and never feeds a results CSV);
+//   * the self-profiler — same reason, same consumer.
+//
+// Identity: a snapshot embeds config_fingerprint(options) and the trace's
+// identity_hash(). Restoring against a session built from different
+// options or a different trace throws SnapshotError instead of silently
+// producing a franken-run.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace reqblock {
+
+class SnapshotReader;
+class SnapshotWriter;
+
+/// Stable hash over every option field that affects a run's results:
+/// device geometry and timing, cache and policy configuration, warmup and
+/// request caps, the fault plan, and the telemetry options. Two SimOptions
+/// with equal fingerprints drive byte-identical runs of the same trace.
+std::uint64_t config_fingerprint(const SimOptions& options);
+
+class SimulationSession {
+ public:
+  /// Builds the full stack (device, cache, fault wiring, telemetry) and
+  /// resets the trace to its first request. Mirrors Simulator's option
+  /// validation, including the REQBLOCK_TRACE env override.
+  SimulationSession(SimOptions options, TraceSource& trace);
+
+  /// Serves the next request (warmup or measured). Returns false when the
+  /// run is complete — trace exhausted or max_requests reached — after
+  /// which step() keeps returning false.
+  bool step();
+
+  bool done() const { return finished_; }
+  /// Requests served so far, warmup + measured (the checkpoint cadence
+  /// counter).
+  std::uint64_t served() const { return served_; }
+  /// Measured (post-warmup) requests served so far.
+  std::uint64_t measured_requests() const { return result_.requests; }
+
+  /// Finalizes the run (drains telemetry, runs the device audit, computes
+  /// utilization) and returns the result. Call exactly once, after step()
+  /// returned false.
+  RunResult finish();
+
+  /// The effective options (after env overrides) this session runs with.
+  const SimOptions& options() const { return options_; }
+  /// config_fingerprint(options()) — embedded in checkpoints.
+  std::uint64_t config_hash() const { return config_hash_; }
+  /// The trace's content identity — embedded in checkpoints.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+  /// Checkpoint every piece of state the next step() depends on. The
+  /// target of deserialize() must be a freshly constructed session over
+  /// the same options and trace; identity is the caller's contract here
+  /// (checkpoint files carry the fingerprints — see sim/checkpoint.h).
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
+
+ private:
+  void end_warmup();
+  void serve_measured(IoRequest& req);
+  void take_snapshot();
+
+  SimOptions options_;
+  TraceSource& trace_;
+  std::uint64_t config_hash_ = 0;
+  std::uint64_t trace_hash_ = 0;
+
+  std::unique_ptr<Ftl> ftl_;
+  std::unique_ptr<CacheManager> cache_;
+  std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<Telemetry> telemetry_;
+  ReqBlockPolicy* req_block_ = nullptr;  // occupancy probe target, or null
+
+  RunResult result_;
+  std::uint64_t served_ = 0;  // warmup + measured, drives the loss schedule
+  SimTime resume_at_ = 0;     // device unavailable before this time
+  SimTime next_snap_ns_ = 0;
+  bool warmup_done_ = false;
+  bool finished_ = false;
+  bool finalized_ = false;
+  SimTime last_warmup_arrival_ = 0;
+  SimTime warmup_end_ = 0;
+  std::vector<SimTime> warmup_channel_busy_;
+  std::vector<SimTime> warmup_chip_busy_;
+
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace reqblock

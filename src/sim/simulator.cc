@@ -1,10 +1,6 @@
 #include "sim/simulator.h"
 
-#include <chrono>
-#include <memory>
-
-#include "core/req_block_policy.h"
-#include "util/audit.h"
+#include "sim/session.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -20,167 +16,13 @@ Simulator::Simulator(SimOptions options) : options_(std::move(options)) {
 }
 
 RunResult Simulator::run(TraceSource& trace) {
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  Ftl ftl(options_.ssd);
-  for (const auto& [begin, end] : trace.preexisting_ranges()) {
-    ftl.add_preexisting_range(begin, end);
+  // The stepped session is the single definition of the replay loop;
+  // running it to completion in one go reproduces the historical
+  // Simulator::run semantics exactly (see sim/session.h).
+  SimulationSession session(options_, trace);
+  while (session.step()) {
   }
-  CacheOptions cache_opts = options_.cache;
-  cache_opts.capacity_pages = options_.policy.capacity_pages;
-  CacheManager cache(cache_opts, make_policy(options_.policy), ftl);
-
-  // The occupancy probe only applies to Req-block.
-  auto* req_block =
-      dynamic_cast<ReqBlockPolicy*>(&cache.policy());
-
-  // Faults: one injector per run, so experiment-level parallelism never
-  // perturbs the per-run RNG stream. Disabled plans are not wired at all.
-  std::unique_ptr<FaultInjector> fault;
-  if (options_.fault.enabled()) {
-    fault = std::make_unique<FaultInjector>(options_.fault);
-    ftl.set_fault_injector(fault.get());
-  }
-  std::uint64_t served = 0;  // warmup + measured, drives the loss schedule
-  SimTime resume_at = 0;     // device unavailable before this time
-
-  // Per-run telemetry: one bundle per run, wired before the first request
-  // so warmup traffic is visible too (the buffer is cleared after warmup,
-  // like every other metric).
-  Telemetry telemetry(options_.telemetry);
-  cache.set_telemetry(&telemetry.trace(), &telemetry.profiler());
-  ftl.set_telemetry(&telemetry.trace(), &telemetry.profiler());
-  const std::uint64_t snap_requests =
-      options_.telemetry.snapshot_every_requests;
-  const SimTime snap_ns = options_.telemetry.snapshot_every_ns;
-  const bool snapshots_on = options_.telemetry.snapshots_enabled();
-
-  RunResult result;
-  result.trace_name = trace.name();
-  result.policy_name = cache.policy().name();
-  result.cache_capacity_pages = cache_opts.capacity_pages;
-  if (snapshots_on) {
-    cache.register_metrics(telemetry.registry());
-    ftl.register_metrics(telemetry.registry());
-    result.telemetry.snapshots.columns = telemetry.registry().names();
-  }
-  SimTime next_snap_ns = snap_ns;
-  const auto take_snapshot = [&] {
-    const ScopedTimer timer(&telemetry.profiler(),
-                            Profiler::Section::kSnapshot);
-    result.telemetry.snapshots.rows.push_back(
-        {result.requests, result.sim_end, telemetry.registry().sample()});
-  };
-
-  trace.reset();
-  IoRequest req;
-  // Warmup: populate the cache/device without counting anything.
-  while (result.warmup_requests < options_.warmup_requests &&
-         trace.next(req)) {
-    if (req.arrival < resume_at) req.arrival = resume_at;
-    const SimTime done = cache.serve(req);
-    ++result.warmup_requests;
-    ++served;
-    if (fault != nullptr && fault->power_loss_due(served)) {
-      resume_at = cache.power_loss(done, *fault);
-    }
-  }
-  std::vector<SimTime> warmup_channel_busy(options_.ssd.channels, 0);
-  std::vector<SimTime> warmup_chip_busy(options_.ssd.total_chips(), 0);
-  SimTime warmup_end = 0;
-  if (result.warmup_requests > 0) {
-    cache.reset_metrics();
-    ftl.reset_metrics();
-    if (fault != nullptr) fault->reset_metrics();
-    telemetry.trace().clear();
-    telemetry.profiler().clear();
-    for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
-      warmup_channel_busy[c] = ftl.channel_busy(c);
-    }
-    for (std::uint32_t c = 0; c < options_.ssd.total_chips(); ++c) {
-      warmup_chip_busy[c] = ftl.chip_busy(c);
-    }
-    warmup_end = req.arrival;
-  }
-
-  while (trace.next(req)) {
-    if (options_.max_requests != 0 &&
-        result.requests >= options_.max_requests) {
-      break;
-    }
-    // A request arriving while the device recovers from a power loss
-    // waits; its latency still counts from the original arrival, so the
-    // downtime shows up in the response distribution.
-    const SimTime host_arrival = req.arrival;
-    if (req.arrival < resume_at) req.arrival = resume_at;
-    const SimTime done = cache.serve(req);
-    const SimTime latency = done - host_arrival;
-    result.response.record(latency);
-    if (req.is_write()) {
-      ++result.write_requests;
-      result.write_response.record(latency);
-    } else {
-      ++result.read_requests;
-      result.read_response.record(latency);
-    }
-    ++result.requests;
-    result.sim_end = std::max(result.sim_end, done);
-    ++served;
-    if (fault != nullptr && fault->power_loss_due(served)) {
-      resume_at = cache.power_loss(done, *fault);
-      result.sim_end = std::max(result.sim_end, resume_at);
-    }
-
-    if (req_block != nullptr && options_.occupancy_log_interval != 0 &&
-        result.requests % options_.occupancy_log_interval == 0) {
-      result.occupancy_series.push_back(req_block->occupancy());
-    }
-    if (snapshots_on) {
-      bool due = snap_requests != 0 &&
-                 result.requests % snap_requests == 0;
-      if (snap_ns != 0 && result.sim_end >= next_snap_ns) {
-        due = true;
-        while (next_snap_ns <= result.sim_end) next_snap_ns += snap_ns;
-      }
-      if (due) take_snapshot();
-    }
-  }
-  cache.finalize();
-  // Per-request cache audits run inside CacheManager::serve; the deep
-  // device audit is O(mapped pages), so it runs once per replay here.
-  run_audit("Ftl (end of run)", AuditLevel::kFull,
-            [&](AuditReport& r) { ftl.audit(r); });
-
-  result.cache = cache.metrics();
-  result.flash = ftl.metrics();
-  if (fault != nullptr) result.fault = fault->metrics();
-  if (telemetry.trace().any_enabled()) {
-    result.telemetry.events = telemetry.trace().drain();
-    result.telemetry.events_emitted = telemetry.trace().emitted();
-    result.telemetry.events_dropped = telemetry.trace().dropped();
-    result.telemetry.events_sampled_out = telemetry.trace().sampled_out();
-  }
-  result.telemetry.profile = profile_report(telemetry.profiler());
-  if (result.sim_end > warmup_end) {
-    double ch_busy = 0.0, chip_busy = 0.0;
-    for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
-      ch_busy += static_cast<double>(ftl.channel_busy(c) -
-                                     warmup_channel_busy[c]);
-    }
-    for (std::uint32_t c = 0; c < options_.ssd.total_chips(); ++c) {
-      chip_busy +=
-          static_cast<double>(ftl.chip_busy(c) - warmup_chip_busy[c]);
-    }
-    const double span = static_cast<double>(result.sim_end - warmup_end);
-    result.channel_utilization = ch_busy / (span * options_.ssd.channels);
-    result.chip_utilization =
-        chip_busy / (span * options_.ssd.total_chips());
-  }
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-  return result;
+  return session.finish();
 }
 
 std::uint64_t cache_pages_for_mb(std::uint64_t mb) {

@@ -1,0 +1,193 @@
+// Versioned, checksummed binary snapshot format (checkpoint/restore).
+//
+// A snapshot is a flat byte buffer produced by a SnapshotWriter and
+// consumed by a SnapshotReader. The encoding is deliberately boring:
+// little-endian fixed-width integers, IEEE-754 doubles by bit pattern,
+// length-prefixed strings, and short named section tags that let the
+// reader fail loudly ("expected section 'ftl', found 'cache'") instead of
+// silently misinterpreting bytes when writer and reader drift apart.
+//
+// On disk a snapshot is wrapped in a container: magic + format version +
+// identity hashes (config fingerprint, trace identity) + payload length +
+// FNV-1a-64 checksum. decode_snapshot() verifies all of it before a single
+// payload byte is interpreted, and restore paths compare the identity
+// hashes against the *current* run configuration — a checkpoint from a
+// different policy, geometry, fault plan, or trace is refused, never
+// "best-effort" loaded.
+//
+// Determinism contract: serializing the same logical state always produces
+// the same bytes (containers with nondeterministic iteration order are
+// written in sorted key order), so snapshot bytes themselves can be
+// compared in tests.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reqblock {
+
+class LogHistogram;
+class CountHistogram;
+class RunningStat;
+class Rng;
+
+/// Every malformed-snapshot condition (truncation, checksum mismatch,
+/// version/identity mismatch, section-tag drift) throws this.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a 64-bit over a byte range. Used for the container checksum and as
+/// the building block for identity fingerprints.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Order-sensitive hash accumulator for configuration/trace identity.
+/// Feed every field that defines "the same run"; the final value goes into
+/// the snapshot header and is compared on restore.
+class Fingerprint {
+ public:
+  Fingerprint& add(std::uint64_t v);
+  Fingerprint& add_i64(std::int64_t v) {
+    return add(static_cast<std::uint64_t>(v));
+  }
+  Fingerprint& add_double(double v);
+  Fingerprint& add_bool(bool v) { return add(v ? 1 : 0); }
+  Fingerprint& add_string(std::string_view s);
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class SnapshotWriter {
+ public:
+  /// Named section marker; the reader must consume the same tag at the
+  /// same position. Cheap structure validation for long payloads.
+  void tag(std::string_view name);
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void b(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+
+  void vec_u64(const std::vector<std::uint64_t>& v);
+  void vec_u32(const std::vector<std::uint32_t>& v);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  std::string buffer_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view data) : data_(data) {}
+
+  /// Consumes a section tag; throws SnapshotError naming the expected and
+  /// found tags on mismatch.
+  void tag(std::string_view name);
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool b() { return u8() != 0; }
+  std::string str();
+
+  std::vector<std::uint64_t> vec_u64();
+  std::vector<std::uint32_t> vec_u32();
+
+  bool at_end() const { return pos_ == data_.size(); }
+  /// Payload bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Reads an element count and bounds it against the remaining payload
+  /// (each element needs at least `min_item_bytes`), so a corrupt count
+  /// raises SnapshotError instead of driving a huge allocation.
+  std::uint64_t count(std::size_t min_item_bytes);
+  /// Throws unless every payload byte was consumed — catches writer/reader
+  /// drift that happens to stay in bounds.
+  void expect_end() const;
+
+ private:
+  const char* need(std::size_t size);
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// On-disk container.
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Identity carried alongside the payload and validated before restore.
+struct SnapshotHeader {
+  std::uint32_t format_version = kSnapshotFormatVersion;
+  /// What the payload is ("run-checkpoint", "case-result", ...). Restore
+  /// paths refuse a payload of the wrong kind.
+  std::string kind;
+  /// Fingerprint of the full run configuration (SsdConfig, cache options,
+  /// policy config, fault plan, warmup/caps).
+  std::uint64_t config_hash = 0;
+  /// TraceSource::identity_hash() of the input trace.
+  std::uint64_t trace_hash = 0;
+  /// Progress marker (measured requests served), informational.
+  std::uint64_t sequence = 0;
+};
+
+/// Wraps payload in the container (magic, version, header, checksum).
+std::string encode_snapshot(const SnapshotHeader& header,
+                            std::string_view payload);
+
+/// Validates magic, format version, and checksum; fills `header` and
+/// returns the payload. Throws SnapshotError on any mismatch.
+std::string decode_snapshot(std::string_view file_bytes,
+                            SnapshotHeader& header);
+
+/// Writes encode_snapshot() output crash-consistently (temp file + fsync +
+/// atomic rename). Throws std::runtime_error on I/O failure.
+void save_snapshot_file(const std::string& path, const SnapshotHeader& header,
+                        std::string_view payload);
+
+/// Reads and decodes a snapshot file. Throws SnapshotError on malformed
+/// content, std::runtime_error when the file cannot be read.
+std::string load_snapshot_file(const std::string& path,
+                               SnapshotHeader& header);
+
+/// Refuses (throws SnapshotError) unless kind/config/trace identity of a
+/// decoded header match what the resuming run expects. `what` names the
+/// snapshot in the error message (usually the file path).
+void require_snapshot_identity(const SnapshotHeader& header,
+                               std::string_view kind,
+                               std::uint64_t config_hash,
+                               std::uint64_t trace_hash,
+                               std::string_view what);
+
+// ---------------------------------------------------------------------------
+// Serializers for util value types (via their checkpoint accessors).
+
+void serialize(SnapshotWriter& w, const LogHistogram& h);
+void deserialize(SnapshotReader& r, LogHistogram& h);
+void serialize(SnapshotWriter& w, const CountHistogram& h);
+void deserialize(SnapshotReader& r, CountHistogram& h);
+void serialize(SnapshotWriter& w, const RunningStat& s);
+void deserialize(SnapshotReader& r, RunningStat& s);
+void serialize(SnapshotWriter& w, const Rng& rng);
+void deserialize(SnapshotReader& r, Rng& rng);
+
+}  // namespace reqblock

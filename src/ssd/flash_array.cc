@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -421,6 +422,97 @@ void FlashArray::audit(AuditReport& report) const {
                    plane_tag + " holds " + std::to_string(plane_retired) +
                        " retired blocks, counter says " +
                        std::to_string(pl.retired_count));
+  }
+}
+
+void FlashArray::serialize(SnapshotWriter& w) const {
+  w.tag("flash_array");
+  w.u64(total_erases_);
+  w.u64(total_retired_);
+  w.u64(planes_.size());
+  for (const Plane& pl : planes_) {
+    w.vec_u32(pl.free_list);
+    w.vec_u32(pl.spare_list);
+    w.u64(pl.spares_reserved);
+    w.u64(pl.retired_count);
+    w.b(pl.degraded);
+    w.u32(pl.active);
+    w.u64(pl.valid_pages);
+    // The GC heap's pop order depends only on the element multiset (pairs
+    // are totally ordered; equal duplicates pop consecutively), so
+    // draining a copy captures behavior exactly and gives stable bytes.
+    auto heap = pl.gc_heap;
+    w.u64(heap.size());
+    while (!heap.empty()) {
+      w.u32(heap.top().first);
+      w.u32(heap.top().second);
+      heap.pop();
+    }
+    w.u64(pl.blocks.size());
+    for (const Block& b : pl.blocks) {
+      w.u16(b.write_ptr);
+      w.u16(b.valid_count);
+      w.u16(b.invalid_count);
+      w.u32(b.erase_count);
+      w.b(b.marked_bad);
+      w.b(b.retired);
+      // Page storage is lazily allocated; only written pages carry state.
+      for (std::uint32_t p = 0; p < b.write_ptr; ++p) {
+        w.u8(static_cast<std::uint8_t>(b.states[p]));
+        w.u32(b.lpns[p]);
+      }
+    }
+  }
+}
+
+void FlashArray::deserialize(SnapshotReader& r) {
+  r.tag("flash_array");
+  total_erases_ = r.u64();
+  total_retired_ = r.u64();
+  const std::uint64_t plane_count = r.u64();
+  if (plane_count != planes_.size()) {
+    throw SnapshotError("flash snapshot has a different plane count");
+  }
+  for (Plane& pl : planes_) {
+    pl.free_list = r.vec_u32();
+    pl.spare_list = r.vec_u32();
+    pl.spares_reserved = r.u64();
+    pl.retired_count = r.u64();
+    pl.degraded = r.b();
+    pl.active = r.u32();
+    pl.valid_pages = r.u64();
+    const std::uint64_t heap_size = r.u64();
+    for (std::uint64_t i = 0; i < heap_size; ++i) {
+      const std::uint32_t invalid = r.u32();
+      const std::uint32_t block = r.u32();
+      pl.gc_heap.emplace(invalid, block);
+    }
+    const std::uint64_t block_count = r.u64();
+    if (block_count != pl.blocks.size()) {
+      throw SnapshotError("flash snapshot has a different block count");
+    }
+    for (Block& b : pl.blocks) {
+      b.write_ptr = r.u16();
+      b.valid_count = r.u16();
+      b.invalid_count = r.u16();
+      b.erase_count = r.u32();
+      b.marked_bad = r.b();
+      b.retired = r.b();
+      if (b.write_ptr > cfg_.pages_per_block) {
+        throw SnapshotError("flash snapshot write pointer out of range");
+      }
+      if (b.write_ptr > 0) {
+        ensure_storage(b);
+        for (std::uint32_t p = 0; p < b.write_ptr; ++p) {
+          const auto s = r.u8();
+          if (s > static_cast<std::uint8_t>(PageState::kInvalid)) {
+            throw SnapshotError("flash snapshot has an invalid page state");
+          }
+          b.states[p] = static_cast<PageState>(s);
+          b.lpns[p] = r.u32();
+        }
+      }
+    }
   }
 }
 

@@ -19,6 +19,9 @@
 
 namespace reqblock {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class PageState : std::uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
 
 class FlashArray {
@@ -122,6 +125,12 @@ class FlashArray {
   /// emptiness of free blocks, and active-block bookkeeping. O(physical
   /// pages with storage materialized).
   void audit(AuditReport& report) const;
+
+  /// Checkpoint: page states, free/spare lists, retirement flags, GC heap
+  /// contents, and wear counters. deserialize() restores into a freshly
+  /// constructed array of the same geometry.
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 
  private:
   struct Block {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -387,6 +388,118 @@ SimTime Ftl::program_batch(std::span<const FlushPage> pages, SimTime issue,
     }
   }
   return done;
+}
+
+void FlashMetrics::serialize(SnapshotWriter& w) const {
+  w.tag("flash_metrics");
+  w.u64(host_page_reads);
+  w.u64(host_page_writes);
+  w.u64(unmapped_reads);
+  w.u64(gc_runs);
+  w.u64(gc_page_moves);
+  w.u64(erases);
+}
+
+void FlashMetrics::deserialize(SnapshotReader& r) {
+  r.tag("flash_metrics");
+  host_page_reads = r.u64();
+  host_page_writes = r.u64();
+  unmapped_reads = r.u64();
+  gc_runs = r.u64();
+  gc_page_moves = r.u64();
+  erases = r.u64();
+}
+
+void Ftl::serialize(SnapshotWriter& w) const {
+  w.tag("ftl");
+  // Mapping tables in sorted LPN order for byte determinism.
+  std::vector<Lpn> lpns;
+  lpns.reserve(l2p_.size());
+  for (const auto& [lpn, ppn] : l2p_) lpns.push_back(lpn);
+  std::sort(lpns.begin(), lpns.end());
+  w.u64(lpns.size());
+  for (const Lpn lpn : lpns) {
+    w.u64(lpn);
+    w.u64(l2p_.at(lpn));
+  }
+  lpns.clear();
+  for (const auto& [lpn, version] : versions_) lpns.push_back(lpn);
+  std::sort(lpns.begin(), lpns.end());
+  w.u64(lpns.size());
+  for (const Lpn lpn : lpns) {
+    w.u64(lpn);
+    w.u64(versions_.at(lpn));
+  }
+  w.u64(preexisting_.size());
+  for (const auto& [begin, end] : preexisting_) {
+    w.u64(begin);
+    w.u64(end);
+  }
+  w.u64(rr_counter_);
+  metrics_.serialize(w);
+  w.u64(channels_.size());
+  for (const auto& tl : channels_) {
+    w.i64(tl.next_free());
+    w.i64(tl.busy_time());
+  }
+  w.u64(chips_.size());
+  for (const auto& tl : chips_) {
+    w.i64(tl.next_free());
+    w.i64(tl.busy_time());
+  }
+  array_.serialize(w);
+}
+
+void Ftl::deserialize(SnapshotReader& r) {
+  r.tag("ftl");
+  REQB_CHECK_MSG(l2p_.empty(), "deserialize into a non-fresh FTL");
+  const std::uint64_t mapped = r.count(16);
+  l2p_.reserve(mapped);
+  for (std::uint64_t i = 0; i < mapped; ++i) {
+    const Lpn lpn = r.u64();
+    const Ppn ppn = r.u64();
+    if (!l2p_.emplace(lpn, ppn).second) {
+      throw SnapshotError("FTL snapshot repeats an L2P mapping");
+    }
+  }
+  const std::uint64_t versioned = r.count(16);
+  versions_.reserve(versioned);
+  for (std::uint64_t i = 0; i < versioned; ++i) {
+    const Lpn lpn = r.u64();
+    const std::uint64_t version = r.u64();
+    if (!versions_.emplace(lpn, version).second) {
+      throw SnapshotError("FTL snapshot repeats a version entry");
+    }
+  }
+  // The simulator re-registers pre-existing ranges at construction; the
+  // checkpointed list replaces them wholesale so both paths agree.
+  preexisting_.clear();
+  const std::uint64_t ranges = r.count(16);
+  preexisting_.reserve(ranges);
+  for (std::uint64_t i = 0; i < ranges; ++i) {
+    const Lpn begin = r.u64();
+    const Lpn end = r.u64();
+    preexisting_.emplace_back(begin, end);
+  }
+  rr_counter_ = r.u64();
+  metrics_.deserialize(r);
+  if (r.u64() != channels_.size()) {
+    throw SnapshotError("FTL snapshot has a different channel count");
+  }
+  for (auto& tl : channels_) {
+    const SimTime next_free = r.i64();
+    const SimTime busy = r.i64();
+    tl.restore(next_free, busy);
+  }
+  if (r.u64() != chips_.size()) {
+    throw SnapshotError("FTL snapshot has a different chip count");
+  }
+  for (auto& tl : chips_) {
+    const SimTime next_free = r.i64();
+    const SimTime busy = r.i64();
+    tl.restore(next_free, busy);
+  }
+  array_.deserialize(r);
 }
 
 }  // namespace reqblock

@@ -51,6 +51,9 @@ struct FlashMetrics {
                : static_cast<double>(host_page_writes + gc_page_moves) /
                      static_cast<double>(host_page_writes);
   }
+
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 };
 
 class Ftl {
@@ -126,6 +129,13 @@ class Ftl {
   /// blocks, mapped pages) for periodic snapshots. The registry must not
   /// outlive this Ftl.
   void register_metrics(MetricsRegistry& registry) const;
+
+  /// Checkpoint: mapping tables, pre-existing ranges, allocation cursor,
+  /// metrics, resource-timeline clocks, and the flash array. deserialize()
+  /// restores into a freshly constructed Ftl of the same configuration
+  /// (telemetry/fault wiring is re-established by the caller, not stored).
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 
  private:
   /// Next plane in channel-major round-robin (consecutive pages land on

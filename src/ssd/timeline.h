@@ -36,6 +36,13 @@ class ResourceTimeline {
     busy_time_ = 0;
   }
 
+  /// Restores a checkpointed clock; the pair must satisfy consistent().
+  void restore(SimTime next_free, SimTime busy) {
+    next_free_ = next_free;
+    busy_time_ = busy;
+    REQB_CHECK(consistent());
+  }
+
   /// Monotonicity invariant, checked by the FTL audit: reservations only
   /// push next_free_ forward, and every acquire grows it by at least the
   /// reserved duration, so the accumulated busy time can never exceed the

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "snapshot/snapshot.h"
 #include "util/strings.h"
 
 namespace reqblock {
@@ -65,6 +66,38 @@ void write_series_csv(std::ostream& os, const MetricsSeries& series) {
     os << row.request << ',' << row.sim_ns;
     for (const double v : row.values) os << ',' << format_double(v, 6);
     os << '\n';
+  }
+}
+
+void MetricsSeries::serialize(SnapshotWriter& w) const {
+  w.tag("metrics_series");
+  w.u64(columns.size());
+  for (const std::string& c : columns) w.str(c);
+  w.u64(rows.size());
+  for (const Row& row : rows) {
+    w.u64(row.request);
+    w.i64(row.sim_ns);
+    w.u64(row.values.size());
+    for (const double v : row.values) w.f64(v);
+  }
+}
+
+void MetricsSeries::deserialize(SnapshotReader& r) {
+  r.tag("metrics_series");
+  columns.clear();
+  columns.resize(r.count(4));
+  for (std::string& c : columns) c = r.str();
+  rows.clear();
+  rows.resize(r.count(24));
+  for (Row& row : rows) {
+    row.request = r.u64();
+    row.sim_ns = r.i64();
+    const std::uint64_t n = r.u64();
+    if (n != columns.size()) {
+      throw SnapshotError("metrics-series row width disagrees with columns");
+    }
+    row.values.resize(n);
+    for (double& v : row.values) v = r.f64();
   }
 }
 

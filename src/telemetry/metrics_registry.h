@@ -24,6 +24,9 @@
 
 namespace reqblock {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class MetricsRegistry {
  public:
   using Sampler = std::function<double()>;
@@ -66,6 +69,10 @@ struct MetricsSeries {
   /// Column index of `name`, or npos when absent.
   static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
   std::size_t column_index(const std::string& name) const;
+
+  /// Checkpoint: column names plus every sampled row.
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 };
 
 /// Writes `request,sim_ns,<columns...>` followed by one line per row.

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 #include "util/strings.h"
 
@@ -74,6 +75,65 @@ void TraceBuffer::clear() {
   emitted_ = 0;
   sampled_out_ = 0;
   offered_[0] = offered_[1] = 0;
+}
+
+void TraceBuffer::serialize(SnapshotWriter& w) const {
+  w.tag("trace_buffer");
+  // Events go out oldest-first (drain order), which normalizes the ring
+  // layout: two buffers holding the same events at different wrap
+  // positions produce identical bytes.
+  const std::vector<TraceEvent> events = drain();
+  w.u64(events.size());
+  for (const TraceEvent& e : events) {
+    w.i64(e.at);
+    w.i64(e.dur);
+    w.u64(e.lpn);
+    w.u64(e.arg);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u16(e.track);
+    w.u16(e.channel);
+  }
+  w.u64(emitted_);
+  w.u64(sampled_out_);
+  w.u64(offered_[0]);
+  w.u64(offered_[1]);
+  w.i64(now_);
+}
+
+void TraceBuffer::deserialize(SnapshotReader& r) {
+  r.tag("trace_buffer");
+  REQB_CHECK_MSG(size_ == 0 && emitted_ == 0,
+                 "deserialize into a non-fresh trace buffer");
+  const std::uint64_t count = r.u64();
+  if (count > config_.capacity) {
+    throw SnapshotError("trace-buffer snapshot exceeds the ring capacity");
+  }
+  ring_.clear();
+  ring_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent e;
+    e.at = r.i64();
+    e.dur = r.i64();
+    e.lpn = r.u64();
+    e.arg = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::kBlockRetire)) {
+      throw SnapshotError("trace-buffer snapshot has an unknown event kind");
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.track = r.u16();
+    e.channel = r.u16();
+    ring_.push_back(e);
+  }
+  size_ = ring_.size();
+  // Restoring in oldest-first order means the oldest event sits in slot 0;
+  // when the ring is full the next emit must overwrite exactly there.
+  next_ = size_ % config_.capacity;
+  emitted_ = r.u64();
+  sampled_out_ = r.u64();
+  offered_[0] = r.u64();
+  offered_[1] = r.u64();
+  now_ = r.i64();
 }
 
 }  // namespace reqblock

@@ -27,6 +27,9 @@
 
 namespace reqblock {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Bitmask of collected categories. kCache/kFlash are single bits so
 /// `all` is their union.
 enum class TraceLevel : std::uint8_t {
@@ -103,6 +106,12 @@ class TraceBuffer {
   std::size_t allocated_capacity() const { return ring_.capacity(); }
 
   void clear();
+
+  /// Checkpoint: ring contents (oldest-first), cursors, and the sampling
+  /// counters. deserialize() restores into a buffer constructed with the
+  /// identical TraceConfig (the config is part of the run fingerprint).
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
 
  private:
   TraceConfig config_;

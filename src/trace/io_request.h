@@ -14,6 +14,9 @@
 
 namespace reqblock {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class IoType : std::uint8_t { kRead = 0, kWrite = 1 };
 
 inline const char* to_string(IoType t) {
@@ -64,6 +67,17 @@ class TraceSource {
   virtual std::vector<std::pair<Lpn, Lpn>> preexisting_ranges() const {
     return {};
   }
+
+  /// Stable hash of the trace *content* (name, generator parameters or
+  /// request list) — independent of the read cursor. Checkpoints embed it
+  /// so a resume against a different trace is refused.
+  virtual std::uint64_t identity_hash() const = 0;
+
+  /// Checkpoint the read cursor (and, for synthetic sources, all
+  /// generator state) so a restored source continues emitting exactly the
+  /// requests an uninterrupted one would.
+  virtual void serialize(SnapshotWriter& w) const = 0;
+  virtual void deserialize(SnapshotReader& r) = 0;
 };
 
 }  // namespace reqblock

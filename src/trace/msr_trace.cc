@@ -1,5 +1,7 @@
 #include "trace/msr_trace.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
@@ -14,6 +16,13 @@ namespace reqblock {
 namespace {
 // MSR timestamps are Windows FILETIME: 100 ns ticks.
 constexpr std::int64_t kTicksToNs = 100;
+
+// "<source>:<line>" prefix for parse errors, so a bad trace file points
+// at the exact offending record.
+std::string at(const std::string& source, std::uint64_t line_no) {
+  return (source.empty() ? std::string("trace") : source) + ':' +
+         std::to_string(line_no);
+}
 
 // Tick → ns without signed overflow: real FILETIME stamps (~1.28e17 ticks
 // for a 2007 trace) exceed int64 nanoseconds, which used to make the
@@ -82,15 +91,27 @@ std::vector<IoRequest> parse_msr_stream(std::istream& in,
   std::vector<IoRequest> out;
   std::string line;
   std::uint64_t id = 0;
+  std::uint64_t line_no = 0;
   bool have_base = false;
   std::uint64_t base_ticks = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    // getline succeeding with eof set means the line had no trailing
+    // newline — on a file, an unparsable one is a cut-off final record.
+    const bool partial_tail = in.eof();
     std::uint64_t ticks = 0;
     auto req = parse_msr_line(line, opts, &ticks);
     if (!req) {
-      if (trim(line).empty()) continue;
+      const auto body = trim(line);
+      if (body.empty() || body.front() == '#') continue;
       if (!opts.skip_malformed) {
-        throw std::runtime_error("malformed MSR trace line: " + line);
+        throw std::runtime_error(at(opts.source_name, line_no) +
+                                 ": malformed MSR trace line: " + line);
+      }
+      if (opts.detect_truncation && partial_tail) {
+        throw std::runtime_error(
+            at(opts.source_name, line_no) +
+            ": trace ends mid-record (truncated file?): " + line);
       }
       continue;
     }
@@ -109,14 +130,24 @@ std::vector<IoRequest> parse_msr_stream(std::istream& in,
     out.push_back(*req);
     if (opts.max_requests != 0 && out.size() >= opts.max_requests) break;
   }
+  if (in.bad()) {
+    throw std::runtime_error(at(opts.source_name, line_no) +
+                             ": I/O error while reading trace (short read)");
+  }
   return out;
 }
 
 std::vector<IoRequest> parse_msr_file(const std::string& path,
                                       const MsrParseOptions& opts) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open trace file: " + path);
-  return parse_msr_stream(in, opts);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file: " + path + " (" +
+                             std::strerror(errno) + ")");
+  }
+  MsrParseOptions file_opts = opts;
+  if (file_opts.source_name.empty()) file_opts.source_name = path;
+  file_opts.detect_truncation = true;
+  return parse_msr_stream(in, file_opts);
 }
 
 void write_msr_stream(std::ostream& out, const std::vector<IoRequest>& reqs,

@@ -30,6 +30,14 @@ struct MsrParseOptions {
   bool rebase_time = true;
   /// Optional cap on parsed requests (0 = no cap).
   std::uint64_t max_requests = 0;
+  /// Name used in parse-error messages ("<name>:<line>: ...");
+  /// parse_msr_file fills it with the path when empty.
+  std::string source_name;
+  /// Treat a final line that ends mid-record (no trailing newline and
+  /// unparsable) as an error — the signature of a truncated copy or
+  /// download. parse_msr_file enables this; stream/string callers keep
+  /// the lenient default so embedded literals need no trailing newline.
+  bool detect_truncation = false;
 };
 
 /// Parses a single MSR CSV line; nullopt if malformed. Arrival is the
@@ -46,11 +54,16 @@ std::optional<IoRequest> parse_msr_line(std::string_view line,
 /// Parses a whole stream. Timestamps are converted from 100 ns ticks to
 /// ns; with rebase_time (the default) the first timestamp is subtracted in
 /// the tick domain *before* the conversion, so genuine FILETIME stamps
-/// never overflow.
+/// never overflow. Throws std::runtime_error (with source_name and line
+/// number) on an I/O error mid-stream, on a malformed line when
+/// skip_malformed is off, or on a truncated final record when
+/// detect_truncation is on.
 std::vector<IoRequest> parse_msr_stream(std::istream& in,
                                         const MsrParseOptions& opts);
 
-/// Parses a file on disk; throws std::runtime_error if it cannot be opened.
+/// Parses a file on disk with truncation detection enabled and the path
+/// woven into every error message; throws std::runtime_error (naming the
+/// path and errno) if the file cannot be opened.
 std::vector<IoRequest> parse_msr_file(const std::string& path,
                                       const MsrParseOptions& opts);
 

@@ -1,6 +1,8 @@
 #include "trace/spc_trace.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
@@ -9,6 +11,15 @@
 #include "util/strings.h"
 
 namespace reqblock {
+
+namespace {
+// "<source>:<line>" prefix for parse errors, so a bad trace file points
+// at the exact offending record.
+std::string at(const std::string& source, std::uint64_t line_no) {
+  return (source.empty() ? std::string("trace") : source) + ':' +
+         std::to_string(line_no);
+}
+}  // namespace
 
 std::optional<IoRequest> parse_spc_line(std::string_view line,
                                         const SpcParseOptions& opts) {
@@ -74,14 +85,25 @@ std::vector<IoRequest> parse_spc_stream(std::istream& in,
   std::vector<IoRequest> out;
   std::string line;
   std::uint64_t id = 0;
+  std::uint64_t line_no = 0;
   SimTime base = -1;
   while (std::getline(in, line)) {
+    ++line_no;
+    // getline succeeding with eof set means the line had no trailing
+    // newline — on a file, an unparsable one is a cut-off final record.
+    const bool partial_tail = in.eof();
     auto req = parse_spc_line(line, opts);
     if (!req) {
-      if (trim(line).empty() || !opts.skip_malformed) {
-        if (!opts.skip_malformed && !trim(line).empty()) {
-          throw std::runtime_error("malformed SPC trace line: " + line);
-        }
+      const auto body = trim(line);
+      if (body.empty() || body.front() == '#') continue;
+      if (!opts.skip_malformed) {
+        throw std::runtime_error(at(opts.source_name, line_no) +
+                                 ": malformed SPC trace line: " + line);
+      }
+      if (opts.detect_truncation && partial_tail) {
+        throw std::runtime_error(
+            at(opts.source_name, line_no) +
+            ": trace ends mid-record (truncated file?): " + line);
       }
       continue;
     }
@@ -93,14 +115,24 @@ std::vector<IoRequest> parse_spc_stream(std::istream& in,
     out.push_back(*req);
     if (opts.max_requests != 0 && out.size() >= opts.max_requests) break;
   }
+  if (in.bad()) {
+    throw std::runtime_error(at(opts.source_name, line_no) +
+                             ": I/O error while reading trace (short read)");
+  }
   return out;
 }
 
 std::vector<IoRequest> parse_spc_file(const std::string& path,
                                       const SpcParseOptions& opts) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open trace file: " + path);
-  return parse_spc_stream(in, opts);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file: " + path + " (" +
+                             std::strerror(errno) + ")");
+  }
+  SpcParseOptions file_opts = opts;
+  if (file_opts.source_name.empty()) file_opts.source_name = path;
+  file_opts.detect_truncation = true;
+  return parse_spc_stream(in, file_opts);
 }
 
 }  // namespace reqblock

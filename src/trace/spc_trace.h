@@ -32,16 +32,28 @@ struct SpcParseOptions {
   bool skip_malformed = true;
   bool rebase_time = true;
   std::uint64_t max_requests = 0;
+  /// Name used in parse-error messages ("<name>:<line>: ...");
+  /// parse_spc_file fills it with the path when empty.
+  std::string source_name;
+  /// Treat a final line that ends mid-record (no trailing newline and
+  /// unparsable) as an error. parse_spc_file enables this; stream/string
+  /// callers keep the lenient default.
+  bool detect_truncation = false;
 };
 
 /// Parses one SPC line; nullopt if malformed or filtered out.
 std::optional<IoRequest> parse_spc_line(std::string_view line,
                                         const SpcParseOptions& opts);
 
+/// Throws std::runtime_error (with source_name and line number) on an
+/// I/O error mid-stream, on a malformed line when skip_malformed is off,
+/// or on a truncated final record when detect_truncation is on.
 std::vector<IoRequest> parse_spc_stream(std::istream& in,
                                         const SpcParseOptions& opts);
 
-/// Throws std::runtime_error if the file cannot be opened.
+/// Parses a file on disk with truncation detection enabled and the path
+/// woven into every error message; throws std::runtime_error (naming the
+/// path and errno) if the file cannot be opened.
 std::vector<IoRequest> parse_spc_file(const std::string& path,
                                       const SpcParseOptions& opts);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -263,6 +264,100 @@ std::vector<IoRequest> SyntheticTraceSource::collect() {
   while (next(r)) all.push_back(r);
   reset();
   return all;
+}
+
+std::uint64_t SyntheticTraceSource::identity_hash() const {
+  const WorkloadProfile& p = profile_;
+  Fingerprint fp;
+  fp.add_string("synthetic_profile");
+  fp.add_string(p.name);
+  fp.add(p.total_requests);
+  fp.add(p.seed);
+  fp.add_double(p.write_ratio);
+  fp.add(p.hot_extents);
+  fp.add(p.hot_slot_pages);
+  fp.add(p.hot_slot_stride);
+  fp.add(p.cold_stream_pages);
+  fp.add_double(p.large_write_fraction);
+  fp.add_double(p.small_write_mean_pages);
+  fp.add_double(p.hot_medium_prob);
+  fp.add_double(p.small_cold_fraction);
+  fp.add(p.large_write_min_pages);
+  fp.add(p.large_write_max_pages);
+  fp.add_double(p.hot_zipf_theta);
+  fp.add_double(p.burst_prob);
+  fp.add(p.burst_window);
+  fp.add_double(p.stream_rewrite_prob);
+  fp.add(p.stream_count);
+  fp.add_double(p.read_hot_fraction);
+  fp.add_double(p.partial_read_prob);
+  fp.add_double(p.read_large_head_fraction);
+  fp.add(p.large_head_pages);
+  fp.add(p.large_recent_window);
+  fp.add_double(p.large_head_recency_bias);
+  fp.add_bool(p.preexisting_cold_data);
+  fp.add_i64(p.mean_interarrival_ns);
+  return fp.value();
+}
+
+void SyntheticTraceSource::serialize(SnapshotWriter& w) const {
+  w.tag("synthetic_trace");
+  reqblock::serialize(w, rng_);
+  w.u64(emitted_);
+  w.i64(clock_);
+  w.u64(streams_.size());
+  for (const Stream& st : streams_) {
+    w.u64(st.base);
+    w.u64(st.cursor);
+    w.u64(st.last_lpn);
+    w.u32(st.last_pages);
+  }
+  w.vec_u64(recent_);
+  w.u64(recent_pos_);
+  w.u64(recent_large_.size());
+  for (const LargeExtent& le : recent_large_) {
+    w.u64(le.lpn);
+    w.u32(le.pages);
+  }
+  w.u64(recent_large_pos_);
+}
+
+void SyntheticTraceSource::deserialize(SnapshotReader& r) {
+  r.tag("synthetic_trace");
+  reqblock::deserialize(r, rng_);
+  emitted_ = r.u64();
+  clock_ = r.i64();
+  const std::uint64_t stream_count = r.u64();
+  if (stream_count != streams_.size()) {
+    throw SnapshotError("trace snapshot has a different stream count");
+  }
+  for (Stream& st : streams_) {
+    st.base = r.u64();
+    st.cursor = r.u64();
+    st.last_lpn = r.u64();
+    st.last_pages = r.u32();
+  }
+  recent_ = r.vec_u64();
+  recent_pos_ = r.u64();
+  if (recent_.size() > profile_.burst_window) {
+    throw SnapshotError("trace snapshot burst window too big");
+  }
+  if (!recent_.empty() && recent_pos_ >= recent_.size()) {
+    throw SnapshotError("trace snapshot burst-window cursor out of range");
+  }
+  const std::uint64_t large_count = r.u64();
+  if (large_count > profile_.large_recent_window) {
+    throw SnapshotError("trace snapshot large-write window too big");
+  }
+  recent_large_.assign(large_count, LargeExtent{});
+  for (LargeExtent& le : recent_large_) {
+    le.lpn = r.u64();
+    le.pages = r.u32();
+  }
+  recent_large_pos_ = r.u64();
+  if (!recent_large_.empty() && recent_large_pos_ >= recent_large_.size()) {
+    throw SnapshotError("trace snapshot large-write cursor out of range");
+  }
 }
 
 }  // namespace reqblock

@@ -151,6 +151,15 @@ class SyntheticTraceSource final : public TraceSource {
   std::string name() const override { return profile_.name; }
   std::vector<std::pair<Lpn, Lpn>> preexisting_ranges() const override;
 
+  /// Hash over every profile field: two sources agree iff they generate
+  /// the identical request stream.
+  std::uint64_t identity_hash() const override;
+
+  /// Checkpoint all generator state (RNG, clock, stream cursors, burst and
+  /// large-write windows) so a restored source continues the stream.
+  void serialize(SnapshotWriter& w) const override;
+  void deserialize(SnapshotReader& r) override;
+
   const WorkloadProfile& profile() const { return profile_; }
 
   /// Materializes the full trace (convenience for tests/stats).

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "snapshot/snapshot.h"
 #include "trace/io_request.h"
 
 namespace reqblock {
@@ -23,6 +24,34 @@ class VectorTraceSource final : public TraceSource {
 
   void reset() override { pos_ = 0; }
   std::string name() const override { return name_; }
+
+  std::uint64_t identity_hash() const override {
+    Fingerprint fp;
+    fp.add_string(name_);
+    fp.add(requests_.size());
+    for (const IoRequest& req : requests_) {
+      fp.add(req.id);
+      fp.add_i64(req.arrival);
+      fp.add(static_cast<std::uint64_t>(req.type));
+      fp.add(req.lpn);
+      fp.add(req.pages);
+    }
+    return fp.value();
+  }
+
+  void serialize(SnapshotWriter& w) const override {
+    w.tag("vector_trace");
+    w.u64(pos_);
+  }
+
+  void deserialize(SnapshotReader& r) override {
+    r.tag("vector_trace");
+    const std::uint64_t pos = r.u64();
+    if (pos > requests_.size()) {
+      throw SnapshotError("trace cursor past the end of the trace");
+    }
+    pos_ = static_cast<std::size_t>(pos);
+  }
 
   std::size_t size() const { return requests_.size(); }
 

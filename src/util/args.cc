@@ -1,5 +1,8 @@
 #include "util/args.h"
 
+#include <cmath>
+#include <stdexcept>
+
 #include "util/strings.h"
 
 namespace reqblock {
@@ -54,6 +57,34 @@ double ArgParser::get_double_or(const std::string& key,
   if (!v) return fallback;
   const auto parsed = parse_double(*v);
   return parsed ? *parsed : fallback;
+}
+
+std::uint64_t ArgParser::get_u64_strict(const std::string& key,
+                                        std::uint64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_u64(*v);
+  if (!parsed) {
+    throw std::invalid_argument(
+        "--" + key + ": invalid value '" + *v +
+        "' (expected a non-negative integer with no trailing characters, "
+        "e.g. --" + key + " 1000)");
+  }
+  return *parsed;
+}
+
+double ArgParser::get_double_strict(const std::string& key,
+                                    double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_double(*v);
+  if (!parsed || !std::isfinite(*parsed)) {
+    throw std::invalid_argument(
+        "--" + key + ": invalid value '" + *v +
+        "' (expected a finite number with no trailing characters, e.g. --" +
+        key + " 0.5)");
+  }
+  return *parsed;
 }
 
 }  // namespace reqblock

@@ -22,6 +22,16 @@ class ArgParser {
                            std::uint64_t fallback) const;
   double get_double_or(const std::string& key, double fallback) const;
 
+  /// Strict numeric accessors for flags where a silently-dropped typo
+  /// would change results (get_u64_or falls back on malformed input — fine
+  /// for exploratory tools, wrong for checkpoint intervals). A missing
+  /// flag returns the fallback; a present but malformed, negative, or
+  /// trailing-garbage value ("5x", "-3", "1e99x") throws
+  /// std::invalid_argument naming the flag and the offending value.
+  std::uint64_t get_u64_strict(const std::string& key,
+                               std::uint64_t fallback) const;
+  double get_double_strict(const std::string& key, double fallback) const;
+
   /// Non-flag positional arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

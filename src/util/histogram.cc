@@ -77,6 +77,18 @@ double LogHistogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+void LogHistogram::restore(std::vector<std::uint64_t> buckets,
+                           std::uint64_t count, double sum, std::int64_t min,
+                           std::int64_t max) {
+  REQB_CHECK_MSG(buckets.size() == kMaxBuckets,
+                 "checkpointed histogram has a different bucket layout");
+  buckets_ = std::move(buckets);
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+}
+
 std::int64_t LogHistogram::quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
@@ -129,6 +141,13 @@ std::uint64_t CountHistogram::max() const {
 
 std::uint64_t CountHistogram::at(std::uint64_t v) const {
   return v < counts_.size() ? counts_[v] : 0;
+}
+
+void CountHistogram::restore(std::vector<std::uint64_t> counts,
+                             std::uint64_t count, double sum) {
+  counts_ = std::move(counts);
+  count_ = count;
+  sum_ = sum;
 }
 
 }  // namespace reqblock

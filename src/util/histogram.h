@@ -34,6 +34,16 @@ class LogHistogram {
   std::int64_t p99() const { return quantile(0.99); }
   std::int64_t p999() const { return quantile(0.999); }
 
+  // --- Checkpoint support (snapshot/) ----------------------------------
+  const std::vector<std::uint64_t>& raw_buckets() const { return buckets_; }
+  double raw_sum() const { return sum_; }
+  std::int64_t raw_min() const { return min_; }
+  std::int64_t raw_max() const { return max_; }
+  /// Restores a checkpointed histogram. `buckets` must have the layout
+  /// this implementation writes (checked).
+  void restore(std::vector<std::uint64_t> buckets, std::uint64_t count,
+               double sum, std::int64_t min, std::int64_t max);
+
  private:
   static std::size_t bucket_for(std::int64_t v);
   static std::int64_t bucket_mid(std::size_t b);
@@ -57,6 +67,12 @@ class CountHistogram {
   std::uint64_t max() const;
   /// Number of samples exactly equal to v.
   std::uint64_t at(std::uint64_t v) const;
+
+  // --- Checkpoint support (snapshot/) ----------------------------------
+  const std::vector<std::uint64_t>& raw_counts() const { return counts_; }
+  double raw_sum() const { return sum_; }
+  void restore(std::vector<std::uint64_t> counts, std::uint64_t count,
+               double sum);
 
  private:
   std::vector<std::uint64_t> counts_;

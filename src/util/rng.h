@@ -5,6 +5,7 @@
 // keep results bit-identical across toolchains.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -92,6 +93,17 @@ class Rng {
     const double draw = next_exponential(mean);
     auto v = static_cast<std::uint64_t>(draw) + 1;
     return v > max_value ? max_value : v;
+  }
+
+  /// Raw xoshiro256** state, for checkpoint/restore: the four words fully
+  /// determine the stream position, so a restored Rng continues the exact
+  /// same sequence.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

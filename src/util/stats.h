@@ -29,6 +29,15 @@ class RunningStat {
     m2_ = 0.0;
   }
 
+  // --- Checkpoint support (snapshot/) ----------------------------------
+  double raw_mean() const { return mean_; }
+  double raw_m2() const { return m2_; }
+  void restore(std::uint64_t n, double mean, double m2) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,323 @@
+// Checkpoint/resume acceptance: a run interrupted at an arbitrary request
+// and resumed from its checkpoint must produce a byte-identical results
+// CSV to a run that was never interrupted — for every policy, with and
+// without fault injection, under full structural audits. Plus the refusal
+// paths (wrong config, wrong trace, corrupt file) and the resumable
+// experiment matrix.
+#include "sim/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/policy_factory.h"
+#include "sim/report.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+/// Fresh per-test scratch directory.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/ckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+WorkloadProfile small_profile(std::uint64_t requests = 1500,
+                              std::uint64_t seed = 21) {
+  WorkloadProfile p;
+  p.name = "ckpt";
+  p.total_requests = requests;
+  p.seed = seed;
+  p.hot_extents = 128;
+  p.cold_stream_pages = 1 << 15;
+  return p;
+}
+
+SimOptions small_options(const std::string& policy, bool faults) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = policy;
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  if (faults) {
+    o.fault.seed = 5;
+    o.fault.program_fail_prob = 0.02;
+    o.fault.read_fail_prob = 0.01;
+    o.fault.power_loss_every_requests = 400;
+  }
+  return o;
+}
+
+std::string csv_of(const RunResult& r) {
+  std::ostringstream os;
+  write_results_csv(os, {r});
+  return os.str();
+}
+
+RunResult run_uninterrupted(const SimOptions& o, const WorkloadProfile& p) {
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  while (session.step()) {
+  }
+  return session.finish();
+}
+
+/// Runs to `split` requests, checkpoints, abandons the session (the
+/// crash), then restores into a fresh session and finishes the run.
+RunResult run_interrupted(const SimOptions& o, const WorkloadProfile& p,
+                          std::uint64_t split, const std::string& dir) {
+  {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.served() < split && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string latest = find_latest_checkpoint(dir, "run");
+  EXPECT_FALSE(latest.empty());
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  restore_session_checkpoint(session, latest);
+  while (session.step()) {
+  }
+  return session.finish();
+}
+
+TEST(CheckpointResumeTest, ByteIdenticalCsvForEveryPolicy) {
+  FullAuditScope audit_scope;
+  const auto profile = small_profile();
+  for (const bool faults : {false, true}) {
+    for (const std::string& policy : known_policy_names()) {
+      SCOPED_TRACE(policy + (faults ? "+faults" : ""));
+      const SimOptions o = small_options(policy, faults);
+      const std::string dir =
+          scratch_dir(policy + (faults ? "_f" : "_nf"));
+
+      const RunResult whole = run_uninterrupted(o, profile);
+      const RunResult resumed = run_interrupted(o, profile, 700, dir);
+      EXPECT_EQ(csv_of(whole), csv_of(resumed));
+    }
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeAcrossTheWarmupBoundary) {
+  FullAuditScope audit_scope;
+  const auto profile = small_profile();
+  SimOptions o = small_options("reqblock", false);
+  o.warmup_requests = 500;
+  const RunResult whole = run_uninterrupted(o, profile);
+  // One split inside warmup, one after it.
+  for (const std::uint64_t split : {200ull, 900ull}) {
+    const std::string dir = scratch_dir("warmup_" + std::to_string(split));
+    const RunResult resumed = run_interrupted(o, profile, split, dir);
+    EXPECT_EQ(csv_of(whole), csv_of(resumed)) << "split=" << split;
+  }
+}
+
+TEST(CheckpointResumeTest, RunWithCheckpointsMatchesPlainRun) {
+  const auto profile = small_profile();
+  const SimOptions o = small_options("reqblock", true);
+  const RunResult whole = run_uninterrupted(o, profile);
+
+  const std::string dir = scratch_dir("periodic");
+  CheckpointOptions ckpt;
+  ckpt.dir = dir;
+  ckpt.every_n_requests = 300;
+  SyntheticTraceSource trace(profile);
+  const RunResult checkpointed = run_with_checkpoints(o, trace, ckpt);
+  EXPECT_EQ(csv_of(whole), csv_of(checkpointed));
+
+  // Periodic checkpoints were written and pruned to keep_last.
+  std::size_t ckpt_files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ckpt_files += e.path().filename().string().rfind("run.ckpt.", 0) == 0;
+  }
+  EXPECT_EQ(ckpt_files, ckpt.keep_last);
+
+  // And the newest one resumes to the same bytes.
+  SyntheticTraceSource trace2(profile);
+  const RunResult resumed = run_with_checkpoints(
+      o, trace2, ckpt, find_latest_checkpoint(dir, "run"));
+  EXPECT_EQ(csv_of(whole), csv_of(resumed));
+}
+
+TEST(CheckpointResumeTest, RestoreRefusesMismatchedConfig) {
+  const auto profile = small_profile();
+  const std::string dir = scratch_dir("refuse_config");
+  {
+    SyntheticTraceSource trace(profile);
+    SimulationSession session(small_options("reqblock", false), trace);
+    while (session.served() < 300 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string path = find_latest_checkpoint(dir, "run");
+
+  // Different policy configuration: refused.
+  SimOptions other = small_options("reqblock", false);
+  other.policy.reqblock.delta = 9;
+  SyntheticTraceSource trace(profile);
+  SimulationSession session(other, trace);
+  EXPECT_THROW(restore_session_checkpoint(session, path), SnapshotError);
+
+  // Different trace content: refused.
+  SyntheticTraceSource other_trace(small_profile(1500, 77));
+  SimulationSession session2(small_options("reqblock", false), other_trace);
+  EXPECT_THROW(restore_session_checkpoint(session2, path), SnapshotError);
+
+  // Corrupt file: refused.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    bytes = os.str();
+  }
+  bytes[bytes.size() / 2] ^= 0x40;
+  const std::string corrupt = dir + "/corrupt.ckpt.1";
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out << bytes;
+  }
+  SyntheticTraceSource trace3(profile);
+  SimulationSession session3(small_options("reqblock", false), trace3);
+  EXPECT_THROW(restore_session_checkpoint(session3, corrupt), SnapshotError);
+}
+
+// --- Resumable experiment matrix -------------------------------------------
+
+std::vector<ExperimentCase> small_matrix() {
+  std::vector<ExperimentCase> cases;
+  for (const char* policy : {"lru", "bplru", "reqblock"}) {
+    ExperimentCase c;
+    c.profile = small_profile(1000);
+    c.options = small_options(policy, false);
+    c.label = policy;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+std::string csv_of_all(const std::vector<RunResult>& rs) {
+  std::ostringstream os;
+  write_results_csv(os, rs);
+  return os.str();
+}
+
+TEST(MatrixResumeTest, FreshRunMatchesRunCasesAndRerunLoadsFromDisk) {
+  const auto cases = small_matrix();
+  const auto plain = run_cases(cases, 1);
+
+  const std::string dir = scratch_dir("matrix");
+  CheckpointOptions ckpt;
+  ckpt.dir = dir;
+  ckpt.every_n_requests = 250;
+  const auto resumable = run_cases_resumable(cases, ckpt);
+  EXPECT_EQ(csv_of_all(plain), csv_of_all(resumable));
+
+  // A rerun over the same directory loads stored results instead of
+  // re-simulating: the result files must not be rewritten.
+  const auto mtime_before = fs::last_write_time(dir + "/case_1.result");
+  const auto again = run_cases_resumable(cases, ckpt);
+  EXPECT_EQ(csv_of_all(plain), csv_of_all(again));
+  EXPECT_EQ(fs::last_write_time(dir + "/case_1.result"), mtime_before);
+}
+
+TEST(MatrixResumeTest, ResumesInFlightCaseMidTrace) {
+  const auto cases = small_matrix();
+  const auto plain = run_cases(cases, 1);
+
+  // Construct the exact on-disk state of a matrix killed inside case 1:
+  // case 0 finished (manifest + stored result), case 1 checkpointed
+  // mid-trace, case 2 untouched.
+  const std::string dir = scratch_dir("matrix_inflight");
+  {
+    SyntheticTraceSource trace(cases[0].profile);
+    SimulationSession session(cases[0].options, trace);
+    while (session.step()) {
+    }
+    const RunResult r0 = session.finish();
+    save_run_result(r0, dir + "/case_0.result", session.config_hash(),
+                    session.trace_hash());
+  }
+  {
+    SyntheticTraceSource trace(cases[1].profile);
+    SimulationSession session(cases[1].options, trace);
+    while (session.served() < 400 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "case_1", 2);
+  }
+  {
+    // The manifest format is stable and documented; writing it here is a
+    // regression test of that format.
+    std::ofstream m(dir + "/manifest");
+    m << "reqblock-matrix-manifest 1\n"
+      << "matrix " << matrix_fingerprint(cases) << "\n"
+      << "cases " << cases.size() << "\n"
+      << "done 0\n";
+  }
+
+  CheckpointOptions ckpt;
+  ckpt.dir = dir;
+  ckpt.every_n_requests = 250;
+  const auto resumed = run_cases_resumable(cases, ckpt);
+  EXPECT_EQ(csv_of_all(plain), csv_of_all(resumed));
+}
+
+TEST(MatrixResumeTest, RefusesManifestOfDifferentMatrix) {
+  const auto cases = small_matrix();
+  const std::string dir = scratch_dir("matrix_refuse");
+  CheckpointOptions ckpt;
+  ckpt.dir = dir;
+  run_cases_resumable(cases, ckpt);
+
+  auto other = cases;
+  other[2].options.policy.reqblock.delta = 9;
+  EXPECT_THROW(run_cases_resumable(other, ckpt), SnapshotError);
+}
+
+TEST(MatrixResumeTest, StoredResultRoundTripsEveryField) {
+  auto cases = small_matrix();
+  cases[0].options.telemetry.trace.level = TraceLevel::kAll;
+  cases[0].options.occupancy_log_interval = 100;
+  SyntheticTraceSource trace(cases[0].profile);
+  SimulationSession session(cases[0].options, trace);
+  while (session.step()) {
+  }
+  const RunResult r = session.finish();
+
+  const std::string path =
+      scratch_dir("stored_result") + "/case_0.result";
+  save_run_result(r, path, session.config_hash(), session.trace_hash());
+  const RunResult loaded =
+      load_run_result(path, session.config_hash(), session.trace_hash());
+
+  EXPECT_EQ(csv_of(r), csv_of(loaded));
+  EXPECT_EQ(loaded.telemetry.events.size(), r.telemetry.events.size());
+  EXPECT_EQ(loaded.occupancy_series.size(), r.occupancy_series.size());
+
+  EXPECT_THROW(load_run_result(path, session.config_hash() ^ 1,
+                               session.trace_hash()),
+               SnapshotError);
+}
+
+}  // namespace
+}  // namespace reqblock

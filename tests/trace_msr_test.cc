@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -205,6 +206,66 @@ TEST(MsrTraceTest, PreBaseTimestampClampsToZero) {
   ASSERT_EQ(reqs.size(), 2u);
   EXPECT_EQ(reqs[0].arrival, 0);
   EXPECT_EQ(reqs[1].arrival, 0);
+}
+
+// A file cut off mid-record (e.g. an interrupted download) must fail the
+// parse, pointing at the file and line — not silently drop the tail.
+TEST(MsrTraceTest, TruncatedFileFailsWithFilenameAndLine) {
+  const std::string path = ::testing::TempDir() + "/truncated.msr.csv";
+  {
+    std::ofstream out(path);
+    out << "0,h,0,Read,0,4096,0\n"
+           "1000,h,0,Write,8192,4096,0\n"
+           "2000,h,0,Wri";  // record cut mid-field, no newline
+  }
+  try {
+    parse_msr_file(path, opts());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path + ":3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  }
+}
+
+// A complete final record without a trailing newline is normal (many
+// tools emit that) and must keep parsing.
+TEST(MsrTraceTest, CompleteFinalRecordWithoutNewlineParses) {
+  const std::string path = ::testing::TempDir() + "/nonewline.msr.csv";
+  {
+    std::ofstream out(path);
+    out << "0,h,0,Read,0,4096,0\n1000,h,0,Write,8192,4096,0";
+  }
+  EXPECT_EQ(parse_msr_file(path, opts()).size(), 2u);
+}
+
+// String-stream parsing keeps its lenient semantics: embedded test
+// literals routinely end mid-"record" without a newline.
+TEST(MsrTraceTest, StreamParsingStaysLenientAboutPartialTail) {
+  std::istringstream in("0,h,0,Read,0,4096,0\ngarbage-tail");
+  EXPECT_EQ(parse_msr_stream(in, opts()).size(), 1u);
+}
+
+TEST(MsrTraceTest, StrictModeNamesSourceAndLine) {
+  MsrParseOptions strict = opts();
+  strict.skip_malformed = false;
+  strict.source_name = "hm_0.csv";
+  std::istringstream in("0,h,0,Read,0,4096,0\nbogus line\n");
+  try {
+    parse_msr_stream(in, strict);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("hm_0.csv:2"), std::string::npos) << msg;
+  }
+}
+
+// Comment lines are never "malformed", even in strict mode.
+TEST(MsrTraceTest, StrictModeToleratesComments) {
+  MsrParseOptions strict = opts();
+  strict.skip_malformed = false;
+  std::istringstream in("# header comment\n0,h,0,Read,0,4096,0\n");
+  EXPECT_EQ(parse_msr_stream(in, strict).size(), 1u);
 }
 
 }  // namespace

@@ -157,5 +157,51 @@ TEST(SpcTraceTest, FileRoundTrip) {
   EXPECT_EQ(reqs[1].pages, 2u);
 }
 
+// A file cut off mid-record must fail the parse, pointing at the file and
+// line — not silently drop the tail.
+TEST(SpcTraceTest, TruncatedFileFailsWithFilenameAndLine) {
+  const std::string path = ::testing::TempDir() + "/truncated.spc";
+  {
+    std::ofstream out(path);
+    out << "0,0,4096,w,0.0\n0,8,40";  // record cut mid-field, no newline
+  }
+  try {
+    parse_spc_file(path, opts());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path + ":2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  }
+}
+
+// A complete final record without a trailing newline keeps parsing, and
+// stream parsing keeps its lenient semantics for partial tails.
+TEST(SpcTraceTest, CompleteFinalRecordWithoutNewlineParses) {
+  const std::string path = ::testing::TempDir() + "/nonewline.spc";
+  {
+    std::ofstream out(path);
+    out << "0,0,4096,w,0.0\n0,8,8192,r,0.001";
+  }
+  EXPECT_EQ(parse_spc_file(path, opts()).size(), 2u);
+
+  std::istringstream in("0,0,4096,w,0.0\n0,8,40");
+  EXPECT_EQ(parse_spc_stream(in, opts()).size(), 1u);
+}
+
+TEST(SpcTraceTest, StrictModeNamesSourceAndLine) {
+  SpcParseOptions strict = opts();
+  strict.skip_malformed = false;
+  strict.source_name = "fin1.spc";
+  std::istringstream in("0,0,4096,w,0.0\nnot a record\n");
+  try {
+    parse_spc_stream(in, strict);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fin1.spc:2"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace reqblock

@@ -63,5 +63,48 @@ TEST(ArgParserTest, DoubleValues) {
   EXPECT_DOUBLE_EQ(args.get_double_or("ratio", 0), 0.75);
 }
 
+TEST(ArgParserStrictTest, ValidValuesAndDefaults) {
+  const auto args = parse({"prog", "--checkpoint-every-n", "1000",
+                           "--fault-program-fail", "0.25"});
+  EXPECT_EQ(args.get_u64_strict("checkpoint-every-n", 0), 1000u);
+  EXPECT_DOUBLE_EQ(args.get_double_strict("fault-program-fail", 0), 0.25);
+  // A missing flag falls back, it does not throw.
+  EXPECT_EQ(args.get_u64_strict("requests", 42), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double_strict("ratio", 1.5), 1.5);
+}
+
+TEST(ArgParserStrictTest, RejectsTrailingGarbage) {
+  const auto args = parse({"prog", "--n", "5x", "--d", "0.5abc"});
+  EXPECT_THROW(args.get_u64_strict("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double_strict("d", 0), std::invalid_argument);
+}
+
+TEST(ArgParserStrictTest, RejectsNegativeAndNonNumeric) {
+  const auto args = parse({"prog", "--n", "-3", "--m", "abc", "--d", "nan"});
+  EXPECT_THROW(args.get_u64_strict("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_u64_strict("m", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double_strict("d", 0), std::invalid_argument);
+}
+
+TEST(ArgParserStrictTest, RejectsOutOfRange) {
+  // One digit past the u64 range and a double overflowing to infinity.
+  const auto args =
+      parse({"prog", "--n", "184467440737095516160", "--d", "1e999"});
+  EXPECT_THROW(args.get_u64_strict("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double_strict("d", 0), std::invalid_argument);
+}
+
+TEST(ArgParserStrictTest, ErrorNamesFlagAndValue) {
+  const auto args = parse({"prog", "--checkpoint-every-n", "10q"});
+  try {
+    args.get_u64_strict("checkpoint-every-n", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--checkpoint-every-n"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("10q"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace reqblock
