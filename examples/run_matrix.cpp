@@ -34,14 +34,27 @@ int main(int argc, char** argv) try {
                  " [--fault-read-fail P] [--fault-erase-fail P]"
                  " [--fault-retries N] [--fault-spares N]"
                  " [--fault-power-loss-every N]\n"
+                 "overload: [--queue-depth N] [--deadline-us US]"
+                 " [--queue-retries N] [--queue-backoff-us US]"
+                 " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
+                 "burst arrivals: [--burst-len N] [--burst-period N]"
+                 " [--burst-factor X] [--burst-idle X]\n"
                  "profiles: hm_1 lun_1 usr_0 src1_2 ts_0 proj_0\n"
                  "policies: lru fifo lfu cflru fab bplru vbbms reqblock\n";
     return 0;
   }
 
   const std::string profile_name = args.get_or("profile", "usr_0");
-  const auto profile = profiles::by_name(profile_name)
-                           .capped(args.get_u64_strict("requests", 50000));
+  auto profile = profiles::by_name(profile_name)
+                     .capped(args.get_u64_strict("requests", 50000));
+  profile.burst_arrival_len =
+      args.get_u64_strict("burst-len", profile.burst_arrival_len);
+  profile.burst_arrival_period =
+      args.get_u64_strict("burst-period", profile.burst_arrival_period);
+  profile.burst_arrival_factor =
+      args.get_double_strict("burst-factor", profile.burst_arrival_factor);
+  profile.burst_idle_factor =
+      args.get_double_strict("burst-idle", profile.burst_idle_factor);
 
   std::vector<std::string> policies;
   if (const auto list = args.get("policies")) {
@@ -61,6 +74,7 @@ int main(int argc, char** argv) try {
         policy, args.get_u64_strict("cache-mb", 32),
         static_cast<std::uint32_t>(args.get_u64_strict("delta", 5)));
     c.options.fault.apply_cli(args);
+    c.options.overload.apply_cli(args);
     c.label = policy;
     cases.push_back(std::move(c));
   }
@@ -80,6 +94,7 @@ int main(int argc, char** argv) try {
 
   results_table(results).print(std::cout);
   for (const auto& r : results) write_fault_summary(std::cout, r);
+  for (const auto& r : results) write_overload_summary(std::cout, r);
 
   if (const auto csv_path = args.get("csv")) {
     std::ostringstream csv;

@@ -47,6 +47,17 @@ std::unique_ptr<TraceSource> open_trace(const ArgParser& args) {
   const std::string name = args.get_or("profile", "usr_0");
   auto profile =
       profiles::by_name(name).capped(args.get_u64_or("requests", 300000));
+  // Burst-arrival modulation (synthetic profiles only): --burst-period
+  // requests per cycle, the first --burst-len of which arrive
+  // --burst-factor times faster; the rest idle --burst-idle times slower.
+  profile.burst_arrival_len =
+      args.get_u64_strict("burst-len", profile.burst_arrival_len);
+  profile.burst_arrival_period =
+      args.get_u64_strict("burst-period", profile.burst_arrival_period);
+  profile.burst_arrival_factor =
+      args.get_double_strict("burst-factor", profile.burst_arrival_factor);
+  profile.burst_idle_factor =
+      args.get_double_strict("burst-idle", profile.burst_idle_factor);
   return std::make_unique<SyntheticTraceSource>(profile);
 }
 
@@ -64,6 +75,11 @@ int main(int argc, char** argv) try {
                  " [--fault-read-fail P] [--fault-erase-fail P]"
                  " [--fault-retries N] [--fault-spares N]"
                  " [--fault-power-loss-every N]\n"
+                 "overload: [--queue-depth N] [--deadline-us US]"
+                 " [--queue-retries N] [--queue-backoff-us US]"
+                 " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
+                 "burst arrivals (synthetic only): [--burst-len N]"
+                 " [--burst-period N] [--burst-factor X] [--burst-idle X]\n"
                  "checkpointing: [--checkpoint-dir DIR]"
                  " [--checkpoint-every-n REQS] [--resume-from FILE]\n"
                  "profiles: hm_1 lun_1 usr_0 src1_2 ts_0 proj_0\n"
@@ -92,6 +108,7 @@ int main(int argc, char** argv) try {
   options.warmup_requests = args.get_u64_or("warmup", 0);
   if (args.has("occupancy")) options.occupancy_log_interval = 10000;
   options.fault.apply_cli(args);
+  options.overload.apply_cli(args);
 
   CheckpointOptions ckpt;
   ckpt.dir = args.get_or("checkpoint-dir", "");
@@ -115,6 +132,7 @@ int main(int argc, char** argv) try {
 
   results_table({result}).print(std::cout);
   write_fault_summary(std::cout, result);
+  write_overload_summary(std::cout, result);
   if (const auto csv_path = args.get("csv")) {
     // Temp file + atomic rename: a crash mid-write never leaves a
     // truncated CSV where a complete one is expected.

@@ -13,6 +13,10 @@ CacheManager::CacheManager(const CacheOptions& options,
     : options_(options), policy_(std::move(policy)), ftl_(ftl) {
   REQB_CHECK_MSG(options_.capacity_pages >= 1, "cache must hold a page");
   REQB_CHECK(policy_ != nullptr);
+  REQB_CHECK_MSG(options_.bg_flush_low_pages <= options_.bg_flush_high_pages,
+                 "bg-flush low watermark above the high watermark");
+  REQB_CHECK_MSG(options_.bg_flush_high_pages <= options_.capacity_pages,
+                 "bg-flush high watermark exceeds cache capacity");
   const std::uint32_t buckets = options_.max_tracked_request_pages + 1;
   metrics_.inserts_by_req_size.assign(buckets, 0);
   metrics_.hits_by_req_size.assign(buckets, 0);
@@ -62,6 +66,7 @@ SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
                    "policy evicted a page the cache does not hold");
     if (it->second.dirty) {
       flush.push_back(FlushPage{lpn, it->second.version});
+      --dirty_pages_;
     }
     retire_entry(lpn, it->second);
     pages_.erase(it);
@@ -100,6 +105,42 @@ SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
   return done;
 }
 
+void CacheManager::maybe_background_flush(SimTime now) {
+  if (options_.bg_flush_high_pages == 0 ||
+      dirty_pages_ < options_.bg_flush_high_pages) {
+    return;
+  }
+  bool victimless = false;
+  while (dirty_pages_ > options_.bg_flush_low_pages) {
+    const std::uint64_t dirty_before = dirty_pages_;
+    bool evicted = false;
+    // The completion time is deliberately dropped: the flush occupies the
+    // device timelines (future operations on the same chips queue behind
+    // it) but no host request waits on it.
+    evict_once(now, evicted);
+    if (!evicted) {
+      victimless = true;  // policy withheld everything (in-flight guards)
+      break;
+    }
+    ++metrics_.bg_flush_batches;
+    const std::uint64_t flushed = dirty_before - dirty_pages_;
+    metrics_.bg_flush_pages += flushed;
+    if (trace_ != nullptr) {
+      trace_->emit({now, 0, 0, flushed, EventKind::kBgFlush,
+                    kTrackManager, 0});
+    }
+  }
+  run_audit("CacheManager (bg flush)", AuditLevel::kLight,
+            [&](AuditReport& r) {
+              REQB_AUDIT_MSG(
+                  r, victimless ||
+                         dirty_pages_ <= options_.bg_flush_low_pages,
+                  "drain stopped at " + std::to_string(dirty_pages_) +
+                      " dirty pages, above the low watermark " +
+                      std::to_string(options_.bg_flush_low_pages));
+            });
+}
+
 SimTime CacheManager::serve_write(const IoRequest& req) {
   // All of the request's page operations are issued at arrival; evictions
   // triggered by different pages proceed in parallel (striped across
@@ -120,6 +161,7 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
       ++metrics_.write_hits;
       ++metrics_.hits_by_req_size[size_bucket(it->second.insert_req_pages)];
       it->second.version = version;
+      if (!it->second.dirty) ++dirty_pages_;  // clean read-admit rewritten
       it->second.dirty = true;
       it->second.reused = true;
       if (trace_ != nullptr) {
@@ -165,6 +207,7 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
     entry.dirty = true;
     entry.insert_req_pages = req.pages;
     pages_.emplace(lpn, entry);
+    ++dirty_pages_;
     ++metrics_.inserts;
     ++metrics_.inserts_by_req_size[size_bucket(req.pages)];
     if (trace_ != nullptr) {
@@ -252,6 +295,10 @@ SimTime CacheManager::serve(const IoRequest& req) {
   const ScopedTimer timer(profiler_, Profiler::Section::kCacheServe);
   if (trace_ != nullptr) trace_->set_time(req.arrival);
   policy_->begin_request(req);
+  // Watermark drain first, with this request's eviction guards already in
+  // place, so the background flusher never steals the blocks the request
+  // is about to extend.
+  maybe_background_flush(req.arrival);
   const SimTime done =
       req.is_write() ? serve_write(req) : serve_read(req);
   REQB_DCHECK(policy_->pages() == pages_.size());
@@ -279,7 +326,26 @@ void CacheManager::audit(AuditReport& report, AuditLevel depth) const {
   REQB_AUDIT(report, metrics_.page_hits <= metrics_.page_lookups);
   REQB_AUDIT_MSG(report, metrics_.flushed_pages <= metrics_.evicted_pages,
                  "flushed more dirty pages than were evicted");
+  REQB_AUDIT_MSG(report, dirty_pages_ <= pages_.size(),
+                 "dirty counter " + std::to_string(dirty_pages_) +
+                     " exceeds residency " + std::to_string(pages_.size()));
+  REQB_AUDIT_MSG(report, metrics_.bg_flush_pages <= metrics_.flushed_pages,
+                 "background flushes exceed total flushes");
+  REQB_AUDIT_MSG(report, metrics_.bg_flush_batches <= metrics_.evictions,
+                 "background batches exceed total evictions");
   if (depth < AuditLevel::kFull) return;
+
+  // The incrementally maintained dirty counter against a full recount:
+  // every dirty transition (insert, rewrite of a clean page, eviction,
+  // power-loss drop) must have been accounted.
+  std::uint64_t dirty_recount = 0;
+  for (const auto& [lpn, entry] : pages_) {
+    if (entry.dirty) ++dirty_recount;
+  }
+  REQB_AUDIT_MSG(report, dirty_recount == dirty_pages_,
+                 "dirty counter " + std::to_string(dirty_pages_) +
+                     " disagrees with recount " +
+                     std::to_string(dirty_recount));
 
   // Every resident entry must agree with the write oracle: a dirty page
   // holds the newest version outright; a clean page was admitted from
@@ -332,6 +398,7 @@ SimTime CacheManager::power_loss(SimTime at, FaultInjector& fault) {
         // back to the version flash still holds so post-recovery reads
         // verify against the surviving data instead of the lost write.
         ++lost_dirty;
+        --dirty_pages_;
         last_version_[lpn] = ftl_.version_of(lpn);
       }
       retire_entry(lpn, it->second);
@@ -339,6 +406,8 @@ SimTime CacheManager::power_loss(SimTime at, FaultInjector& fault) {
     }
   }
   REQB_CHECK(pages_.empty());
+  REQB_CHECK_MSG(dirty_pages_ == 0,
+                 "dirty-page counter nonzero after a full drain");
 
   FaultMetrics& fm = fault.metrics();
   ++fm.power_loss_events;
@@ -384,6 +453,13 @@ void CacheManager::register_metrics(MetricsRegistry& registry) const {
   registry.register_gauge("cache.resident_pages", [this] {
     return static_cast<double>(pages_.size());
   });
+  registry.register_gauge("cache.dirty_pages", [this] {
+    return static_cast<double>(dirty_pages_);
+  });
+  registry.register_counter("cache.bg_flush_batches",
+                            &metrics_.bg_flush_batches);
+  registry.register_counter("cache.bg_flush_pages",
+                            &metrics_.bg_flush_pages);
   registry.register_gauge("cache.eviction_batch_mean", [this] {
     return metrics_.eviction_batch.mean();
   });
@@ -413,6 +489,8 @@ void CacheMetrics::serialize(SnapshotWriter& w) const {
   w.u64(evicted_pages);
   w.u64(flushed_pages);
   w.u64(padding_pages);
+  w.u64(bg_flush_batches);
+  w.u64(bg_flush_pages);
   reqblock::serialize(w, eviction_batch);
   reqblock::serialize(w, metadata_bytes);
   w.vec_u64(inserts_by_req_size);
@@ -434,6 +512,8 @@ void CacheMetrics::deserialize(SnapshotReader& r) {
   evicted_pages = r.u64();
   flushed_pages = r.u64();
   padding_pages = r.u64();
+  bg_flush_batches = r.u64();
+  bg_flush_pages = r.u64();
   reqblock::deserialize(r, eviction_batch);
   reqblock::deserialize(r, metadata_bytes);
   inserts_by_req_size = r.vec_u64();
@@ -488,6 +568,7 @@ void CacheManager::deserialize(SnapshotReader& r) {
     if (!pages_.emplace(lpn, e).second) {
       throw SnapshotError("cache snapshot repeats a resident page");
     }
+    if (e.dirty) ++dirty_pages_;  // derived, not stored
   }
   const std::uint64_t oracle = r.count(16);
   last_version_.reserve(oracle);

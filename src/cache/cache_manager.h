@@ -45,6 +45,15 @@ struct CacheOptions {
   std::uint32_t metadata_sample_interval = 1024;
   /// Cap of the per-request-size instrumentation arrays.
   std::uint32_t max_tracked_request_pages = 256;
+  /// Watermark background flusher: when resident dirty pages reach
+  /// bg_flush_high_pages at the start of a serve, victim batches are
+  /// pre-drained (same select_victim/batch-flush path as synchronous
+  /// eviction) until dirty occupancy is at or below bg_flush_low_pages, so
+  /// a following burst admits into already-freed slots instead of stalling
+  /// on its own flushes. 0 disables (the paper's reactive-only behavior).
+  /// Derived from OverloadOptions watermark fractions by the session.
+  std::uint64_t bg_flush_high_pages = 0;
+  std::uint64_t bg_flush_low_pages = 0;
 };
 
 struct CacheMetrics {
@@ -59,6 +68,10 @@ struct CacheMetrics {
   std::uint64_t evicted_pages = 0;
   std::uint64_t flushed_pages = 0;   // dirty pages programmed on eviction
   std::uint64_t padding_pages = 0;   // BPLRU padding reads+writes
+  /// Watermark-driven background eviction batches (a subset of evictions)
+  /// and the dirty pages they flushed (a subset of flushed_pages).
+  std::uint64_t bg_flush_batches = 0;
+  std::uint64_t bg_flush_pages = 0;
 
   /// Pages per eviction operation (Fig. 10).
   CountHistogram eviction_batch;
@@ -110,6 +123,9 @@ class CacheManager {
   WriteBufferPolicy& policy() { return *policy_; }
   std::uint64_t cached_pages() const { return pages_.size(); }
   std::uint64_t capacity_pages() const { return options_.capacity_pages; }
+  /// Resident pages whose only up-to-date copy is in DRAM (the watermark
+  /// flusher's control variable; maintained incrementally).
+  std::uint64_t dirty_pages() const { return dirty_pages_; }
 
   /// Last written version per LPN (the consistency oracle).
   std::uint64_t expected_version(Lpn lpn) const;
@@ -158,6 +174,12 @@ class CacheManager {
   /// the flush completes (== when the space is usable). Returns `now`
   /// unchanged and sets `evicted=false` when the policy had no victim.
   SimTime evict_once(SimTime now, bool& evicted);
+  /// Watermark drain at the start of a serve: while dirty occupancy is at
+  /// or above the high watermark, evict victim batches until it is at or
+  /// below the low watermark (or the policy withholds everything). The
+  /// flush latency lands on the device timelines but the current request
+  /// does not wait for it — that is the whole point.
+  void maybe_background_flush(SimTime now);
   void retire_entry(Lpn lpn, const PageEntry& entry);
   void sample_metadata();
   std::uint32_t size_bucket(std::uint32_t pages) const;
@@ -167,6 +189,7 @@ class CacheManager {
   Ftl& ftl_;
   std::unordered_map<Lpn, PageEntry> pages_;
   std::unordered_map<Lpn, std::uint64_t> last_version_;
+  std::uint64_t dirty_pages_ = 0;  // resident entries with dirty == true
   CacheMetrics metrics_;
   std::uint64_t lookup_since_sample_ = 0;
   TraceBuffer* trace_ = nullptr;  // non-null only when cache events are on

@@ -125,9 +125,11 @@ void serialize_run_result(SnapshotWriter& w, const RunResult& res) {
   serialize(w, res.response);
   serialize(w, res.read_response);
   serialize(w, res.write_response);
+  serialize(w, res.queue_wait);
   res.cache.serialize(w);
   res.flash.serialize(w);
   res.fault.serialize(w);
+  res.overload.serialize(w);
   w.str(res.error);
   w.u64(res.occupancy_series.size());
   for (const ListOccupancy& occ : res.occupancy_series) {
@@ -177,9 +179,11 @@ void deserialize_run_result(SnapshotReader& r, RunResult& res) {
   deserialize(r, res.response);
   deserialize(r, res.read_response);
   deserialize(r, res.write_response);
+  deserialize(r, res.queue_wait);
   res.cache.deserialize(r);
   res.flash.deserialize(r);
   res.fault.deserialize(r);
+  res.overload.deserialize(r);
   res.error = r.str();
   const std::uint64_t occ_count = r.count(48);
   res.occupancy_series.clear();

@@ -60,6 +60,9 @@ void write_results_csv(std::ostream& os,
   const bool any_fault =
       std::any_of(results.begin(), results.end(),
                   [](const RunResult& r) { return r.fault.enabled; });
+  const bool any_overload =
+      std::any_of(results.begin(), results.end(),
+                  [](const RunResult& r) { return r.overload.enabled; });
   os << "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
         "p95_ns,p99_ns,p999_ns,flash_writes,flash_reads,gc_moves,erases,"
         "waf,pages_per_evict,metadata_pct,channel_util,chip_util";
@@ -67,6 +70,11 @@ void write_results_csv(std::ostream& os,
     os << ",program_faults,read_faults,erase_faults,"
           "bad_block_marks,blocks_retired,retires_refused,degraded_planes,"
           "power_loss_events,lost_dirty_pages,recovery_ns";
+  }
+  if (any_overload) {
+    os << ",queue_p50_ns,queue_p95_ns,queue_p99_ns,queue_p999_ns,"
+          "queue_wait_ns,timeouts,sheds,retries,throttle_events,"
+          "throttle_ns,bg_flush_batches,bg_flush_pages";
   }
   os << '\n';
   for (const auto& r : results) {
@@ -91,6 +99,15 @@ void write_results_csv(std::ostream& os,
          << ',' << r.fault.power_loss_events << ','
          << r.fault.lost_dirty_pages << ',' << r.fault.recovery_time_total;
     }
+    if (any_overload) {
+      os << ',' << r.queue_wait.p50() << ',' << r.queue_wait.p95() << ','
+         << r.queue_wait.p99() << ',' << r.queue_wait.p999() << ','
+         << r.overload.queue_wait_total << ',' << r.overload.timeouts << ','
+         << r.overload.sheds << ',' << r.overload.retries << ','
+         << r.overload.throttle_events << ','
+         << r.overload.throttle_delay_total << ','
+         << r.cache.bg_flush_batches << ',' << r.cache.bg_flush_pages;
+    }
     os << '\n';
   }
 }
@@ -112,6 +129,31 @@ void write_fault_summary(std::ostream& os, const RunResult& r) {
              "recovery time",
              format_double(static_cast<double>(r.fault.recovery_time_total) /
                                kMillisecond, 2) + "ms"});
+  t.print(os);
+}
+
+void write_overload_summary(std::ostream& os, const RunResult& r) {
+  if (!r.overload.enabled) return;
+  os << "Overload protection (" << r.trace_name << " / " << r.policy_name
+     << ")\n";
+  const auto ms = [](SimTime ns) {
+    return format_double(static_cast<double>(ns) / kMillisecond, 3) + "ms";
+  };
+  TextTable t({"admission / SLO", "value", "relief", "value"});
+  t.add_row({"admitted", std::to_string(r.overload.admitted),
+             "bg-flush batches", std::to_string(r.cache.bg_flush_batches)});
+  t.add_row({"queued (wait>0)", std::to_string(r.overload.queued_waits),
+             "bg-flush pages", std::to_string(r.cache.bg_flush_pages)});
+  t.add_row({"timeouts", std::to_string(r.overload.timeouts),
+             "throttle events", std::to_string(r.overload.throttle_events)});
+  t.add_row({"sheds", std::to_string(r.overload.sheds), "throttle total",
+             ms(r.overload.throttle_delay_total)});
+  t.add_row({"retries", std::to_string(r.overload.retries), "queue-wait total",
+             ms(r.overload.queue_wait_total)});
+  t.add_row({"queue-wait p50", ms(r.queue_wait.p50()), "queue-wait p99",
+             ms(r.queue_wait.p99())});
+  t.add_row({"queue-wait p95", ms(r.queue_wait.p95()), "queue-wait p999",
+             ms(r.queue_wait.p999())});
   t.print(os);
 }
 

@@ -27,7 +27,9 @@ double metadata_percent(const RunResult& r);
 /// p50_ns, p95_ns, p99_ns, p999_ns, flash_writes, flash_reads, gc_moves,
 /// erases, waf, pages_per_evict, metadata_pct, channel_util, chip_util.
 /// When at least one run injected faults, the fault columns
-/// (program_faults .. recovery_ns) are appended; fault-free exports keep
+/// (program_faults .. recovery_ns) are appended; likewise the overload
+/// columns (queue_p50_ns .. bg_flush_pages) appear only when some run
+/// enabled overload protection. Fault-free, overload-free exports keep
 /// the historical layout byte for byte.
 void write_results_csv(std::ostream& os,
                        const std::vector<RunResult>& results);
@@ -35,6 +37,12 @@ void write_results_csv(std::ostream& os,
 /// Fault-injection summary table of one run (counts per fault class and
 /// their outcomes). Prints nothing when the run injected no faults.
 void write_fault_summary(std::ostream& os, const RunResult& r);
+
+/// Overload-protection summary of one run: admission/SLO accounting
+/// (queue-wait percentiles, timeouts, sheds, retries), background-flush
+/// volume, and throttle totals. Prints nothing when the whole subsystem
+/// was off.
+void write_overload_summary(std::ostream& os, const RunResult& r);
 
 /// Wall-clock self-profile of one run: where the simulator itself spent
 /// its time (cache serve, flush, FTL dispatch, GC, snapshots). Prints

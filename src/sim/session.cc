@@ -65,6 +65,17 @@ std::uint64_t config_fingerprint(const SimOptions& o) {
   fp.add(f.power_loss_every_requests);
   fp.add_i64(f.power_loss_downtime);
   fp.add_i64(f.recovery_replay_per_page);
+  const OverloadOptions& ov = o.overload;
+  fp.add(ov.queue_depth);
+  fp.add_i64(ov.deadline_ns);
+  fp.add(static_cast<std::uint64_t>(ov.timeout_action));
+  fp.add(ov.max_retries);
+  fp.add_i64(ov.retry_backoff_ns);
+  fp.add_double(ov.bg_flush_high);
+  fp.add_double(ov.bg_flush_low);
+  fp.add_bool(ov.throttle);
+  fp.add(ov.throttle_headroom_blocks);
+  fp.add_i64(ov.throttle_max_delay_ns);
   const TelemetryOptions& t = o.telemetry;
   fp.add(static_cast<std::uint64_t>(t.trace.level));
   fp.add(t.trace.capacity);
@@ -87,6 +98,7 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
     options_.telemetry_env_override = false;  // already folded in
   }
   options_.fault.validate();
+  options_.overload.validate();
   config_hash_ = config_fingerprint(options_);
   trace_hash_ = trace_.identity_hash();
 
@@ -97,6 +109,12 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
   }
   CacheOptions cache_opts = options_.cache;
   cache_opts.capacity_pages = options_.policy.capacity_pages;
+  if (options_.overload.bg_flush_enabled()) {
+    cache_opts.bg_flush_high_pages =
+        options_.overload.high_pages(cache_opts.capacity_pages);
+    cache_opts.bg_flush_low_pages =
+        options_.overload.low_pages(cache_opts.capacity_pages);
+  }
   cache_ = std::make_unique<CacheManager>(cache_opts,
                                           make_policy(options_.policy), *ftl_);
   req_block_ = dynamic_cast<ReqBlockPolicy*>(&cache_->policy());
@@ -107,6 +125,8 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
   telemetry_ = std::make_unique<Telemetry>(options_.telemetry);
   cache_->set_telemetry(&telemetry_->trace(), &telemetry_->profiler());
   ftl_->set_telemetry(&telemetry_->trace(), &telemetry_->profiler());
+  queue_ = std::make_unique<HostAdmissionQueue>(options_.overload);
+  queue_->set_trace(&telemetry_->trace());
 
   result_.trace_name = trace_.name();
   result_.policy_name = cache_->policy().name();
@@ -136,6 +156,7 @@ void SimulationSession::end_warmup() {
   cache_->reset_metrics();
   ftl_->reset_metrics();
   if (fault_ != nullptr) fault_->reset_metrics();
+  queue_->reset_metrics();
   telemetry_->trace().clear();
   telemetry_->profiler().clear();
   for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
@@ -147,27 +168,71 @@ void SimulationSession::end_warmup() {
   warmup_end_ = last_warmup_arrival_;
 }
 
-void SimulationSession::serve_measured(IoRequest& req) {
+SimulationSession::ServeOutcome SimulationSession::serve_request(
+    IoRequest& req) {
   // A request arriving while the device recovers from a power loss waits;
   // its latency still counts from the original arrival, so the downtime
   // shows up in the response distribution.
-  const SimTime host_arrival = req.arrival;
+  ServeOutcome out;
+  out.host_arrival = req.arrival;
   if (req.arrival < resume_at_) req.arrival = resume_at_;
-  const SimTime done = cache_->serve(req);
-  const SimTime latency = done - host_arrival;
-  result_.response.record(latency);
-  if (req.is_write()) {
-    ++result_.write_requests;
-    result_.write_response.record(latency);
+  // GC-pressure throttle: stretch host writes deterministically when the
+  // fullest plane nears the collection threshold, before they compete for
+  // a queue slot.
+  if (options_.overload.throttle && req.is_write()) {
+    const SimTime delay = options_.overload.throttle_delay(
+        ftl_->gc_pressure_level(options_.overload.throttle_headroom_blocks));
+    if (delay > 0) {
+      queue_->note_throttle(req.arrival, delay);
+      req.arrival += delay;
+    }
+  }
+  const HostAdmissionQueue::Admission adm = queue_->admit(req.arrival);
+  if (!adm.admitted) {
+    out.shed = true;
+    out.service_start = adm.admit_at;
+    out.done = adm.admit_at;
+    return out;
+  }
+  req.arrival = adm.admit_at;
+  out.wait = adm.wait;
+  out.service_start = adm.admit_at;
+  out.done = cache_->serve(req);
+  queue_->complete(out.done);
+  return out;
+}
+
+void SimulationSession::serve_measured(IoRequest& req) {
+  const ServeOutcome out = serve_request(req);
+  if (out.shed) {
+    // A shed request still counts as an arrival (it consumed a trace slot
+    // and a queue attempt) but never completes, so it stays out of the
+    // response histograms.
+    if (req.is_write()) {
+      ++result_.write_requests;
+    } else {
+      ++result_.read_requests;
+    }
   } else {
-    ++result_.read_requests;
-    result_.read_response.record(latency);
+    if (options_.overload.queue_enabled()) {
+      result_.queue_wait.record(out.wait);
+    }
+    const SimTime latency = out.done - out.host_arrival;
+    result_.response.record(latency);
+    if (req.is_write()) {
+      ++result_.write_requests;
+      result_.write_response.record(latency);
+    } else {
+      ++result_.read_requests;
+      result_.read_response.record(latency);
+    }
   }
   ++result_.requests;
-  result_.sim_end = std::max(result_.sim_end, done);
+  result_.sim_end = std::max(result_.sim_end, out.done);
   ++served_;
   if (fault_ != nullptr && fault_->power_loss_due(served_)) {
-    resume_at_ = cache_->power_loss(done, *fault_);
+    resume_at_ = cache_->power_loss(out.done, *fault_);
+    queue_->on_power_loss(out.done, resume_at_);
     result_.sim_end = std::max(result_.sim_end, resume_at_);
   }
 
@@ -201,13 +266,13 @@ bool SimulationSession::step() {
         finished_ = true;
         return false;
       }
-      if (req.arrival < resume_at_) req.arrival = resume_at_;
-      const SimTime done = cache_->serve(req);
+      const ServeOutcome out = serve_request(req);
       ++result_.warmup_requests;
       ++served_;
-      last_warmup_arrival_ = req.arrival;
+      last_warmup_arrival_ = out.service_start;
       if (fault_ != nullptr && fault_->power_loss_due(served_)) {
-        resume_at_ = cache_->power_loss(done, *fault_);
+        resume_at_ = cache_->power_loss(out.done, *fault_);
+        queue_->on_power_loss(out.done, resume_at_);
       }
       if (result_.warmup_requests >= options_.warmup_requests) end_warmup();
       return true;
@@ -241,6 +306,8 @@ RunResult SimulationSession::finish() {
   result_.cache = cache_->metrics();
   result_.flash = ftl_->metrics();
   if (fault_ != nullptr) result_.fault = fault_->metrics();
+  result_.overload = queue_->metrics();
+  result_.overload.enabled = options_.overload.enabled();
   if (telemetry_->trace().any_enabled()) {
     result_.telemetry.events = telemetry_->trace().drain();
     result_.telemetry.events_emitted = telemetry_->trace().emitted();
@@ -293,6 +360,7 @@ void SimulationSession::serialize(SnapshotWriter& w) const {
   reqblock::serialize(w, result_.response);
   reqblock::serialize(w, result_.read_response);
   reqblock::serialize(w, result_.write_response);
+  reqblock::serialize(w, result_.queue_wait);
   w.i64(result_.sim_end);
   w.u64(result_.occupancy_series.size());
   for (const ListOccupancy& occ : result_.occupancy_series) {
@@ -311,6 +379,7 @@ void SimulationSession::serialize(SnapshotWriter& w) const {
   ftl_->serialize(w);
   w.b(fault_ != nullptr);
   if (fault_ != nullptr) fault_->serialize(w);
+  queue_->serialize(w);
   telemetry_->trace().serialize(w);
 }
 
@@ -342,6 +411,7 @@ void SimulationSession::deserialize(SnapshotReader& r) {
   reqblock::deserialize(r, result_.response);
   reqblock::deserialize(r, result_.read_response);
   reqblock::deserialize(r, result_.write_response);
+  reqblock::deserialize(r, result_.queue_wait);
   result_.sim_end = r.i64();
   const std::uint64_t occ_count = r.count(48);
   result_.occupancy_series.clear();
@@ -367,6 +437,7 @@ void SimulationSession::deserialize(SnapshotReader& r) {
         "session snapshot disagrees about fault injection being wired");
   }
   if (fault_ != nullptr) fault_->deserialize(r);
+  queue_->deserialize(r);
   telemetry_->trace().deserialize(r);
 }
 

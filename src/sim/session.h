@@ -57,6 +57,9 @@ class SimulationSession {
   std::uint64_t served() const { return served_; }
   /// Measured (post-warmup) requests served so far.
   std::uint64_t measured_requests() const { return result_.requests; }
+  /// Host-queue commands currently in flight (0 when admission control is
+  /// off). Lets callers checkpoint "mid-burst with a non-empty queue".
+  std::size_t queue_in_flight() const { return queue_->in_flight(); }
 
   /// Finalizes the run (drains telemetry, runs the device audit, computes
   /// utilization) and returns the result. Call exactly once, after step()
@@ -78,7 +81,22 @@ class SimulationSession {
   void deserialize(SnapshotReader& r);
 
  private:
+  /// What one trip through throttle -> admission -> cache service produced.
+  /// On a shed, `done` is the attempt time (nothing was served) and `wait`
+  /// is meaningless.
+  struct ServeOutcome {
+    bool shed = false;
+    SimTime done = 0;          // completion (or final attempt time on shed)
+    SimTime host_arrival = 0;  // arrival before recovery/throttle/queueing
+    SimTime wait = 0;          // admission-queue wait
+    SimTime service_start = 0;  // when the cache (or shed check) saw it
+  };
+
   void end_warmup();
+  /// Shared overload-aware serve path for warmup and measured requests:
+  /// power-loss recovery clamp, GC-pressure throttle, bounded-queue
+  /// admission, then CacheManager::serve for admitted requests.
+  ServeOutcome serve_request(IoRequest& req);
   void serve_measured(IoRequest& req);
   void take_snapshot();
 
@@ -90,6 +108,7 @@ class SimulationSession {
   std::unique_ptr<Ftl> ftl_;
   std::unique_ptr<CacheManager> cache_;
   std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<HostAdmissionQueue> queue_;
   std::unique_ptr<Telemetry> telemetry_;
   ReqBlockPolicy* req_block_ = nullptr;  // occupancy probe target, or null
 

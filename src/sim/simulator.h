@@ -8,6 +8,7 @@
 #include "cache/cache_manager.h"
 #include "cache/policy_factory.h"
 #include "fault/fault.h"
+#include "host/overload.h"
 #include "core/req_block.h"
 #include "ssd/config.h"
 #include "ssd/ftl.h"
@@ -35,6 +36,10 @@ struct SimOptions {
   /// (everything off) the injector is never wired and the run is
   /// bit-identical to a fault-free build.
   FaultPlan fault;
+  /// Overload protection: bounded host admission queue with deadlines,
+  /// watermark background flushing, and GC-pressure write throttling. All
+  /// off by default, leaving runs bit-identical to earlier builds.
+  OverloadOptions overload;
   /// Event tracing, metric snapshots, and self-profiling for this run.
   TelemetryOptions telemetry;
   /// Let REQBLOCK_TRACE override telemetry.trace.level at Simulator
@@ -53,15 +58,23 @@ struct RunResult {
   std::uint64_t read_requests = 0;
   std::uint64_t write_requests = 0;
 
-  /// Per-request response time (completion - arrival), ns.
+  /// Per-request response time (completion - arrival), ns. Shed requests
+  /// never complete, so with an admission deadline configured
+  /// response.count() can be below `requests` by exactly overload.sheds.
   LogHistogram response;
   LogHistogram read_response;
   LogHistogram write_response;
+  /// Admission wait per admitted request (empty unless the bounded host
+  /// queue is enabled), ns. SLO view: p50/p95/p99/p999 of queueing alone.
+  LogHistogram queue_wait;
 
   CacheMetrics cache;
   FlashMetrics flash;
   /// Injected-fault accounting (fault.enabled == false on fault-free runs).
   FaultMetrics fault;
+  /// Overload accounting: admissions, timeouts/sheds/retries, throttle
+  /// events (enabled == false when the whole subsystem is off).
+  OverloadMetrics overload;
   /// Empty on success; run_cases fills it with the case's failure message
   /// instead of tearing the whole experiment down.
   std::string error;

@@ -133,7 +133,10 @@ class SnapshotReader {
 // ---------------------------------------------------------------------------
 // On-disk container.
 
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+// Version 2: EventKind gained the overload kinds (queue_enqueue,
+// queue_timeout, bg_flush, throttle) before kPageRead, renumbering the
+// flash kinds, and sessions/results carry admission-queue + SLO state.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Identity carried alongside the payload and validated before restore.
 struct SnapshotHeader {

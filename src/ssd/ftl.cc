@@ -268,6 +268,17 @@ bool Ftl::maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t) {
   return true;
 }
 
+std::uint64_t Ftl::gc_pressure_level(std::uint32_t headroom) const {
+  const std::uint64_t threshold = cfg_.gc_threshold_blocks();
+  const std::uint64_t target = threshold + headroom;
+  std::uint64_t level = 0;
+  for (std::uint32_t p = 0; p < cfg_.total_planes(); ++p) {
+    const std::uint64_t free = array_.free_blocks(p);
+    if (free < target) level = std::max(level, target - free);
+  }
+  return std::min<std::uint64_t>(level, headroom);
+}
+
 void Ftl::set_fault_injector(FaultInjector* injector) {
   fault_ = injector;
   if (fault_ != nullptr && fault_->plan().spare_blocks_per_plane > 0) {

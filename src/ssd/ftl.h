@@ -102,6 +102,13 @@ class Ftl {
   const SsdConfig& config() const { return cfg_; }
   const FlashArray& array() const { return array_; }
 
+  /// How close the fullest plane is to garbage collection, as an integer
+  /// level in [0, headroom]: 0 while every plane keeps at least `headroom`
+  /// free blocks above the GC threshold, `headroom` once any plane is at
+  /// (or below) the threshold itself. The overload layer maps this level
+  /// to a deterministic host-write stretch (OverloadOptions::throttle_delay).
+  std::uint64_t gc_pressure_level(std::uint32_t headroom) const;
+
   SimTime channel_busy(std::uint32_t ch) const {
     return channels_[ch].busy_time();
   }

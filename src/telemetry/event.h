@@ -15,6 +15,11 @@
 //                  kReqBlock*: pages in the affected block/batch
 //                  kGcEnd: pages moved, kBlockErase: block index
 //                  kPowerLoss: dirty pages lost
+//                  kQueueEnqueue: queue slots in use after admission
+//                  (dur = queue wait), kQueueTimeout: attempt number — one
+//                  event per failed deadline check (dur = overshoot)
+//                  kBgFlush: dirty pages flushed by the background batch
+//                  kThrottle: arg unused (dur = injected delay)
 //                  kProgramRetry: attempt number, kEraseFault/kBlockRetire:
 //                  block index
 #pragma once
@@ -40,6 +45,11 @@ enum class EventKind : std::uint8_t {
   kReqBlockBatchEvict,
   // Injected power loss: the volatile write buffer is dropped.
   kPowerLoss,
+  // Overload protection (host queue, background flush, GC throttle).
+  kQueueEnqueue,
+  kQueueTimeout,
+  kBgFlush,
+  kThrottle,
   // Flash-device events.
   kPageRead,
   kPageProgram,
@@ -74,6 +84,10 @@ constexpr const char* to_string(EventKind k) {
     case EventKind::kReqBlockMerge: return "reqblock_merge";
     case EventKind::kReqBlockBatchEvict: return "reqblock_batch_evict";
     case EventKind::kPowerLoss: return "power_loss";
+    case EventKind::kQueueEnqueue: return "queue_enqueue";
+    case EventKind::kQueueTimeout: return "queue_timeout";
+    case EventKind::kBgFlush: return "bg_flush";
+    case EventKind::kThrottle: return "throttle";
     case EventKind::kPageRead: return "page_read";
     case EventKind::kPageProgram: return "page_program";
     case EventKind::kBlockErase: return "block_erase";

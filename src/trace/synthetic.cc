@@ -47,6 +47,13 @@ SyntheticTraceSource::SyntheticTraceSource(WorkloadProfile profile)
                          profile_.large_write_min_pages,
                  "invalid large write size range");
   REQB_CHECK_MSG(profile_.stream_count >= 1, "need at least one stream");
+  if (profile_.burst_arrivals_enabled()) {
+    REQB_CHECK_MSG(profile_.burst_arrival_len <= profile_.burst_arrival_period,
+                   "burst length cannot exceed the period");
+    REQB_CHECK_MSG(profile_.burst_arrival_factor > 0.0 &&
+                       profile_.burst_idle_factor > 0.0,
+                   "burst rate factors must be positive");
+  }
   reset();
 }
 
@@ -244,8 +251,16 @@ std::vector<std::pair<Lpn, Lpn>> SyntheticTraceSource::preexisting_ranges()
 bool SyntheticTraceSource::next(IoRequest& out) {
   if (emitted_ >= profile_.total_requests) return false;
   const std::uint64_t id = emitted_++;
-  clock_ += static_cast<SimTime>(rng_.next_exponential(
-      static_cast<double>(profile_.mean_interarrival_ns)));
+  double mean_gap = static_cast<double>(profile_.mean_interarrival_ns);
+  if (profile_.burst_arrivals_enabled()) {
+    // Phase depends only on the request index, so a resumed source lands
+    // in the same spot of the spike/idle cycle as an uninterrupted one.
+    const std::uint64_t phase = id % profile_.burst_arrival_period;
+    mean_gap = phase < profile_.burst_arrival_len
+                   ? mean_gap / profile_.burst_arrival_factor
+                   : mean_gap * profile_.burst_idle_factor;
+  }
+  clock_ += static_cast<SimTime>(rng_.next_exponential(mean_gap));
   if (rng_.next_bool(profile_.write_ratio)) {
     out = rng_.next_bool(profile_.large_write_fraction)
               ? make_large_write(id, clock_)
@@ -297,6 +312,10 @@ std::uint64_t SyntheticTraceSource::identity_hash() const {
   fp.add_double(p.large_head_recency_bias);
   fp.add_bool(p.preexisting_cold_data);
   fp.add_i64(p.mean_interarrival_ns);
+  fp.add(p.burst_arrival_len);
+  fp.add(p.burst_arrival_period);
+  fp.add_double(p.burst_arrival_factor);
+  fp.add_double(p.burst_idle_factor);
   return fp.value();
 }
 

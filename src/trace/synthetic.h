@@ -117,6 +117,18 @@ struct WorkloadProfile {
   // --- Arrival process ----------------------------------------------------
   /// Mean exponential interarrival gap.
   SimTime mean_interarrival_ns = 2 * kMillisecond;
+  /// Open-loop burst modulation of the arrival process: every
+  /// `burst_arrival_period` requests, the first `burst_arrival_len` arrive
+  /// with the mean gap divided by `burst_arrival_factor` (an arrival-rate
+  /// spike), and the remainder of the period arrives with the gap
+  /// multiplied by `burst_idle_factor` (an idle gap for the device to
+  /// drain into). The phase is a pure function of the request index, so
+  /// the modulation checkpoints for free. burst_arrival_period == 0 or
+  /// burst_arrival_len == 0 disables (pure Poisson arrivals).
+  std::uint64_t burst_arrival_len = 0;
+  std::uint64_t burst_arrival_period = 0;
+  double burst_arrival_factor = 8.0;
+  double burst_idle_factor = 1.0;
 
   /// Returns a copy with the request count scaled by `factor` (>0).
   WorkloadProfile scaled(double factor) const;
@@ -124,6 +136,10 @@ struct WorkloadProfile {
   /// Returns a copy capped at `max_requests` (0 = unchanged).
   WorkloadProfile capped(std::uint64_t max_requests) const;
 
+  /// True when the arrival process alternates spike and idle phases.
+  bool burst_arrivals_enabled() const {
+    return burst_arrival_period > 0 && burst_arrival_len > 0;
+  }
   /// Effective stride between hot extents.
   std::uint32_t stride_pages() const {
     return hot_slot_stride == 0 ? hot_slot_pages : hot_slot_stride;

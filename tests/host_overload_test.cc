@@ -1,0 +1,471 @@
+// Overload protection: bounded admission queue semantics (deadlines,
+// retry/shed, power loss), option validation and CLI parsing, GC-pressure
+// throttling, the watermark background flusher across every policy, and
+// the exact reconciliation of all overload counters against telemetry.
+#include "host/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/policy_factory.h"
+#include "sim/simulator.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "trace/vector_source.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+namespace reqblock {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+// --- HostAdmissionQueue unit semantics ------------------------------------
+
+TEST(HostQueueTest, DepthZeroAdmitsInstantlyAndCountsNothing) {
+  HostAdmissionQueue q{OverloadOptions{}};
+  const auto adm = q.admit(1234);
+  EXPECT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.admit_at, 1234);
+  EXPECT_EQ(adm.wait, 0);
+  q.complete(9999);  // no-op
+  EXPECT_EQ(q.in_flight(), 0u);
+  EXPECT_FALSE(q.metrics().enabled);
+  EXPECT_EQ(q.metrics().admitted, 0u);
+}
+
+TEST(HostQueueTest, AdmitsInstantlyBelowDepth) {
+  OverloadOptions o;
+  o.queue_depth = 2;
+  HostAdmissionQueue q(o);
+  EXPECT_TRUE(q.metrics().enabled);
+  for (int i = 0; i < 2; ++i) {
+    const auto adm = q.admit(10 * i);
+    EXPECT_TRUE(adm.admitted);
+    EXPECT_EQ(adm.wait, 0);
+    q.complete(1000 + i);
+  }
+  EXPECT_EQ(q.in_flight(), 2u);
+  EXPECT_EQ(q.metrics().admitted, 2u);
+  EXPECT_EQ(q.metrics().queued_waits, 0u);
+}
+
+TEST(HostQueueTest, FullQueueWaitsForEarliestCompletion) {
+  OverloadOptions o;
+  o.queue_depth = 1;
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(100);
+  const auto adm = q.admit(10);
+  EXPECT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.admit_at, 100);
+  EXPECT_EQ(adm.wait, 90);
+  EXPECT_EQ(q.metrics().queued_waits, 1u);
+  EXPECT_EQ(q.metrics().queue_wait_total, 90);
+}
+
+TEST(HostQueueTest, CompletedSlotsFreeBeforeArrival) {
+  OverloadOptions o;
+  o.queue_depth = 1;
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(50);
+  const auto adm = q.admit(60);  // completion at 50 already drained
+  EXPECT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.wait, 0);
+  EXPECT_EQ(q.metrics().queued_waits, 0u);
+}
+
+TEST(HostQueueTest, DeadlineShedsImmediately) {
+  OverloadOptions o;
+  o.queue_depth = 1;
+  o.deadline_ns = 10;
+  o.timeout_action = TimeoutAction::kShed;
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(1000);
+  const auto adm = q.admit(10);
+  EXPECT_FALSE(adm.admitted);
+  EXPECT_EQ(adm.admit_at, 10);  // shed at the attempt time
+  EXPECT_EQ(q.metrics().timeouts, 1u);
+  EXPECT_EQ(q.metrics().sheds, 1u);
+  EXPECT_EQ(q.metrics().retries, 0u);
+}
+
+TEST(HostQueueTest, RetryBacksOffThenAdmits) {
+  OverloadOptions o;
+  o.queue_depth = 1;
+  o.deadline_ns = 100;
+  o.timeout_action = TimeoutAction::kRetry;
+  o.max_retries = 3;
+  o.retry_backoff_ns = 500;
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(550);
+  // t=0: wait 550 > 100 -> timeout, retry at t=500: wait 50 <= 100 -> admit.
+  const auto adm = q.admit(0);
+  EXPECT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.admit_at, 550);
+  EXPECT_EQ(adm.wait, 550);
+  EXPECT_EQ(q.metrics().timeouts, 1u);
+  EXPECT_EQ(q.metrics().retries, 1u);
+  EXPECT_EQ(q.metrics().sheds, 0u);
+}
+
+TEST(HostQueueTest, RetryExhaustionSheds) {
+  OverloadOptions o;
+  o.queue_depth = 1;
+  o.deadline_ns = 10;
+  o.timeout_action = TimeoutAction::kRetry;
+  o.max_retries = 2;
+  o.retry_backoff_ns = 100;
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(1000000);
+  const auto adm = q.admit(0);
+  EXPECT_FALSE(adm.admitted);
+  EXPECT_EQ(adm.admit_at, 200);  // after two backoff rounds
+  EXPECT_EQ(q.metrics().timeouts, 3u);  // initial attempt + 2 retries
+  EXPECT_EQ(q.metrics().retries, 2u);
+  EXPECT_EQ(q.metrics().sheds, 1u);
+  // The SLO identity every report relies on.
+  EXPECT_EQ(q.metrics().timeouts, q.metrics().retries + q.metrics().sheds);
+}
+
+TEST(HostQueueTest, PowerLossReschedulesInFlightCompletions) {
+  OverloadOptions o;
+  o.queue_depth = 2;
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(100);
+  ASSERT_TRUE(q.admit(1).admitted);
+  q.complete(300);
+  // Loss at 150: the command completing at 300 was cut short and now
+  // re-completes at 500; the one at 100 had already finished.
+  q.on_power_loss(150, 500);
+  const auto a = q.admit(200);  // frees the t=100 slot
+  EXPECT_TRUE(a.admitted);
+  EXPECT_EQ(a.wait, 0);
+  q.complete(600);
+  const auto b = q.admit(210);  // full: earliest in-flight is now 500
+  EXPECT_TRUE(b.admitted);
+  EXPECT_EQ(b.admit_at, 500);
+  EXPECT_EQ(b.wait, 290);
+}
+
+TEST(HostQueueTest, SerializeRoundtripIsByteStable) {
+  OverloadOptions o;
+  o.queue_depth = 3;  // no deadline: the post-restore admit waits
+  HostAdmissionQueue q(o);
+  ASSERT_TRUE(q.admit(0).admitted);
+  q.complete(400);
+  ASSERT_TRUE(q.admit(1).admitted);
+  q.complete(200);
+  ASSERT_TRUE(q.admit(2).admitted);
+  q.complete(300);
+  SnapshotWriter w1;
+  q.serialize(w1);
+  const std::string bytes = w1.take();
+
+  HostAdmissionQueue restored(o);
+  SnapshotReader r(bytes);
+  restored.deserialize(r);
+  EXPECT_EQ(restored.in_flight(), 3u);
+  SnapshotWriter w2;
+  restored.serialize(w2);
+  EXPECT_EQ(bytes, w2.take());
+
+  // The restored heap pops in the same order: earliest completion first.
+  const auto adm = restored.admit(10);
+  EXPECT_EQ(adm.admit_at, 200);
+}
+
+TEST(HostQueueTest, DeserializeRefusesMoreSlotsThanDepth) {
+  OverloadOptions big;
+  big.queue_depth = 3;
+  HostAdmissionQueue q(big);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.admit(i).admitted);
+    q.complete(100 + i);
+  }
+  SnapshotWriter w;
+  q.serialize(w);
+  const std::string bytes = w.take();
+
+  OverloadOptions small;
+  small.queue_depth = 2;
+  HostAdmissionQueue narrow(small);
+  SnapshotReader r(bytes);
+  EXPECT_THROW(narrow.deserialize(r), SnapshotError);
+}
+
+// --- Options: validation, CLI, throttle math ------------------------------
+
+TEST(OverloadOptionsTest, ValidateRejectsBadSettings) {
+  OverloadOptions o;
+  o.bg_flush_high = 1.5;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = OverloadOptions{};
+  o.bg_flush_high = 0.5;
+  o.bg_flush_low = 0.8;  // inverted watermarks
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = OverloadOptions{};
+  o.timeout_action = TimeoutAction::kRetry;
+  o.retry_backoff_ns = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = OverloadOptions{};
+  o.throttle = true;
+  o.throttle_headroom_blocks = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  OverloadOptions ok;
+  ok.queue_depth = 8;
+  ok.deadline_ns = 100;
+  ok.bg_flush_high = 0.8;
+  ok.bg_flush_low = 0.6;
+  ok.throttle = true;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(OverloadOptionsTest, ApplyCliReadsEveryFlag) {
+  const auto args = parse({"prog", "--queue-depth", "16", "--deadline-us",
+                           "1500", "--queue-retries", "2",
+                           "--queue-backoff-us", "250", "--bg-flush-high",
+                           "0.8", "--bg-flush-low", "0.55", "--throttle"});
+  OverloadOptions o;
+  o.apply_cli(args);
+  EXPECT_EQ(o.queue_depth, 16u);
+  EXPECT_EQ(o.deadline_ns, 1500 * kMicrosecond);
+  EXPECT_EQ(o.timeout_action, TimeoutAction::kRetry);
+  EXPECT_EQ(o.max_retries, 2u);
+  EXPECT_EQ(o.retry_backoff_ns, 250 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(o.bg_flush_high, 0.8);
+  EXPECT_DOUBLE_EQ(o.bg_flush_low, 0.55);
+  EXPECT_TRUE(o.throttle);
+  EXPECT_TRUE(o.enabled());
+  EXPECT_NO_THROW(o.validate());
+
+  // --queue-retries 0 switches back to shed-on-timeout.
+  const auto shed_args = parse({"prog", "--queue-retries", "0"});
+  OverloadOptions s;
+  s.timeout_action = TimeoutAction::kRetry;
+  s.apply_cli(shed_args);
+  EXPECT_EQ(s.timeout_action, TimeoutAction::kShed);
+
+  // Defaults untouched when no flag is present.
+  OverloadOptions d;
+  d.apply_cli(parse({"prog"}));
+  EXPECT_FALSE(d.enabled());
+
+  // Malformed values are an error, not a silent fallback.
+  OverloadOptions m;
+  EXPECT_THROW(m.apply_cli(parse({"prog", "--queue-depth", "abc"})),
+               std::invalid_argument);
+}
+
+TEST(OverloadOptionsTest, ThrottleDelayRampsWithIntegerMath) {
+  OverloadOptions o;
+  o.throttle = true;
+  o.throttle_headroom_blocks = 8;
+  o.throttle_max_delay_ns = 1000;
+  EXPECT_EQ(o.throttle_delay(0), 0);
+  EXPECT_EQ(o.throttle_delay(1), 125);
+  EXPECT_EQ(o.throttle_delay(4), 500);
+  EXPECT_EQ(o.throttle_delay(8), 1000);
+  EXPECT_EQ(o.throttle_delay(12), 1000);  // clamped at the headroom
+  o.throttle = false;
+  EXPECT_EQ(o.throttle_delay(8), 0);
+}
+
+TEST(OverloadOptionsTest, WatermarkPageDerivation) {
+  OverloadOptions o;
+  o.bg_flush_high = 0.75;
+  o.bg_flush_low = 0.5;
+  EXPECT_EQ(o.high_pages(1024), 768u);
+  EXPECT_EQ(o.low_pages(1024), 512u);
+  EXPECT_TRUE(o.bg_flush_enabled());
+}
+
+TEST(GcPressureTest, LevelTracksFreeBlockHeadroom) {
+  Ftl ftl(testing::micro_ssd());
+  // A fresh device has every block free: far above threshold + 4.
+  EXPECT_EQ(ftl.gc_pressure_level(4), 0u);
+  // A headroom larger than the per-plane block count is always pressured.
+  const std::uint64_t level = ftl.gc_pressure_level(100000);
+  EXPECT_GT(level, 0u);
+  EXPECT_LE(level, 100000u);
+}
+
+// --- Background flush across every policy ---------------------------------
+
+WorkloadProfile writey_profile(std::uint64_t requests = 8000) {
+  WorkloadProfile p;
+  p.name = "overload-bg";
+  p.total_requests = requests;
+  p.seed = 11;
+  p.write_ratio = 0.8;
+  p.hot_extents = 256;
+  p.cold_stream_pages = 1 << 15;
+  p.mean_interarrival_ns = 200 * kMicrosecond;
+  return p;
+}
+
+SimOptions bg_options(const std::string& policy) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = policy;
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  o.overload.bg_flush_high = 0.75;
+  o.overload.bg_flush_low = 0.5;
+  return o;
+}
+
+class BgFlushAllPolicies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BgFlushAllPolicies, WatermarkDrainFiresAndStaysConsistent) {
+  SyntheticTraceSource trace(writey_profile());
+  Simulator sim(bg_options(GetParam()));
+  const RunResult r = sim.run(trace);
+  EXPECT_TRUE(r.overload.enabled);
+  EXPECT_GT(r.cache.bg_flush_batches, 0u) << "watermark never fired";
+  EXPECT_GT(r.cache.bg_flush_pages, 0u);
+  EXPECT_LE(r.cache.bg_flush_batches, r.cache.evictions);
+  EXPECT_LE(r.cache.bg_flush_pages, r.cache.flushed_pages);
+  // No admission queue configured: nothing shed, every request responded.
+  EXPECT_EQ(r.overload.sheds, 0u);
+  EXPECT_EQ(r.response.count(), r.requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BgFlushAllPolicies,
+                         ::testing::ValuesIn(known_policy_names()));
+
+// --- Full-stack reconciliation: metrics vs telemetry vs histograms --------
+
+std::vector<IoRequest> churn(std::uint64_t requests, Lpn footprint,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IoRequest> out;
+  out.reserve(requests);
+  for (std::uint64_t id = 0; id < requests; ++id) {
+    IoRequest r;
+    r.id = id;
+    r.arrival = static_cast<SimTime>(id) * 300 * kMicrosecond;
+    r.type = rng.next_bool(0.85) ? IoType::kWrite : IoType::kRead;
+    r.pages = static_cast<std::uint32_t>(rng.next_in(1, 6));
+    r.lpn = rng.next_below(footprint - r.pages + 1);
+    out.push_back(r);
+  }
+  return out;
+}
+
+SimOptions overloaded_options() {
+  SimOptions o;
+  o.ssd = testing::micro_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 128;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 128;
+  o.telemetry.trace.level = TraceLevel::kAll;
+  o.telemetry.trace.capacity = 1u << 22;
+  o.telemetry_env_override = false;
+  o.overload.queue_depth = 2;
+  o.overload.deadline_ns = 400 * kMicrosecond;
+  o.overload.timeout_action = TimeoutAction::kRetry;
+  o.overload.max_retries = 2;
+  o.overload.retry_backoff_ns = 200 * kMicrosecond;
+  o.overload.bg_flush_high = 0.8;
+  o.overload.bg_flush_low = 0.6;
+  o.overload.throttle = true;
+  o.overload.throttle_headroom_blocks = 100000;  // always under pressure
+  o.overload.throttle_max_delay_ns = 50 * kMicrosecond;
+  return o;
+}
+
+TEST(OverloadReconcileTest, EventsMatchAggregatesExactly) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(churn(10000, cfg.total_pages() * 6 / 10, 99),
+                          "churn");
+  Simulator sim(overloaded_options());
+  const RunResult r = sim.run(trace);
+
+  ASSERT_TRUE(r.overload.enabled);
+  EXPECT_EQ(r.telemetry.events_dropped, 0u) << "ring wrapped; grow capacity";
+
+  std::map<EventKind, std::uint64_t> count;
+  std::map<EventKind, std::uint64_t> arg_sum;
+  std::map<EventKind, SimTime> dur_sum;
+  for (const TraceEvent& e : r.telemetry.events) {
+    ++count[e.kind];
+    arg_sum[e.kind] += e.arg;
+    dur_sum[e.kind] += e.dur;
+  }
+
+  // Exercise every mechanism, or the reconciliation proves nothing.
+  ASSERT_GT(r.overload.timeouts, 0u);
+  ASSERT_GT(r.overload.retries, 0u);
+  ASSERT_GT(r.overload.sheds, 0u);
+  ASSERT_GT(r.overload.throttle_events, 0u);
+  ASSERT_GT(r.cache.bg_flush_batches, 0u);
+
+  EXPECT_EQ(count[EventKind::kQueueEnqueue], r.overload.admitted);
+  EXPECT_EQ(dur_sum[EventKind::kQueueEnqueue], r.overload.queue_wait_total);
+  EXPECT_EQ(count[EventKind::kQueueTimeout], r.overload.timeouts);
+  EXPECT_EQ(count[EventKind::kBgFlush], r.cache.bg_flush_batches);
+  EXPECT_EQ(arg_sum[EventKind::kBgFlush], r.cache.bg_flush_pages);
+  EXPECT_EQ(count[EventKind::kThrottle], r.overload.throttle_events);
+  EXPECT_EQ(dur_sum[EventKind::kThrottle], r.overload.throttle_delay_total);
+
+  // SLO identities.
+  EXPECT_EQ(r.overload.timeouts, r.overload.retries + r.overload.sheds);
+  EXPECT_EQ(r.overload.admitted + r.overload.sheds, r.requests);
+  EXPECT_EQ(r.response.count(), r.requests - r.overload.sheds);
+  EXPECT_EQ(r.queue_wait.count(), r.overload.admitted);
+  EXPECT_DOUBLE_EQ(r.queue_wait.raw_sum(),
+                   static_cast<double>(r.overload.queue_wait_total));
+}
+
+TEST(OverloadReconcileTest, WarmupResetsOverloadAccounting) {
+  const auto cfg = testing::micro_ssd();
+  VectorTraceSource trace(churn(6000, cfg.total_pages() * 6 / 10, 7),
+                          "churn");
+  SimOptions o = overloaded_options();
+  o.telemetry.trace.level = TraceLevel::kOff;
+  o.warmup_requests = 2000;
+  Simulator sim(o);
+  const RunResult r = sim.run(trace);
+  // Measured-phase counters only: 4000 requests split admitted/shed.
+  EXPECT_EQ(r.requests, 4000u);
+  EXPECT_EQ(r.overload.admitted + r.overload.sheds, r.requests);
+  EXPECT_EQ(r.queue_wait.count(), r.overload.admitted);
+}
+
+TEST(OverloadReconcileTest, BgFlushImprovesTailWriteLatencyUnderBurst) {
+  WorkloadProfile p = writey_profile(12000);
+  p.burst_arrival_len = 300;
+  p.burst_arrival_period = 1500;
+  p.burst_arrival_factor = 10.0;
+  SimOptions off = bg_options("reqblock");
+  off.overload.bg_flush_high = 0.0;
+  off.overload.bg_flush_low = 0.0;
+  const SimOptions on = bg_options("reqblock");
+
+  SyntheticTraceSource trace_off(p), trace_on(p);
+  const RunResult sync_only = Simulator(off).run(trace_off);
+  const RunResult bg = Simulator(on).run(trace_on);
+  ASSERT_GT(bg.cache.bg_flush_batches, 0u);
+  EXPECT_LT(bg.write_response.p99(), sync_only.write_response.p99())
+      << "background flushing should absorb the spikes";
+}
+
+}  // namespace
+}  // namespace reqblock

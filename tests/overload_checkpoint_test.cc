@@ -1,0 +1,217 @@
+// Overload protection under the determinism and checkpoint contracts: two
+// identical overloaded runs are byte-identical (with and without faults),
+// a session checkpointed mid-burst with a non-empty admission queue
+// snapshots byte-stably and resumes to a byte-identical results CSV, and
+// a checkpoint taken under one overload configuration refuses to restore
+// into another (config fingerprint coverage).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "sim/checkpoint.h"
+#include "sim/report.h"
+#include "sim/session.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/ovckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Bursty, write-heavy profile that keeps the admission queue busy.
+WorkloadProfile burst_profile(std::uint64_t requests = 3000) {
+  WorkloadProfile p;
+  p.name = "ov-burst";
+  p.total_requests = requests;
+  p.seed = 17;
+  p.write_ratio = 0.8;
+  p.hot_extents = 128;
+  p.cold_stream_pages = 1 << 15;
+  p.mean_interarrival_ns = 150 * kMicrosecond;
+  p.burst_arrival_len = 200;
+  p.burst_arrival_period = 1000;
+  p.burst_arrival_factor = 10.0;
+  return p;
+}
+
+SimOptions overloaded_options(bool faults) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  o.overload.queue_depth = 4;
+  o.overload.deadline_ns = 2 * kMillisecond;
+  o.overload.timeout_action = TimeoutAction::kRetry;
+  o.overload.max_retries = 2;
+  o.overload.retry_backoff_ns = 300 * kMicrosecond;
+  o.overload.bg_flush_high = 0.8;
+  o.overload.bg_flush_low = 0.6;
+  o.overload.throttle = true;
+  if (faults) {
+    o.fault.seed = 5;
+    o.fault.program_fail_prob = 0.02;
+    o.fault.power_loss_every_requests = 700;
+  }
+  return o;
+}
+
+std::string csv_of(const RunResult& r) {
+  std::ostringstream os;
+  write_results_csv(os, {r});
+  return os.str();
+}
+
+RunResult run_whole(const SimOptions& o, const WorkloadProfile& p) {
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  while (session.step()) {
+  }
+  return session.finish();
+}
+
+TEST(OverloadDeterminismTest, TwoRunsAreByteIdentical) {
+  FullAuditScope audit_scope;
+  for (const bool faults : {false, true}) {
+    SCOPED_TRACE(faults ? "faults" : "fault-free");
+    const SimOptions o = overloaded_options(faults);
+    const WorkloadProfile p = burst_profile();
+    const RunResult a = run_whole(o, p);
+    const RunResult b = run_whole(o, p);
+    EXPECT_GT(a.overload.admitted, 0u);
+    EXPECT_EQ(csv_of(a), csv_of(b));
+  }
+}
+
+TEST(OverloadCheckpointTest, MidBurstSnapshotIsByteStable) {
+  FullAuditScope audit_scope;
+  const SimOptions o = overloaded_options(false);
+  const WorkloadProfile p = burst_profile();
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  // Stop inside a spike phase so in-flight commands are queued up.
+  while (session.served() < 1250 && session.step()) {
+  }
+  ASSERT_GT(session.queue_in_flight(), 0u)
+      << "checkpoint must land with a non-empty admission queue";
+  SnapshotWriter w1;
+  session.serialize(w1);
+  const std::string bytes = w1.take();
+
+  SyntheticTraceSource trace2(p);
+  SimulationSession restored(o, trace2);
+  SnapshotReader r(bytes);
+  restored.deserialize(r);
+  EXPECT_EQ(restored.queue_in_flight(), session.queue_in_flight());
+  SnapshotWriter w2;
+  restored.serialize(w2);
+  EXPECT_EQ(bytes, w2.take()) << "serialize -> deserialize -> serialize "
+                                 "must reproduce identical bytes";
+}
+
+TEST(OverloadCheckpointTest, ResumeMidBurstMatchesUninterruptedCsv) {
+  FullAuditScope audit_scope;
+  for (const bool faults : {false, true}) {
+    SCOPED_TRACE(faults ? "faults" : "fault-free");
+    const SimOptions o = overloaded_options(faults);
+    const WorkloadProfile p = burst_profile();
+    const RunResult whole = run_whole(o, p);
+    ASSERT_GT(whole.overload.admitted, 0u);
+
+    const std::string dir = scratch_dir(faults ? "resume_f" : "resume_nf");
+    {
+      SyntheticTraceSource trace(p);
+      SimulationSession session(o, trace);
+      while (session.served() < 1250 && session.step()) {
+      }
+      EXPECT_GT(session.queue_in_flight(), 0u);
+      save_session_checkpoint(session, dir, "run", 2);
+    }
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    restore_session_checkpoint(session, find_latest_checkpoint(dir, "run"));
+    while (session.step()) {
+    }
+    EXPECT_EQ(csv_of(whole), csv_of(session.finish()));
+  }
+}
+
+TEST(OverloadCheckpointTest, RestoreRefusesMismatchedOverloadConfig) {
+  const WorkloadProfile p = burst_profile(1500);
+  const std::string dir = scratch_dir("refuse");
+  {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(overloaded_options(false), trace);
+    while (session.served() < 600 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string path = find_latest_checkpoint(dir, "run");
+  ASSERT_FALSE(path.empty());
+
+  // Every overload knob is part of the config fingerprint.
+  const auto refuse = [&](SimOptions other) {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(other, trace);
+    EXPECT_THROW(restore_session_checkpoint(session, path), SnapshotError);
+  };
+  SimOptions o = overloaded_options(false);
+  o.overload.queue_depth = 8;
+  refuse(o);
+  o = overloaded_options(false);
+  o.overload.deadline_ns = 5 * kMillisecond;
+  refuse(o);
+  o = overloaded_options(false);
+  o.overload.bg_flush_high = 0.9;
+  refuse(o);
+  o = overloaded_options(false);
+  o.overload.throttle = false;
+  refuse(o);
+
+  // The matching configuration restores fine.
+  SyntheticTraceSource trace(p);
+  SimulationSession session(overloaded_options(false), trace);
+  EXPECT_NO_THROW(restore_session_checkpoint(session, path));
+}
+
+TEST(OverloadCheckpointTest, FingerprintCoversEveryOverloadField) {
+  const SimOptions base = overloaded_options(false);
+  const std::uint64_t h = config_fingerprint(base);
+  const auto differs = [&](auto mutate) {
+    SimOptions o = overloaded_options(false);
+    mutate(o.overload);
+    EXPECT_NE(config_fingerprint(o), h);
+  };
+  differs([](OverloadOptions& o) { o.queue_depth = 99; });
+  differs([](OverloadOptions& o) { o.deadline_ns += 1; });
+  differs([](OverloadOptions& o) { o.timeout_action = TimeoutAction::kShed; });
+  differs([](OverloadOptions& o) { o.max_retries += 1; });
+  differs([](OverloadOptions& o) { o.retry_backoff_ns += 1; });
+  differs([](OverloadOptions& o) { o.bg_flush_high = 0.81; });
+  differs([](OverloadOptions& o) { o.bg_flush_low = 0.61; });
+  differs([](OverloadOptions& o) { o.throttle = false; });
+  differs([](OverloadOptions& o) { o.throttle_headroom_blocks += 1; });
+  differs([](OverloadOptions& o) { o.throttle_max_delay_ns += 1; });
+}
+
+}  // namespace
+}  // namespace reqblock

@@ -2,9 +2,11 @@
 // large-write head re-reads, medium hot extents and the sparse stride.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "snapshot/snapshot.h"
 #include "trace/synthetic.h"
 
 namespace reqblock {
@@ -156,6 +158,102 @@ TEST(BurstModelTest, StrideSmallerThanSlotRejected) {
   p.hot_slot_pages = 8;
   p.hot_slot_stride = 4;
   EXPECT_THROW(SyntheticTraceSource{p}, std::logic_error);
+}
+
+// --- Open-loop burst arrivals (spike/idle modulation) ---------------------
+
+TEST(BurstArrivalTest, SpikePhaseArrivesFaster) {
+  WorkloadProfile p = base_profile();
+  p.burst_arrival_len = 1000;
+  p.burst_arrival_period = 4000;
+  p.burst_arrival_factor = 10.0;
+  p.burst_idle_factor = 2.0;
+  SyntheticTraceSource src(p);
+  const auto all = src.collect();
+  double spike_gap = 0.0, idle_gap = 0.0;
+  std::uint64_t spike_n = 0, idle_n = 0;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const double gap =
+        static_cast<double>(all[i].arrival - all[i - 1].arrival);
+    ASSERT_GE(gap, 0.0);  // arrivals stay nondecreasing
+    if (all[i].id % p.burst_arrival_period < p.burst_arrival_len) {
+      spike_gap += gap;
+      ++spike_n;
+    } else {
+      idle_gap += gap;
+      ++idle_n;
+    }
+  }
+  ASSERT_GT(spike_n, 1000u);
+  ASSERT_GT(idle_n, 1000u);
+  // Spike arrivals are 10x faster and idle 2x slower => the measured mean
+  // gaps should differ by well over an order of magnitude.
+  EXPECT_LT(spike_gap / static_cast<double>(spike_n),
+            0.2 * idle_gap / static_cast<double>(idle_n));
+}
+
+TEST(BurstArrivalTest, DisabledKeepsPoissonStream) {
+  WorkloadProfile plain = base_profile();
+  WorkloadProfile zero_len = base_profile();
+  zero_len.burst_arrival_period = 1000;  // len == 0 => disabled
+  SyntheticTraceSource a(plain), b(zero_len);
+  const auto va = a.collect(), vb = b.collect();
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    ASSERT_EQ(va[i].arrival, vb[i].arrival);
+    ASSERT_EQ(va[i].lpn, vb[i].lpn);
+  }
+}
+
+TEST(BurstArrivalTest, FieldsEnterIdentityHash) {
+  WorkloadProfile p = base_profile();
+  const std::uint64_t plain = SyntheticTraceSource(p).identity_hash();
+  p.burst_arrival_len = 500;
+  p.burst_arrival_period = 2000;
+  const std::uint64_t bursty = SyntheticTraceSource(p).identity_hash();
+  EXPECT_NE(plain, bursty);
+  p.burst_arrival_factor = 4.0;
+  EXPECT_NE(bursty, SyntheticTraceSource(p).identity_hash());
+}
+
+TEST(BurstArrivalTest, LengthBeyondPeriodRejected) {
+  WorkloadProfile p = base_profile();
+  p.burst_arrival_len = 2001;
+  p.burst_arrival_period = 2000;
+  EXPECT_THROW(SyntheticTraceSource{p}, std::logic_error);
+}
+
+TEST(BurstArrivalTest, NonPositiveFactorRejected) {
+  WorkloadProfile p = base_profile();
+  p.burst_arrival_len = 100;
+  p.burst_arrival_period = 1000;
+  p.burst_arrival_factor = 0.0;
+  EXPECT_THROW(SyntheticTraceSource{p}, std::logic_error);
+}
+
+TEST(BurstArrivalTest, SnapshotResumesMidCycle) {
+  WorkloadProfile p = base_profile();
+  p.burst_arrival_len = 300;
+  p.burst_arrival_period = 1000;
+  p.burst_arrival_factor = 8.0;
+  SyntheticTraceSource full(p), resumed(p);
+  IoRequest r;
+  // Stop inside a spike phase (request 150 of the cycle).
+  for (int i = 0; i < 1150; ++i) ASSERT_TRUE(full.next(r));
+  SnapshotWriter w;
+  full.serialize(w);
+  const std::string bytes = w.take();
+  SnapshotReader rd(bytes);
+  for (int i = 0; i < 1150; ++i) ASSERT_TRUE(resumed.next(r));
+  resumed.deserialize(rd);
+  IoRequest a, b;
+  while (full.next(a)) {
+    ASSERT_TRUE(resumed.next(b));
+    ASSERT_EQ(a.arrival, b.arrival);
+    ASSERT_EQ(a.lpn, b.lpn);
+    ASSERT_EQ(a.pages, b.pages);
+  }
+  EXPECT_FALSE(resumed.next(b));
 }
 
 TEST(BurstModelTest, ResetRestoresBurstState) {
