@@ -82,7 +82,8 @@ void report() {
         if (!first) json << ",\n";
         first = false;
         json << "    {\"policy\": \"" << policy << "\", \"bg_flush\": "
-             << (bg ? "true" : "false") << ", \"rate_x\": " << rate
+             << (bg ? "true" : "false") << ", \"rate_x\": "
+             << format_double(rate, 0)
              << ", \"p99_ns\": " << r->response.p99()
              << ", \"p99_write_ns\": " << r->write_response.p99()
              << ", \"mean_ns\": " << static_cast<std::int64_t>(

@@ -316,7 +316,8 @@ void ReqBlockPolicy::audit(AuditReport& report) const {
                      "block " + std::to_string(b->block_id) + " on " +
                          to_string(level) + " but tagged " +
                          to_string(b->level));
-      REQB_AUDIT_MSG(report, on_lists.insert(b->block_id).second,
+      const bool newly_listed = on_lists.insert(b->block_id).second;
+      REQB_AUDIT_MSG(report, newly_listed,
                      "block " + std::to_string(b->block_id) +
                          " linked on two lists");
       const auto it = blocks_.find(b->block_id);

@@ -129,6 +129,8 @@ RunArtifacts export_run_artifacts(const RunResult& result,
 }
 
 std::uint64_t bench_request_cap(std::uint64_t fallback) {
+  // Read-only environment access; nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("REQBLOCK_BENCH_REQUESTS");
   if (env == nullptr) return fallback;
   const auto parsed = parse_u64(env);
@@ -136,6 +138,8 @@ std::uint64_t bench_request_cap(std::uint64_t fallback) {
 }
 
 unsigned bench_thread_cap() {
+  // Read-only environment access; nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("REQBLOCK_BENCH_THREADS");
   if (env == nullptr) return 0;
   const auto parsed = parse_u64(env);

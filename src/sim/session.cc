@@ -102,6 +102,8 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
   config_hash_ = config_fingerprint(options_);
   trace_hash_ = trace_.identity_hash();
 
+  // REQB_LINT_ALLOW(no-wallclock): wall_seconds is operator telemetry;
+  // it is excluded from checkpoints, CSVs and the config fingerprint.
   wall_start_ = std::chrono::steady_clock::now();
   ftl_ = std::make_unique<Ftl>(options_.ssd);
   for (const auto& [begin, end] : trace_.preexisting_ranges()) {
@@ -329,6 +331,7 @@ RunResult SimulationSession::finish() {
     result_.channel_utilization = ch_busy / (span * options_.ssd.channels);
     result_.chip_utilization = chip_busy / (span * options_.ssd.total_chips());
   }
+  // REQB_LINT_ALLOW(no-wallclock): see wall_start_ — operator telemetry.
   result_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start_)

@@ -124,6 +124,8 @@ class SimulationSession {
   std::vector<SimTime> warmup_channel_busy_;
   std::vector<SimTime> warmup_chip_busy_;
 
+  // REQB_LINT_ALLOW(no-wallclock): wall-clock span reported as
+  // wall_seconds only; deliberately outside the serialized state.
   std::chrono::steady_clock::time_point wall_start_;
 };
 

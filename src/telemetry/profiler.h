@@ -83,6 +83,8 @@ class ScopedTimer {
       : profiler_(profiler != nullptr && profiler->enabled() ? profiler
                                                              : nullptr),
         section_(section) {
+    // REQB_LINT_ALLOW(no-wallclock): profiler timings are diagnostics
+    // only — excluded from snapshots, CSVs and every cmp-tested artifact.
     if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
 
@@ -91,6 +93,7 @@ class ScopedTimer {
 
   ~ScopedTimer() {
     if (profiler_ == nullptr) return;
+    // REQB_LINT_ALLOW(no-wallclock): see constructor — diagnostics only.
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - start_)
                         .count();
@@ -100,6 +103,7 @@ class ScopedTimer {
  private:
   Profiler* profiler_;
   Profiler::Section section_;
+  // REQB_LINT_ALLOW(no-wallclock): diagnostics-only timer state.
   std::chrono::steady_clock::time_point start_;
 };
 

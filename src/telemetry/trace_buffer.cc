@@ -21,6 +21,8 @@ TraceLevel parse_trace_level(std::string_view text, TraceLevel fallback) {
 }
 
 TraceLevel trace_level_from_env(TraceLevel fallback) {
+  // Read-only environment access; nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("REQBLOCK_TRACE");
   if (env == nullptr) return fallback;
   return parse_trace_level(env, fallback);

@@ -1,12 +1,12 @@
 #include "trace/msr_trace.h"
 
 #include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <system_error>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -142,7 +142,7 @@ std::vector<IoRequest> parse_msr_file(const std::string& path,
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open trace file: " + path + " (" +
-                             std::strerror(errno) + ")");
+                             std::generic_category().message(errno) + ")");
   }
   MsrParseOptions file_opts = opts;
   if (file_opts.source_name.empty()) file_opts.source_name = path;

@@ -2,11 +2,11 @@
 
 #include <cerrno>
 #include <cmath>
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <stdexcept>
+#include <system_error>
 
 #include "util/strings.h"
 
@@ -127,7 +127,7 @@ std::vector<IoRequest> parse_spc_file(const std::string& path,
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open trace file: " + path + " (" +
-                             std::strerror(errno) + ")");
+                             std::generic_category().message(errno) + ")");
   }
   SpcParseOptions file_opts = opts;
   if (file_opts.source_name.empty()) file_opts.source_name = path;

@@ -6,9 +6,9 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace reqblock {
 
@@ -17,7 +17,7 @@ namespace {
 [[noreturn]] void fail(const std::string& path, const char* step, int err) {
   std::ostringstream os;
   os << "atomic write of '" << path << "' failed (" << step
-     << "): " << std::strerror(err);
+     << "): " << std::generic_category().message(err);
   throw std::runtime_error(os.str());
 }
 

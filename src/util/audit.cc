@@ -15,11 +15,12 @@ AuditLevel clamp_to_compiled(AuditLevel level) {
 }
 
 std::atomic<int>& level_storage() {
+  // REQBLOCK_AUDIT is read once under the static-init guard and the
+  // process never calls setenv, so getenv's mt-unsafety cannot bite.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  static const char* env = std::getenv("REQBLOCK_AUDIT");
   static std::atomic<int> level{static_cast<int>(clamp_to_compiled(
-      parse_audit_level(std::getenv("REQBLOCK_AUDIT") != nullptr
-                            ? std::getenv("REQBLOCK_AUDIT")
-                            : "",
-                        AuditLevel::kLight)))};
+      parse_audit_level(env != nullptr ? env : "", AuditLevel::kLight)))};
   return level;
 }
 

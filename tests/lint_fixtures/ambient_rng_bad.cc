@@ -1,0 +1,7 @@
+// Fixture: ambient C RNG. rand() draws from hidden process state seeded
+// who-knows-where, so replays diverge and faults stop reproducing.
+#include <cstdlib>
+
+int pick_victim_index(int candidates) {
+  return rand() % candidates;
+}

@@ -1,0 +1,14 @@
+// Twin: randomness flows through the per-run seeded xoshiro stream, so
+// the draw sequence is part of the run's reproducible identity.
+#include <cstdint>
+
+struct Xoshiro256 {
+  explicit Xoshiro256(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 0x9e3779b97f4a7c15ull; }
+  std::uint64_t state_;
+};
+
+int pick_victim_index(Xoshiro256& rng, int candidates) {
+  return static_cast<int>(rng.next() %
+                          static_cast<std::uint64_t>(candidates));
+}

@@ -1,0 +1,8 @@
+// Fixture: a side effect inside REQB_DCHECK. With REQBLOCK_DCHECKS=0
+// the macro expands to nothing and the increment silently disappears,
+// so the "checked" build and the release build simulate differently.
+#include <cstddef>
+
+void account_evictions(std::size_t& evictions, bool list_was_nonempty) {
+  REQB_DCHECK(++evictions > 0 && list_was_nonempty);
+}

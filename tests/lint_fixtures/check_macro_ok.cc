@@ -1,0 +1,7 @@
+// Twin: the mutation happens unconditionally; the macro only reads.
+#include <cstddef>
+
+void account_evictions(std::size_t& evictions, bool list_was_nonempty) {
+  ++evictions;
+  REQB_DCHECK(evictions > 0 && list_was_nonempty);
+}

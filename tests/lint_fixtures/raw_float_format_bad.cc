@@ -1,0 +1,8 @@
+// Fixture: streaming a double with the ostream's defaults. Precision
+// (6 significant digits) and the decimal point both depend on stream
+// state and locale, so the same hit ratio can print differently.
+#include <ostream>
+
+void write_hit_ratio_report(std::ostream& os, double hit_ratio) {
+  os << hit_ratio;
+}

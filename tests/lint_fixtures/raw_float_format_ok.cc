@@ -1,0 +1,12 @@
+// Twin: format_double renders via std::to_chars — locale-independent,
+// fixed decimal count — so report bytes are stable everywhere.
+#include <ostream>
+#include <string>
+
+namespace reqblock {
+std::string format_double(double v, int decimals);
+}
+
+void write_hit_ratio_report(std::ostream& os, double hit_ratio) {
+  os << reqblock::format_double(hit_ratio, 4);
+}

@@ -1,0 +1,9 @@
+// Fixture: raw ofstream output. A crash mid-write leaves a truncated
+// CSV that the kill-and-resume CI legs would then cmp against.
+#include <fstream>
+#include <string>
+
+void save_results_csv(const std::string& path, const std::string& rows) {
+  std::ofstream out(path);
+  out << rows;
+}

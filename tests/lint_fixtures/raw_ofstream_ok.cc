@@ -1,0 +1,11 @@
+// Twin: artifacts go through write_file_atomic — temp file, fsync,
+// rename — so readers only ever observe a complete old or new file.
+#include <string>
+
+namespace reqblock {
+void write_file_atomic(const std::string& path, const std::string& contents);
+}
+
+void save_results_csv(const std::string& path, const std::string& rows) {
+  reqblock::write_file_atomic(path, rows);
+}

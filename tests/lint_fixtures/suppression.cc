@@ -1,0 +1,13 @@
+// Fixture: a genuine wall-clock read silenced by an inline allowance
+// with a justification — the pattern used for the profiler's timers.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t profile_now_ns() {
+  // REQB_LINT_ALLOW(no-wallclock): diagnostics-only timing, never
+  // serialized into any artifact.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

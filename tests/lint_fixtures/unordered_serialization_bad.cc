@@ -1,0 +1,16 @@
+// Fixture: a serializer walking an unordered_map directly. The byte
+// order of the output then depends on the hash function, the libstdc++
+// version and the insertion history — equal state, different bytes.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+std::string serialize_counts(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::ostringstream os;
+  for (const auto& [lpn, n] : counts) {
+    os << lpn << ',' << n << '\n';
+  }
+  return os.str();
+}

@@ -1,0 +1,23 @@
+// Twin: keys are copied out and sorted before emission, so equal state
+// serializes to equal bytes regardless of hash order.
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string serialize_counts(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(counts.size());
+  for (const auto& [lpn, n] : counts) {
+    keys.push_back(lpn);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  for (const std::uint64_t lpn : keys) {
+    os << lpn << ',' << counts.at(lpn) << '\n';
+  }
+  return os.str();
+}

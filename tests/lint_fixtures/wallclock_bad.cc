@@ -1,0 +1,10 @@
+// Fixture: stamping a result with the host's wall clock. Equal runs on
+// different hosts (or reruns on the same host) produce different bytes.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t stamp_result() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}

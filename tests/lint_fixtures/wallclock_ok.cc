@@ -1,0 +1,9 @@
+// Twin: timestamps derive from the simulated clock, a pure function of
+// config + trace, so equal runs stay byte-identical.
+#include <cstdint>
+
+using SimTime = std::uint64_t;
+
+std::uint64_t stamp_result(SimTime sim_now) {
+  return sim_now;
+}

@@ -1,0 +1,163 @@
+// reqblock-lint CLI.
+//
+//   reqblock-lint [options] <path>...
+//
+//   --baseline FILE        suppress findings recorded in FILE (multiset
+//                          semantics; CI gates on an *empty* baseline)
+//   --write-baseline FILE  freeze the current findings into FILE
+//   --disable RULES        comma-separated rule ids to switch off
+//   --no-suppressions      ignore REQB_LINT_ALLOW comments
+//   --fix-suggestions      append a per-rule remediation summary
+//   --list-rules           print the rule catalog and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "util/atomic_file.h"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: reqblock-lint [--baseline FILE] [--write-baseline FILE]\n"
+        "                     [--disable RULE[,RULE...]] [--no-suppressions]\n"
+        "                     [--fix-suggestions] [--list-rules] <path>...\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reqblock::lint;
+  Options options;
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool fix_suggestions = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "reqblock-lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog()) {
+        std::cout << r.id << "\n  " << r.summary << "\n  fix: "
+                  << r.fix_suggestion << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      const char* v = value("--write-baseline");
+      if (v == nullptr) return 2;
+      write_baseline_path = v;
+      continue;
+    }
+    if (arg == "--disable") {
+      const char* v = value("--disable");
+      if (v == nullptr) return 2;
+      std::istringstream rules(v);
+      std::string id;
+      while (std::getline(rules, id, ',')) {
+        if (id.empty()) continue;
+        if (!is_known_rule(id)) {
+          std::cerr << "reqblock-lint: unknown rule '" << id
+                    << "' (see --list-rules)\n";
+          return 2;
+        }
+        options.disabled.insert(id);
+      }
+      continue;
+    }
+    if (arg == "--no-suppressions") {
+      options.honor_suppressions = false;
+      continue;
+    }
+    if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "reqblock-lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "reqblock-lint: no paths given\n";
+    return usage(std::cerr, 2);
+  }
+
+  std::string error;
+  Report report = lint_paths(paths, options, &error);
+  if (!error.empty()) {
+    std::cerr << "reqblock-lint: " << error << "\n";
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    try {
+      reqblock::write_file_atomic(write_baseline_path,
+                                  render_baseline(report.findings));
+    } catch (const std::exception& e) {
+      std::cerr << "reqblock-lint: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "reqblock-lint: baseline with " << report.findings.size()
+              << " finding(s) written to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  int baselined = 0;
+  std::vector<Finding> fresh = report.findings;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "reqblock-lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fresh = apply_baseline(report.findings, buf.str(), &baselined);
+  }
+
+  for (const Finding& f : fresh) {
+    std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+              << f.message << "\n";
+  }
+
+  if (fix_suggestions && !fresh.empty()) {
+    std::cout << "\nFix suggestions:\n";
+    for (const RuleInfo& r : rule_catalog()) {
+      bool hit = false;
+      for (const Finding& f : fresh) {
+        if (f.rule == r.id) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) std::cout << "  " << r.id << ": " << r.fix_suggestion << "\n";
+    }
+  }
+
+  std::cout << "reqblock-lint: " << fresh.size() << " finding(s) ("
+            << report.suppressed << " suppressed, " << baselined
+            << " baselined) across " << report.files_scanned << " file(s)\n";
+  return fresh.empty() ? 0 : 1;
+}
