@@ -4,12 +4,19 @@
 //
 //   ./examples/policy_compare [--profile src1_2] [--cache-mb 32]
 //                             [--requests N] [--all-policies]
+//                             [--attribution] [--attribution-csv FILE]
+//
+// --attribution decomposes every policy's request latency into its
+// critical-path components and appends a per-policy tail root-cause
+// report (slowest decile and percentile).
 #include <iostream>
+#include <sstream>
 
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "trace/profiles.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
 #include "util/strings.h"
 #include "util/stats.h"
 
@@ -30,6 +37,7 @@ int main(int argc, char** argv) {
     ExperimentCase c;
     c.profile = profile;
     c.options = make_sim_options(policy, cache_mb);
+    c.options.telemetry.attribution = args.has("attribution");
     c.label = policy;
     cases.push_back(std::move(c));
   }
@@ -63,6 +71,16 @@ int main(int argc, char** argv) {
                      "%"});
     }
     t.print(std::cout);
+  }
+  if (args.has("attribution")) {
+    std::cout << "\n";
+    write_tail_attribution(std::cout, results);
+    if (const auto csv_path = args.get("attribution-csv")) {
+      std::ostringstream csv;
+      write_tail_attribution_csv(csv, results);
+      write_file_atomic(*csv_path, csv.str());
+      std::cout << "Wrote tail attribution to " << *csv_path << "\n";
+    }
   }
   return 0;
 }

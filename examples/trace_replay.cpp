@@ -71,6 +71,7 @@ int main(int argc, char** argv) try {
                  " [--policy NAME] [--cache-mb MB] [--requests N]"
                  " [--delta D] [--warmup N] [--occupancy] [--stats-only]"
                  " [--csv FILE]\n"
+                 "attribution: [--attribution] [--attribution-csv FILE]\n"
                  "fault injection: [--fault-seed S] [--fault-program-fail P]"
                  " [--fault-read-fail P] [--fault-erase-fail P]"
                  " [--fault-retries N] [--fault-spares N]"
@@ -109,6 +110,9 @@ int main(int argc, char** argv) try {
   if (args.has("occupancy")) options.occupancy_log_interval = 10000;
   options.fault.apply_cli(args);
   options.overload.apply_cli(args);
+  // Only the attribution switch from the telemetry CLI: trace_replay's
+  // --trace and --profile already mean "MSR file" and "workload name".
+  if (args.has("attribution")) options.telemetry.attribution = true;
 
   CheckpointOptions ckpt;
   ckpt.dir = args.get_or("checkpoint-dir", "");
@@ -133,6 +137,13 @@ int main(int argc, char** argv) try {
   results_table({result}).print(std::cout);
   write_fault_summary(std::cout, result);
   write_overload_summary(std::cout, result);
+  write_tail_attribution(std::cout, {result});
+  if (const auto csv_path = args.get("attribution-csv")) {
+    std::ostringstream csv;
+    write_tail_attribution_csv(csv, {result});
+    write_file_atomic(*csv_path, csv.str());
+    std::cout << "\nWrote tail attribution to " << *csv_path << "\n";
+  }
   if (const auto csv_path = args.get("csv")) {
     // Temp file + atomic rename: a crash mid-write never leaves a
     // truncated CSV where a complete one is expected.

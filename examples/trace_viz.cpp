@@ -4,13 +4,18 @@
 //   ./examples/trace_viz [--requests N] [--cache-mb MB] [--policy NAME]
 //                        [--out-dir DIR] [--trace LEVEL] [--trace-buffer E]
 //                        [--trace-sample N] [--snapshot-every REQS]
-//                        [--profile]
+//                        [--profile] [--attribution]
+//                        [fault/overload flags, see trace_replay --help]
 //
 // Open the .trace.json in chrome://tracing or https://ui.perfetto.dev:
-// pid 1 is the cache (one lane per Req-block list), pid 2 the flash chips,
-// pid 3 the channel buses. The .snapshots.csv holds one row per snapshot
-// interval with every registered metric as a column — plot the list.*
-// columns over `request` to reproduce the paper's Fig. 13 occupancy plot.
+// pid 1 is the cache (one lane per Req-block list plus a host lane for
+// admission events), pid 2 the flash chips, pid 3 the channel buses, and
+// pid 4 the per-request latency attribution (one lane per component; a
+// served request's spans tile arrival..completion across the lanes). The
+// .snapshots.csv holds one row per snapshot interval with every
+// registered metric as a column — plot the list.* columns over `request`
+// to reproduce the paper's Fig. 13 occupancy plot.
+#include <array>
 #include <iostream>
 
 #include "sim/experiment.h"
@@ -19,8 +24,39 @@
 #include "trace/synthetic.h"
 #include "util/args.h"
 #include "util/strings.h"
+#include "util/table.h"
 
 using namespace reqblock;
+
+namespace {
+
+/// Where an event kind renders in the exported Chrome trace. Keep in sync
+/// with exporters.cc — every kind names a lane; nothing falls through to
+/// an "unknown" bucket.
+const char* lane_of(EventKind k) {
+  switch (k) {
+    case EventKind::kAttrSpan:
+      return "attribution/<component> (pid 4)";
+    case EventKind::kQueueEnqueue:
+    case EventKind::kQueueTimeout:
+    case EventKind::kThrottle:
+      return "cache/host (pid 1)";
+    case EventKind::kReqBlockSplit:
+    case EventKind::kReqBlockPromote:
+    case EventKind::kReqBlockMerge:
+    case EventKind::kReqBlockBatchEvict:
+      return "cache/IRL|SRL|DRL (pid 1)";
+    case EventKind::kPageRead:
+    case EventKind::kPageProgram:
+      return "flash chip + channel (pids 2, 3)";
+    default:
+      break;
+  }
+  return category_of(k) == EventCategory::kCache ? "cache/manager (pid 1)"
+                                                 : "flash chip (pid 2)";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
@@ -46,6 +82,10 @@ int main(int argc, char** argv) {
   options.telemetry.snapshot_every_requests = 1000;
   options.telemetry.profile = true;
   options.telemetry.apply_cli(args);
+  // Fault injection and overload protection off by default; their flags
+  // let the export show retry/timeout/throttle lanes on demand.
+  options.fault.apply_cli(args);
+  options.overload.apply_cli(args);
 
   Simulator sim(options);
   const RunResult result = sim.run(trace);
@@ -72,6 +112,28 @@ int main(int argc, char** argv) {
               << " metrics)\n";
   }
   std::cout << "\n";
+
+  // Per-kind legend: how many events of each kind the export holds and
+  // the Perfetto lane they render on (fault and overload kinds included).
+  if (!result.telemetry.events.empty()) {
+    constexpr std::size_t kKinds =
+        static_cast<std::size_t>(EventKind::kAttrSpan) + 1;
+    std::array<std::uint64_t, kKinds> counts{};
+    for (const TraceEvent& e : result.telemetry.events) {
+      ++counts[static_cast<std::size_t>(e.kind)];
+    }
+    TextTable legend({"event kind", "count", "lane"});
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      if (counts[k] == 0) continue;
+      const auto kind = static_cast<EventKind>(k);
+      legend.add_row({to_string(kind), std::to_string(counts[k]),
+                      lane_of(kind)});
+    }
+    legend.print(std::cout);
+    std::cout << "\n";
+  }
+
+  write_tail_attribution(std::cout, {result});
   write_snapshot_summary(std::cout, result);
   std::cout << "\n";
   write_self_profile(std::cout, result);

@@ -48,8 +48,10 @@ void CacheManager::retire_entry(Lpn /*lpn*/, const PageEntry& entry) {
   if (entry.reused) ++metrics_.pages_reused_by_req_size[b];
 }
 
-SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
+SimTime CacheManager::evict_once(SimTime now, bool& evicted,
+                                 OpAttribution* span) {
   const ScopedTimer timer(profiler_, Profiler::Section::kEvictFlush);
+  if (span != nullptr) *span = OpAttribution{};
   VictimBatch victim = policy_->select_victim();
   if (victim.empty()) {
     evicted = false;
@@ -76,11 +78,18 @@ SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
 
   // BPLRU page padding: read the block's missing (but previously written)
   // pages from flash and rewrite them together with the victim batch.
+  // The padding reads all issue at `now` in parallel, so the one that
+  // completes last is the padding phase's critical path.
   SimTime padding_done = now;
+  OpAttribution padding_crit;
+  OpAttribution read_attr;
   for (const Lpn lpn : victim.padding_reads) {
     if (!ftl_.is_mapped(lpn) || pages_.contains(lpn)) continue;
-    const auto rr = ftl_.read_page(lpn, now);
-    padding_done = std::max(padding_done, rr.complete);
+    const auto rr = ftl_.read_page(lpn, now, &read_attr);
+    if (rr.complete > padding_done) {
+      padding_done = rr.complete;
+      padding_crit = read_attr;
+    }
     flush.push_back(FlushPage{lpn, rr.version});
     ++metrics_.padding_pages;
   }
@@ -89,10 +98,18 @@ SimTime CacheManager::evict_once(SimTime now, bool& evicted) {
   // pushes to flash in one batch (victim pages + BPLRU padding).
   metrics_.eviction_batch.record(flush.size());
 
+  OpAttribution batch_attr;
   const SimTime done = flush.empty()
                            ? now  // all-clean victim: space is free at once
                            : ftl_.program_batch(flush, padding_done,
-                                                victim.colocate);
+                                                victim.colocate, &batch_attr);
+  if (span != nullptr && !flush.empty()) {
+    // [now, padding_done] carries the critical padding read's fault share;
+    // [padding_done, done] carries the batch's critical-page GC/fault.
+    // The sub-intervals tile [now, done], so the sums stay inside it.
+    span->gc = batch_attr.gc;
+    span->fault = padding_crit.fault + batch_attr.fault;
+  }
   if (trace_ != nullptr) {
     const Lpn first = victim.pages.empty() ? 0 : victim.pages.front();
     trace_->emit({now, done - now, first, victim.pages.size(),
@@ -141,14 +158,19 @@ void CacheManager::maybe_background_flush(SimTime now) {
             });
 }
 
-SimTime CacheManager::serve_write(const IoRequest& req) {
+SimTime CacheManager::serve_write(const IoRequest& req, RequestBreakdown* bd) {
   // All of the request's page operations are issued at arrival; evictions
   // triggered by different pages proceed in parallel (striped across
   // channels by the FTL's round-robin allocator) and only the per-chip
   // FCFS timelines serialize them. A page that needed an eviction is
   // admitted when its victim's flush completes (synchronous eviction).
+  //
+  // Attribution follows the critical path: whichever page completes last
+  // defines the request's latency, so `crit` holds that page's component
+  // split of [issue, done]. Strict `>` keeps the first achiever on ties.
   const SimTime issue = req.arrival;
   SimTime done = issue;
+  RequestBreakdown crit;
   for (std::uint32_t i = 0; i < req.pages; ++i) {
     const Lpn lpn = req.lpn + i;
     ++metrics_.page_lookups;
@@ -169,7 +191,12 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
                       kTrackManager, 0});
       }
       policy_->on_hit(lpn, req, /*is_write=*/true);
-      done = std::max(done, issue + ftl_.config().cache_access_latency);
+      const SimTime cand = issue + ftl_.config().cache_access_latency;
+      if (cand > done) {
+        done = cand;
+        crit = RequestBreakdown{};
+        crit[AttrComponent::kCacheLookup] = cand - issue;
+      }
       continue;
     }
     if (trace_ != nullptr) {
@@ -181,17 +208,24 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
     // allocation granularity (whole block units for BPLRU), so one insert
     // may need several evictions before space frees up.
     SimTime admit_at = issue;
+    OpAttribution evict_crit;
+    OpAttribution evict_span;
     bool space_ok = true;
     while (policy_->occupied_pages() >= options_.capacity_pages) {
       bool evicted = false;
-      const SimTime space_at = evict_once(issue, evicted);
+      const SimTime space_at = evict_once(issue, evicted, &evict_span);
       if (!evicted) {
         // Nothing evictable (the in-flight request owns the whole cache):
         // bypass the buffer and program this page directly.
         space_ok = false;
         break;
       }
-      admit_at = std::max(admit_at, space_at);
+      // The evictions all issue at `issue` in parallel; the slowest one
+      // gates admission and defines the stall's attribution.
+      if (space_at > admit_at) {
+        admit_at = space_at;
+        evict_crit = evict_span;
+      }
     }
     if (!space_ok) {
       ++metrics_.bypass_pages;
@@ -199,7 +233,16 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
         trace_->emit({issue, 0, lpn, 1, EventKind::kCacheBypass,
                       kTrackManager, 0});
       }
-      done = std::max(done, ftl_.program_page(lpn, version, issue));
+      OpAttribution prog;
+      const SimTime cand = ftl_.program_page(lpn, version, issue, &prog);
+      if (cand > done) {
+        done = cand;
+        crit = RequestBreakdown{};
+        crit[AttrComponent::kGc] = prog.gc;
+        crit[AttrComponent::kFaultRetry] = prog.fault;
+        crit[AttrComponent::kFtlProgram] =
+            (cand - issue) - prog.gc - prog.fault;
+      }
       continue;
     }
     PageEntry entry;
@@ -215,14 +258,31 @@ SimTime CacheManager::serve_write(const IoRequest& req) {
                     kTrackManager, 0});
     }
     policy_->on_insert(lpn, req, /*is_write=*/true);
-    done = std::max(done, admit_at + ftl_.config().cache_access_latency);
+    const SimTime cand = admit_at + ftl_.config().cache_access_latency;
+    if (cand > done) {
+      done = cand;
+      crit = RequestBreakdown{};
+      crit[AttrComponent::kGc] = evict_crit.gc;
+      crit[AttrComponent::kFaultRetry] = evict_crit.fault;
+      crit[AttrComponent::kEvictStall] =
+          (admit_at - issue) - evict_crit.gc - evict_crit.fault;
+      crit[AttrComponent::kCacheLookup] = cand - admit_at;
+    }
   }
   REQB_DCHECK(pages_.size() <= options_.capacity_pages);
+  if (bd != nullptr) {
+    for (std::size_t c = 0; c < kAttrComponents; ++c) bd->ns[c] += crit.ns[c];
+  }
   return done;
 }
 
-SimTime CacheManager::serve_read(const IoRequest& req) {
+SimTime CacheManager::serve_read(const IoRequest& req, RequestBreakdown* bd) {
+  // Attribution mirrors serve_write: the page completing last is the
+  // request's critical path and `crit` holds its split of [arrival, done].
   SimTime done = req.arrival;
+  RequestBreakdown crit;
+  OpAttribution read_attr;
+  OpAttribution evict_span;
   for (std::uint32_t i = 0; i < req.pages; ++i) {
     const Lpn lpn = req.lpn + i;
     ++metrics_.page_lookups;
@@ -243,7 +303,12 @@ SimTime CacheManager::serve_read(const IoRequest& req) {
                       kTrackManager, 0});
       }
       policy_->on_hit(lpn, req, /*is_write=*/false);
-      done = std::max(done, req.arrival + ftl_.config().cache_access_latency);
+      const SimTime cand = req.arrival + ftl_.config().cache_access_latency;
+      if (cand > done) {
+        done = cand;
+        crit = RequestBreakdown{};
+        crit[AttrComponent::kCacheLookup] = cand - req.arrival;
+      }
       continue;
     }
 
@@ -252,23 +317,29 @@ SimTime CacheManager::serve_read(const IoRequest& req) {
       trace_->emit({req.arrival, 0, lpn, 0, EventKind::kCacheMiss,
                     kTrackManager, 0});
     }
-    const auto rr = ftl_.read_page(lpn, req.arrival);
+    const auto rr = ftl_.read_page(lpn, req.arrival, &read_attr);
     if (options_.verify_consistency) {
       REQB_CHECK_MSG(rr.version == expected_version(lpn),
                      "flash version diverged from the write oracle");
     }
-    done = std::max(done, rr.complete);
+    SimTime cand = rr.complete;
+    // The read-admission eviction chain runs sequentially after the flash
+    // read, so GC/fault shares of its links sum within the chain interval.
+    OpAttribution chain;
+    bool chained = false;
 
     if (options_.cache_reads && rr.mapped) {
       SimTime cursor = rr.complete;
       bool admitted = true;
       while (policy_->occupied_pages() >= options_.capacity_pages) {
         bool evicted = false;
-        cursor = std::max(cursor, evict_once(cursor, evicted));
+        cursor = std::max(cursor, evict_once(cursor, evicted, &evict_span));
         if (!evicted) {
           admitted = false;
           break;
         }
+        chain.gc += evict_span.gc;
+        chain.fault += evict_span.fault;
       }
       if (admitted) {
         PageEntry entry;
@@ -283,24 +354,44 @@ SimTime CacheManager::serve_read(const IoRequest& req) {
                         kTrackManager, 0});
         }
         policy_->on_insert(lpn, req, /*is_write=*/false);
-        done = std::max(done, cursor);
+        cand = cursor;
+        chained = true;
       }
     }
+    if (cand > done) {
+      done = cand;
+      crit = RequestBreakdown{};
+      crit[AttrComponent::kGc] = read_attr.gc;
+      crit[AttrComponent::kFaultRetry] = read_attr.fault;
+      crit[AttrComponent::kFtlRead] =
+          (rr.complete - req.arrival) - read_attr.gc - read_attr.fault;
+      if (chained) {
+        crit[AttrComponent::kGc] += chain.gc;
+        crit[AttrComponent::kFaultRetry] += chain.fault;
+        crit[AttrComponent::kEvictStall] =
+            (cand - rr.complete) - chain.gc - chain.fault;
+      }
+    }
+  }
+  if (bd != nullptr) {
+    for (std::size_t c = 0; c < kAttrComponents; ++c) bd->ns[c] += crit.ns[c];
   }
   return done;
 }
 
-SimTime CacheManager::serve(const IoRequest& req) {
+SimTime CacheManager::serve(const IoRequest& req, RequestBreakdown* bd) {
   REQB_CHECK_MSG(req.pages >= 1, "requests must touch at least one page");
   const ScopedTimer timer(profiler_, Profiler::Section::kCacheServe);
   if (trace_ != nullptr) trace_->set_time(req.arrival);
   policy_->begin_request(req);
   // Watermark drain first, with this request's eviction guards already in
   // place, so the background flusher never steals the blocks the request
-  // is about to extend.
+  // is about to extend. Its flushes are not attributed to this request:
+  // they only cost later requests time, through busier chip timelines
+  // that surface in those requests' ftl/gc components.
   maybe_background_flush(req.arrival);
   const SimTime done =
-      req.is_write() ? serve_write(req) : serve_read(req);
+      req.is_write() ? serve_write(req, bd) : serve_read(req, bd);
   REQB_DCHECK(policy_->pages() == pages_.size());
   run_audit("CacheManager", AuditLevel::kLight,
             [this](AuditReport& r) { audit(r, audit_level()); });

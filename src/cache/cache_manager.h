@@ -22,6 +22,7 @@
 #include "cache/write_buffer.h"
 #include "fault/fault.h"
 #include "ssd/ftl.h"
+#include "telemetry/attribution.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/profiler.h"
 #include "telemetry/trace_buffer.h"
@@ -103,8 +104,12 @@ class CacheManager {
                std::unique_ptr<WriteBufferPolicy> policy, Ftl& ftl);
 
   /// Serves one host request starting at req.arrival; returns completion
-  /// time. Must be called in nondecreasing arrival order.
-  SimTime serve(const IoRequest& req);
+  /// time. Must be called in nondecreasing arrival order. When `bd` is
+  /// non-null, the critical-path components of the service interval
+  /// [req.arrival, completion] are *added* into it (cache_lookup,
+  /// evict_stall, ftl_read, ftl_program, gc, fault_retry), summing exactly
+  /// to the interval length; timing is identical either way.
+  SimTime serve(const IoRequest& req, RequestBreakdown* bd = nullptr);
 
   /// Injected power loss at `at`: drops the whole volatile buffer (clean
   /// and dirty pages alike), counts the dirty pages as lost into `fault`'s
@@ -168,12 +173,16 @@ class CacheManager {
     bool reused = false;  // hit at least once since insertion
   };
 
-  SimTime serve_write(const IoRequest& req);
-  SimTime serve_read(const IoRequest& req);
+  SimTime serve_write(const IoRequest& req, RequestBreakdown* bd);
+  SimTime serve_read(const IoRequest& req, RequestBreakdown* bd);
   /// Evicts one victim batch and flushes its dirty pages; returns the time
   /// the flush completes (== when the space is usable). Returns `now`
   /// unchanged and sets `evicted=false` when the policy had no victim.
-  SimTime evict_once(SimTime now, bool& evicted);
+  /// `span` (optional) receives the GC/fault share of [now, completion]:
+  /// the critical padding read's fault plus the flush batch's critical
+  /// page attribution, both provably inside the interval.
+  SimTime evict_once(SimTime now, bool& evicted,
+                     OpAttribution* span = nullptr);
   /// Watermark drain at the start of a serve: while dirty occupancy is at
   /// or above the high watermark, evict victim batches until it is at or
   /// below the low watermark (or the policy withholds everything). The

@@ -166,6 +166,7 @@ void serialize_run_result(SnapshotWriter& w, const RunResult& res) {
   w.u64(res.warmup_requests);
   w.f64(res.channel_utilization);
   w.f64(res.chip_utilization);
+  res.attribution.serialize(w);
 }
 
 void deserialize_run_result(SnapshotReader& r, RunResult& res) {
@@ -209,7 +210,7 @@ void deserialize_run_result(SnapshotReader& r, RunResult& res) {
     e.lpn = r.u64();
     e.arg = r.u64();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(EventKind::kBlockRetire)) {
+    if (kind > static_cast<std::uint8_t>(EventKind::kAttrSpan)) {
       throw SnapshotError("stored result has an unknown event kind");
     }
     e.kind = static_cast<EventKind>(kind);
@@ -236,6 +237,7 @@ void deserialize_run_result(SnapshotReader& r, RunResult& res) {
   res.warmup_requests = r.u64();
   res.channel_utilization = r.f64();
   res.chip_utilization = r.f64();
+  res.attribution.deserialize(r);
 }
 
 void save_run_result(const RunResult& result, const std::string& path,

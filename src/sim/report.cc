@@ -1,6 +1,7 @@
 #include "sim/report.h"
 
 #include <algorithm>
+#include <array>
 #include <ostream>
 
 #include "util/strings.h"
@@ -179,6 +180,8 @@ void write_self_profile(std::ostream& os, const RunResult& r) {
                    "%"});
   }
   t.print(os);
+  os << "(wall-clock diagnostics; excluded from result CSVs, checkpoints "
+        "and config fingerprints)\n";
 }
 
 void write_snapshot_summary(std::ostream& os, const RunResult& r) {
@@ -200,6 +203,82 @@ void write_snapshot_summary(std::ostream& os, const RunResult& r) {
                format_double(lo, 4), format_double(hi, 4)});
   }
   t.print(os);
+}
+
+namespace {
+
+/// The two tail slices the reports show: the slowest decile answers
+/// "what shapes my p90+", the slowest percentile "where did my p99 go".
+constexpr std::array<double, 2> kTailFractions = {0.10, 0.01};
+
+std::string slice_label(double fraction) {
+  return "slowest " + format_double(fraction * 100.0, 0) + "%";
+}
+
+}  // namespace
+
+void write_tail_attribution(std::ostream& os,
+                            const std::vector<RunResult>& results) {
+  for (const auto& r : results) {
+    const AttributionResult& a = r.attribution;
+    if (!a.enabled || a.requests == 0) continue;
+    os << "Tail attribution (" << r.trace_name << " / " << r.policy_name
+       << ")\n";
+    TextTable t({"slice", "requests", "floor", "component", "time", "share"});
+    for (const double fraction : kTailFractions) {
+      const TailSlice slice = tail_slice(a, fraction);
+      const auto ranked = rank_components(slice);
+      const double total = static_cast<double>(slice.total_ns);
+      bool lead = true;
+      for (const std::size_t c : ranked) {
+        if (slice.component_ns[c] == 0) continue;
+        const double ns = static_cast<double>(slice.component_ns[c]);
+        t.add_row({lead ? slice_label(fraction) : "",
+                   lead ? std::to_string(slice.requests) : "",
+                   lead ? format_double(static_cast<double>(
+                                            slice.threshold_ns) /
+                                            kMillisecond, 2) + "ms"
+                        : "",
+                   to_string(static_cast<AttrComponent>(c)),
+                   format_double(ns / kMillisecond, 2) + "ms",
+                   format_double(total == 0.0 ? 0.0 : ns / total * 100.0, 1) +
+                       "%"});
+        lead = false;
+      }
+    }
+    t.print(os);
+  }
+}
+
+void write_tail_attribution_csv(std::ostream& os,
+                                const std::vector<RunResult>& results) {
+  // Fixed shape: every attribution-enabled run contributes exactly
+  // 2 slices x 8 components, zeros included, ranked by contribution —
+  // byte-stable across identical runs.
+  os << "trace,policy,slice_pct,slice_requests,threshold_ns,slice_total_ns,"
+        "component,component_ns,share\n";
+  for (const auto& r : results) {
+    const AttributionResult& a = r.attribution;
+    if (!a.enabled || a.requests == 0) continue;
+    for (const double fraction : kTailFractions) {
+      const TailSlice slice = tail_slice(a, fraction);
+      const auto ranked = rank_components(slice);
+      for (const std::size_t c : ranked) {
+        const double share =
+            slice.total_ns == 0
+                ? 0.0
+                : static_cast<double>(slice.component_ns[c]) /
+                      static_cast<double>(slice.total_ns);
+        os << r.trace_name << ',' << r.policy_name << ','
+           << format_double(fraction * 100.0, 0) << ','
+           << slice.requests << ',' << slice.threshold_ns << ','
+           << slice.total_ns << ','
+           << to_string(static_cast<AttrComponent>(c)) << ','
+           << slice.component_ns[c] << ',' << format_double(share, 6)
+           << '\n';
+      }
+    }
+  }
 }
 
 TextTable results_table(const std::vector<RunResult>& results) {

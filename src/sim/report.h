@@ -53,4 +53,20 @@ void write_self_profile(std::ostream& os, const RunResult& r);
 /// min, and max over the run. Prints nothing when no snapshots were taken.
 void write_snapshot_summary(std::ostream& os, const RunResult& r);
 
+/// Tail root-cause report: for each run with latency attribution enabled,
+/// splits the slowest decile (p90+) and slowest percentile (p99+) of
+/// requests into their component time, ranked by contribution. Answers
+/// "where did my p99 go?" per trace/policy. Prints nothing when no run
+/// carried attribution.
+void write_tail_attribution(std::ostream& os,
+                            const std::vector<RunResult>& results);
+
+/// Machine-readable tail attribution: one CSV row per (run, slice,
+/// component) with integer-ns totals and the component's share of the
+/// slice. Byte-stable across runs of the same build; rows appear only for
+/// runs with attribution enabled, so attribution-free exports are empty
+/// beyond the header.
+void write_tail_attribution_csv(std::ostream& os,
+                                const std::vector<RunResult>& results);
+
 }  // namespace reqblock

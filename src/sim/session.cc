@@ -83,6 +83,7 @@ std::uint64_t config_fingerprint(const SimOptions& o) {
   fp.add(t.snapshot_every_requests);
   fp.add_i64(t.snapshot_every_ns);
   fp.add_bool(t.profile);
+  fp.add_bool(t.attribution);
   return fp.value();
 }
 
@@ -138,6 +139,7 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
     ftl_->register_metrics(telemetry_->registry());
     result_.telemetry.snapshots.columns = telemetry_->registry().names();
   }
+  if (options_.telemetry.attribution) result_.attribution.prepare();
   next_snap_ns_ = options_.telemetry.snapshot_every_ns;
   warmup_channel_busy_.assign(options_.ssd.channels, 0);
   warmup_chip_busy_.assign(options_.ssd.total_chips(), 0);
@@ -176,8 +178,13 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
   // its latency still counts from the original arrival, so the downtime
   // shows up in the response distribution.
   ServeOutcome out;
+  const bool attribute = options_.telemetry.attribution;
   out.host_arrival = req.arrival;
-  if (req.arrival < resume_at_) req.arrival = resume_at_;
+  if (req.arrival < resume_at_) {
+    // Waiting out power-loss recovery is fault time by definition.
+    out.bd[AttrComponent::kFaultRetry] = resume_at_ - req.arrival;
+    req.arrival = resume_at_;
+  }
   // GC-pressure throttle: stretch host writes deterministically when the
   // fullest plane nears the collection threshold, before they compete for
   // a queue slot.
@@ -187,6 +194,7 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
     if (delay > 0) {
       queue_->note_throttle(req.arrival, delay);
       req.arrival += delay;
+      out.bd[AttrComponent::kThrottle] = delay;
     }
   }
   const HostAdmissionQueue::Admission adm = queue_->admit(req.arrival);
@@ -199,8 +207,21 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
   req.arrival = adm.admit_at;
   out.wait = adm.wait;
   out.service_start = adm.admit_at;
-  out.done = cache_->serve(req);
+  out.bd[AttrComponent::kQueueWait] = adm.wait;
+  out.done = cache_->serve(req, attribute ? &out.bd : nullptr);
   queue_->complete(out.done);
+  if (attribute) {
+    // The tentpole invariant: the component spans tile [host_arrival,
+    // done] exactly, in integer sim-ns, for every request (warmup
+    // included — the decomposition must hold everywhere, not just where
+    // it is recorded).
+    run_audit("Attribution", AuditLevel::kFull, [&](AuditReport& rep) {
+      REQB_AUDIT_MSG(rep, out.bd.sum() == out.done - out.host_arrival,
+                     "breakdown sums to " + std::to_string(out.bd.sum()) +
+                         " ns, end-to-end latency is " +
+                         std::to_string(out.done - out.host_arrival) + " ns");
+    });
+  }
   return out;
 }
 
@@ -227,6 +248,20 @@ void SimulationSession::serve_measured(IoRequest& req) {
     } else {
       ++result_.read_requests;
       result_.read_response.record(latency);
+    }
+    if (options_.telemetry.attribution) {
+      result_.attribution.record(out.bd, latency);
+      // Span tree for Perfetto: the nonzero components tile
+      // [host_arrival, done] in enum order, one lane per component.
+      SimTime cursor = out.host_arrival;
+      for (std::size_t c = 0; c < kAttrComponents; ++c) {
+        const SimTime span = out.bd.ns[c];
+        if (span == 0) continue;
+        telemetry_->trace().emit({cursor, span, req.lpn, result_.requests,
+                                  EventKind::kAttrSpan,
+                                  static_cast<std::uint16_t>(c), 0});
+        cursor += span;
+      }
     }
   }
   ++result_.requests;
@@ -375,6 +410,7 @@ void SimulationSession::serialize(SnapshotWriter& w) const {
     w.u64(occ.drl_blocks);
   }
   result_.telemetry.snapshots.serialize(w);
+  result_.attribution.serialize(w);
 
   // Layers, outermost first.
   trace_.serialize(w);
@@ -430,6 +466,11 @@ void SimulationSession::deserialize(SnapshotReader& r) {
     result_.occupancy_series.push_back(occ);
   }
   result_.telemetry.snapshots.deserialize(r);
+  result_.attribution.deserialize(r);
+  if (result_.attribution.enabled != options_.telemetry.attribution) {
+    throw SnapshotError(
+        "session snapshot disagrees about latency attribution being on");
+  }
 
   trace_.deserialize(r);
   cache_->deserialize(r);

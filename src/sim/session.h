@@ -90,6 +90,9 @@ class SimulationSession {
     SimTime host_arrival = 0;  // arrival before recovery/throttle/queueing
     SimTime wait = 0;          // admission-queue wait
     SimTime service_start = 0;  // when the cache (or shed check) saw it
+    /// Component split of [host_arrival, done]; filled (and exact-sum
+    /// audited at kFull) only when telemetry.attribution is on.
+    RequestBreakdown bd;
   };
 
   void end_warmup();

@@ -87,6 +87,10 @@ struct RunResult {
   /// (all empty unless SimOptions::telemetry asked for them).
   TelemetryResult telemetry;
 
+  /// Per-request latency attribution (enabled == false, everything empty,
+  /// unless telemetry.attribution was on).
+  AttributionResult attribution;
+
   SimTime sim_end = 0;
   double wall_seconds = 0.0;
   /// Requests served before measurement started.

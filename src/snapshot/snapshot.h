@@ -136,7 +136,9 @@ class SnapshotReader {
 // Version 2: EventKind gained the overload kinds (queue_enqueue,
 // queue_timeout, bg_flush, throttle) before kPageRead, renumbering the
 // flash kinds, and sessions/results carry admission-queue + SLO state.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+// Version 3: EventKind gained kAttrSpan after kBlockRetire, and
+// sessions/results carry the latency-attribution section.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 
 /// Identity carried alongside the payload and validated before restore.
 struct SnapshotHeader {

@@ -34,15 +34,16 @@ bool Ftl::in_preexisting(Lpn lpn) const {
   return lpn >= it->first && lpn < it->second;
 }
 
-Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
+Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue, OpAttribution* attr) {
   const ScopedTimer timer(profiler_, Profiler::Section::kFtlRead);
+  if (attr != nullptr) *attr = OpAttribution{};  // unmapped path returns early
   const auto it = l2p_.find(lpn);
   if (it == l2p_.end()) {
     if (in_preexisting(lpn)) {
       // Pre-conditioned data: full flash-read timing from the plane the
       // page would statically live on, version 0.
       const auto plane = static_cast<std::uint32_t>(lpn % cfg_.total_planes());
-      const SimTime done = flash_read(plane, lpn, issue);
+      const SimTime done = flash_read(plane, lpn, issue, attr);
       return {done, 0, true};
     }
     // Reading a never-written page: served by the controller (zero-fill),
@@ -51,11 +52,13 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue) {
     return {issue + cfg_.cache_access_latency, 0, false};
   }
   const Ppn ppn = it->second;
-  const SimTime done = flash_read(amap_.plane_of(ppn), lpn, issue);
+  const SimTime done = flash_read(amap_.plane_of(ppn), lpn, issue, attr);
   return {done, version_of(lpn), true};
 }
 
-SimTime Ftl::flash_read(std::uint32_t plane, Lpn lpn, SimTime issue) {
+SimTime Ftl::flash_read(std::uint32_t plane, Lpn lpn, SimTime issue,
+                        OpAttribution* attr) {
+  if (attr != nullptr) *attr = OpAttribution{};
   const std::uint32_t chip = amap_.chip_global(plane);
   const std::uint32_t ch = amap_.channel_of_plane(plane);
   SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
@@ -64,6 +67,7 @@ SimTime Ftl::flash_read(std::uint32_t plane, Lpn lpn, SimTime issue) {
     // chip-level re-read before the data crosses the bus.
     const SimTime begin = cell_done;
     cell_done = chips_[chip].acquire(cell_done, cfg_.read_latency);
+    if (attr != nullptr) attr->fault = cell_done - begin;
     if (trace_ != nullptr) {
       trace_->emit({begin, cell_done - begin, lpn, 0, EventKind::kReadRetry,
                     static_cast<std::uint16_t>(chip),
@@ -163,20 +167,29 @@ void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
 }
 
 SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
-                              std::uint64_t version, SimTime issue) {
+                              std::uint64_t version, SimTime issue,
+                              OpAttribution* attr) {
   const ScopedTimer timer(profiler_, Profiler::Section::kFtlProgram);
-  maybe_collect(plane, issue);
-
   const std::uint32_t chip = amap_.chip_global(plane);
   const std::uint32_t ch = amap_.channel_of_plane(plane);
+  // GC runs entirely on the chip timeline (copyback + erase, no bus), so
+  // its latency cost to *this* program is exactly how far it pushed the
+  // chip's next-free point past where the bus transfer would have left
+  // the program waiting anyway.
+  const SimTime chip_free_before = chips_[chip].next_free();
+  maybe_collect(plane, issue);
+  const SimTime chip_free_after = chips_[chip].next_free();
+
   const SimTime bus_done =
       channels_[ch].acquire(issue, cfg_.page_transfer_time());
   SimTime t = bus_done;
+  SimTime first_attempt_done = 0;
   std::uint32_t attempt = 0;
   Ppn fresh = 0;
   for (;;) {
     fresh = array_.program(plane, lpn);
     t = chips_[chip].acquire(t, cfg_.program_latency);
+    if (attempt == 0) first_attempt_done = t;
     if (fault_ == nullptr || attempt >= fault_->plan().max_program_retries ||
         !fault_->inject_program_fault()) {
       break;
@@ -212,6 +225,15 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
     }
   }
   const SimTime done = t;
+  if (attr != nullptr) {
+    // gc: the pre-program GC's push of the chip past the bus handoff.
+    // fault: everything after the first program attempt completed —
+    // backoffs, retry programs (and any GC they trigger), degraded-plane
+    // penalty. Both are provably within [issue, done].
+    attr->gc = std::max(chip_free_after, bus_done) -
+               std::max(chip_free_before, bus_done);
+    attr->fault = done - first_attempt_done;
+  }
 
   const auto it = l2p_.find(lpn);
   if (it != l2p_.end()) {
@@ -314,8 +336,9 @@ void Ftl::register_metrics(MetricsRegistry& registry) const {
   });
 }
 
-SimTime Ftl::program_page(Lpn lpn, std::uint64_t version, SimTime issue) {
-  return program_to_plane(pick_write_plane(), lpn, version, issue);
+SimTime Ftl::program_page(Lpn lpn, std::uint64_t version, SimTime issue,
+                          OpAttribution* attr) {
+  return program_to_plane(pick_write_plane(), lpn, version, issue, attr);
 }
 
 void Ftl::audit(AuditReport& report) const {
@@ -363,9 +386,14 @@ void Ftl::audit(AuditReport& report) const {
 }
 
 SimTime Ftl::program_batch(std::span<const FlushPage> pages, SimTime issue,
-                           bool colocate) {
+                           bool colocate, OpAttribution* attr) {
   REQB_CHECK_MSG(!pages.empty(), "program_batch needs at least one page");
+  // Track the critical-path page: the batch's latency is its slowest
+  // page's, so the batch-level GC/fault attribution is that page's.
+  // Strict `>` keeps the first achiever on ties (deterministic).
   SimTime done = issue;
+  OpAttribution critical;
+  OpAttribution page_attr;
   if (colocate) {
     // Whole batch pinned to one channel; stripe its chips/planes so the
     // channel (not a single chip) is the congested resource.
@@ -389,15 +417,24 @@ SimTime Ftl::program_batch(std::span<const FlushPage> pages, SimTime issue,
         }
       }
       ++next;
-      done = std::max(done, program_to_plane(plane, p.lpn, p.version, issue));
+      const SimTime d =
+          program_to_plane(plane, p.lpn, p.version, issue, &page_attr);
+      if (d > done) {
+        done = d;
+        critical = page_attr;
+      }
     }
   } else {
     for (const auto& p : pages) {
-      done = std::max(done,
-                      program_to_plane(pick_write_plane(), p.lpn, p.version,
-                                       issue));
+      const SimTime d = program_to_plane(pick_write_plane(), p.lpn, p.version,
+                                         issue, &page_attr);
+      if (d > done) {
+        done = d;
+        critical = page_attr;
+      }
     }
   }
+  if (attr != nullptr) *attr = critical;
   return done;
 }
 

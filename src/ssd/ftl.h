@@ -21,6 +21,7 @@
 #include "ssd/config.h"
 #include "ssd/flash_array.h"
 #include "ssd/timeline.h"
+#include "telemetry/attribution.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/profiler.h"
 #include "telemetry/trace_buffer.h"
@@ -67,8 +68,10 @@ class Ftl {
   };
 
   /// Reads one logical page. Issue times must be non-decreasing across
-  /// calls (the simulator processes requests in arrival order).
-  ReadResult read_page(Lpn lpn, SimTime issue);
+  /// calls (the simulator processes requests in arrival order). When
+  /// `attr` is non-null it receives the GC/fault share of the service
+  /// interval (latency attribution); timing is identical either way.
+  ReadResult read_page(Lpn lpn, SimTime issue, OpAttribution* attr = nullptr);
 
   /// Declares [begin, end) as holding data written before the simulated
   /// trace started (device pre-conditioning). Reads of such pages are
@@ -86,11 +89,14 @@ class Ftl {
   ///    channel's chips/planes) — BPLRU whole-block flush semantics; the
   ///    paper §4.2.2: "flushing a block data onto a specific SSD channel
   ///    only delays I/O processing at the same channel".
-  /// Returns the completion time of the last page.
+  /// Returns the completion time of the last page. When `attr` is
+  /// non-null it receives the GC/fault share of the batch's critical-path
+  /// page (the one whose program completed last; ties keep the first).
   SimTime program_batch(std::span<const FlushPage> pages, SimTime issue,
-                        bool colocate = false);
+                        bool colocate = false, OpAttribution* attr = nullptr);
 
-  SimTime program_page(Lpn lpn, std::uint64_t version, SimTime issue);
+  SimTime program_page(Lpn lpn, std::uint64_t version, SimTime issue,
+                       OpAttribution* attr = nullptr);
 
   bool is_mapped(Lpn lpn) const { return l2p_.contains(lpn); }
   std::uint64_t version_of(Lpn lpn) const;
@@ -154,10 +160,12 @@ class Ftl {
   /// Channel a logical block is pinned to for colocated flushes.
   std::uint32_t colocate_channel(Lpn lpn) const;
   SimTime program_to_plane(std::uint32_t plane, Lpn lpn,
-                           std::uint64_t version, SimTime issue);
+                           std::uint64_t version, SimTime issue,
+                           OpAttribution* attr = nullptr);
   /// Full flash-read timing (chip sense, optional injected re-read, bus
   /// transfer) plus the kPageRead event.
-  SimTime flash_read(std::uint32_t plane, Lpn lpn, SimTime issue);
+  SimTime flash_read(std::uint32_t plane, Lpn lpn, SimTime issue,
+                     OpAttribution* attr = nullptr);
   /// Runs greedy GC on the plane until it is above the free threshold.
   void maybe_collect(std::uint32_t plane, SimTime t);
   /// Retires `block` instead of erasing it when the injector demands it

@@ -1,0 +1,160 @@
+// Per-request latency attribution.
+//
+// Every served request's end-to-end latency (completion - host arrival)
+// is decomposed into eight disjoint sim-time components along the
+// request's critical path:
+//
+//   queue_wait    admission wait in the bounded host queue
+//   throttle      GC-pressure write stretch injected before admission
+//   cache_lookup  DRAM access time of hits/inserts (cache_access_latency)
+//   evict_stall   synchronous eviction-flush time a miss waited out
+//   ftl_read      flash read service of read misses (sense + bus)
+//   ftl_program   flash program service of cache-bypass writes
+//   gc            extra wait because garbage collection held the chip
+//   fault_retry   injected-fault machinery: program retries/backoffs,
+//                 read re-senses, degraded-plane penalties, and the
+//                 power-loss recovery clamp on arrival
+//
+// The decomposition is exact by construction: the serve path tracks the
+// breakdown of whichever page operation achieved the running-max
+// completion (the critical path — ties keep the first achiever, so the
+// choice is deterministic), composite intervals subtract the known gc and
+// fault portions, and the remainder lands in the composite's own bucket.
+// The invariant `sum(components) == end-to-end latency` holds in integer
+// sim-ns for every request and is audited per request under
+// REQBLOCK_AUDIT=full.
+//
+// Aggregation is zero-allocation per request: one LogHistogram per
+// component (nonzero contributions only) plus a (response-time bucket x
+// component) matrix of summed sim-ns, sized once when attribution is
+// enabled. The matrix keys rows by the same LogHistogram bucket the
+// request's total latency is recorded into, so tail slices ("the slowest
+// decile/percentile") come from walking bucket rows top-down.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace reqblock {
+
+class SnapshotReader;
+class SnapshotWriter;
+
+enum class AttrComponent : std::uint8_t {
+  kQueueWait = 0,
+  kThrottle,
+  kCacheLookup,
+  kEvictStall,
+  kFtlRead,
+  kFtlProgram,
+  kGc,
+  kFaultRetry,
+};
+
+inline constexpr std::size_t kAttrComponents = 8;
+
+constexpr const char* to_string(AttrComponent c) {
+  switch (c) {
+    case AttrComponent::kQueueWait: return "queue_wait";
+    case AttrComponent::kThrottle: return "throttle";
+    case AttrComponent::kCacheLookup: return "cache_lookup";
+    case AttrComponent::kEvictStall: return "evict_stall";
+    case AttrComponent::kFtlRead: return "ftl_read";
+    case AttrComponent::kFtlProgram: return "ftl_program";
+    case AttrComponent::kGc: return "gc";
+    case AttrComponent::kFaultRetry: return "fault_retry";
+  }
+  return "?";
+}
+
+/// The portions of one FTL operation's service interval caused by garbage
+/// collection and by injected-fault machinery. The FTL guarantees
+/// gc + fault <= (completion - issue) for the operation that filled it,
+/// so callers can attribute the remainder to their own bucket without
+/// ever going negative.
+struct OpAttribution {
+  SimTime gc = 0;
+  SimTime fault = 0;
+};
+
+/// One request's component breakdown, filled along the serve path.
+struct RequestBreakdown {
+  std::array<SimTime, kAttrComponents> ns{};
+
+  SimTime& operator[](AttrComponent c) {
+    return ns[static_cast<std::size_t>(c)];
+  }
+  SimTime at(AttrComponent c) const {
+    return ns[static_cast<std::size_t>(c)];
+  }
+  SimTime sum() const {
+    SimTime s = 0;
+    for (const SimTime v : ns) s += v;
+    return s;
+  }
+};
+
+/// Aggregated attribution of one run. Value-typed (lives in RunResult);
+/// prepare() sizes the matrix once, record() touches only preallocated
+/// rows.
+struct AttributionResult {
+  bool enabled = false;
+  /// Breakdowns recorded (== served measured requests).
+  std::uint64_t requests = 0;
+  /// Summed end-to-end latency of all recorded requests.
+  std::uint64_t total_ns = 0;
+  /// Per-component summed sim-ns across all recorded requests.
+  std::array<std::uint64_t, kAttrComponents> component_ns{};
+  /// Distribution of each component's *nonzero* contributions.
+  std::array<LogHistogram, kAttrComponents> component_hist;
+  /// Requests per response-time bucket (LogHistogram::bucket_index of the
+  /// request's total latency).
+  std::vector<std::uint64_t> bucket_requests;
+  /// Per-bucket, per-component summed sim-ns;
+  /// layout bucket * kAttrComponents + component.
+  std::vector<std::uint64_t> bucket_component_ns;
+
+  /// Sizes the matrix (idempotent) and marks attribution enabled.
+  void prepare();
+  /// Folds one request's breakdown in. `total` is its end-to-end latency;
+  /// callers audit total == bd.sum() (exactness) before recording.
+  void record(const RequestBreakdown& bd, SimTime total);
+  /// Drops all recorded data, keeping `enabled` (warmup reset).
+  void clear();
+
+  /// Internal consistency: matrix row sums against the totals. Used by
+  /// the session's full audit and the test suite.
+  bool consistent() const;
+
+  /// Snapshot section: writes/reads the enabled flag and, when enabled,
+  /// the full aggregation state (byte-stable).
+  void serialize(SnapshotWriter& w) const;
+  void deserialize(SnapshotReader& r);
+};
+
+/// One tail slice of a run: the slowest `fraction` of requests, at bucket
+/// resolution (the slice boundary snaps to a whole response-time bucket,
+/// covering at least ceil(fraction * requests) requests when possible).
+struct TailSlice {
+  double fraction = 0.0;        // requested share of slowest requests
+  std::uint64_t requests = 0;   // requests actually covered
+  SimTime threshold_ns = 0;     // representative latency floor of the slice
+  std::uint64_t total_ns = 0;   // summed latency inside the slice
+  std::array<std::uint64_t, kAttrComponents> component_ns{};
+};
+
+/// Extracts the slowest-`fraction` slice by walking the bucket matrix
+/// from the top. fraction in (0, 1]; an empty run yields an empty slice.
+TailSlice tail_slice(const AttributionResult& a, double fraction);
+
+/// Component indices of `slice` sorted by descending contribution (ties
+/// break toward the lower component index, so the order is stable).
+std::array<std::size_t, kAttrComponents> rank_components(
+    const TailSlice& slice);
+
+}  // namespace reqblock

@@ -22,6 +22,8 @@
 //                  kThrottle: arg unused (dur = injected delay)
 //                  kProgramRetry: attempt number, kEraseFault/kBlockRetire:
 //                  block index
+//                  kAttrSpan: track = AttrComponent index, arg = measured
+//                  request index, dur = component's share of the latency
 #pragma once
 
 #include <cstdint>
@@ -62,11 +64,17 @@ enum class EventKind : std::uint8_t {
   kReadRetry,
   kEraseFault,
   kBlockRetire,
+  // Latency attribution: one span per nonzero component of a served
+  // request's breakdown, tiling [host arrival, completion].
+  kAttrSpan,
 };
 
 enum class EventCategory : std::uint8_t { kCache = 1, kFlash = 2 };
 
 constexpr EventCategory category_of(EventKind k) {
+  // kAttrSpan describes the host-visible request, so it gates and samples
+  // with the cache category despite sitting after the flash kinds.
+  if (k == EventKind::kAttrSpan) return EventCategory::kCache;
   return k >= EventKind::kPageRead ? EventCategory::kFlash
                                    : EventCategory::kCache;
 }
@@ -98,16 +106,21 @@ constexpr const char* to_string(EventKind k) {
     case EventKind::kReadRetry: return "read_retry";
     case EventKind::kEraseFault: return "erase_fault";
     case EventKind::kBlockRetire: return "block_retire";
+    case EventKind::kAttrSpan: return "attr_span";
   }
   return "?";
 }
 
-/// Cache-event track ids (Chrome export: one lane per list).
+/// Cache-event track ids (Chrome export: one lane per list). kTrackHost
+/// carries the host-side admission events (queue enqueue/timeout,
+/// throttle) so they get their own lane instead of piling onto the
+/// manager's.
 enum CacheTrack : std::uint16_t {
   kTrackManager = 0,
   kTrackIrl = 1,
   kTrackSrl = 2,
   kTrackDrl = 3,
+  kTrackHost = 4,
 };
 
 struct TraceEvent {

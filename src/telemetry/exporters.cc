@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "telemetry/attribution.h"
 #include "util/strings.h"
 
 namespace reqblock {
@@ -18,9 +19,10 @@ constexpr const char* to_string(EventCategory c) {
 constexpr int kPidCache = 1;
 constexpr int kPidChips = 2;
 constexpr int kPidChannels = 3;
+constexpr int kPidAttr = 4;
 
-constexpr std::array<const char*, 4> kCacheTrackNames = {
-    "manager", "IRL", "SRL", "DRL"};
+constexpr std::array<const char*, 5> kCacheTrackNames = {
+    "manager", "IRL", "SRL", "DRL", "host"};
 
 /// Microsecond timestamp with sub-ns kept as decimals (trace_event "ts").
 std::string us(SimTime ns) {
@@ -71,9 +73,11 @@ void write_chrome_trace(std::ostream& os,
                         std::span<const TraceEvent> events) {
   // Collect the tracks that actually carry events so the metadata block
   // names exactly the lanes Perfetto will show.
-  std::set<std::uint16_t> cache_tracks, chips, channels;
+  std::set<std::uint16_t> cache_tracks, chips, channels, attr_tracks;
   for (const TraceEvent& e : events) {
-    if (category_of(e.kind) == EventCategory::kCache) {
+    if (e.kind == EventKind::kAttrSpan) {
+      attr_tracks.insert(e.track);
+    } else if (category_of(e.kind) == EventCategory::kCache) {
       cache_tracks.insert(e.track);
     } else {
       chips.insert(e.track);
@@ -109,8 +113,24 @@ void write_chrome_trace(std::ostream& os,
                  "channel " + std::to_string(t), first);
     }
   }
+  if (!attr_tracks.empty()) {
+    write_meta(os, kPidAttr, -1, "process_name", "request attribution",
+               first);
+    for (const auto t : attr_tracks) {
+      const char* name = t < kAttrComponents
+                             ? to_string(static_cast<AttrComponent>(t))
+                             : "component";
+      write_meta(os, kPidAttr, t, "thread_name", name, first);
+    }
+  }
 
   for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kAttrSpan) {
+      // One lane per latency component; a served request's spans tile
+      // [host arrival, completion] across the lanes.
+      write_slice(os, e, kPidAttr, e.track, first);
+      continue;
+    }
     if (category_of(e.kind) == EventCategory::kCache) {
       write_slice(os, e, kPidCache, e.track, first);
       continue;

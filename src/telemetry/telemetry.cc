@@ -17,6 +17,7 @@ void TelemetryOptions::apply_cli(const ArgParser& args) {
         args.get_double_or("snapshot-every-ms", 0.0) * kMillisecond);
   }
   if (args.has("profile")) profile = true;
+  if (args.has("attribution")) attribution = true;
 }
 
 }  // namespace reqblock

@@ -33,6 +33,11 @@ struct TelemetryOptions {
   SimTime snapshot_every_ns = 0;
   /// Collect the wall-clock self-profile.
   bool profile = false;
+  /// Per-request latency attribution: component histograms, the response
+  /// bucket x component matrix behind tail root-cause reports, and (when
+  /// the trace is on) kAttrSpan events for Chrome-trace span lanes. Off by
+  /// default; runs without it are bit-identical to earlier builds.
+  bool attribution = false;
 
   bool snapshots_enabled() const {
     return snapshot_every_requests > 0 || snapshot_every_ns > 0;
@@ -44,7 +49,8 @@ struct TelemetryOptions {
 
   /// Reads the standard CLI flags: --trace LEVEL, --trace-buffer EVENTS,
   /// --trace-sample N, --snapshot-every REQS, --snapshot-every-ms MS,
-  /// --profile. Flags the parser does not carry keep their current value.
+  /// --profile, --attribution. Flags the parser does not carry keep their
+  /// current value.
   void apply_cli(const ArgParser& args);
 };
 

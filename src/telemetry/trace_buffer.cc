@@ -119,7 +119,7 @@ void TraceBuffer::deserialize(SnapshotReader& r) {
     e.lpn = r.u64();
     e.arg = r.u64();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(EventKind::kBlockRetire)) {
+    if (kind > static_cast<std::uint8_t>(EventKind::kAttrSpan)) {
       throw SnapshotError("trace-buffer snapshot has an unknown event kind");
     }
     e.kind = static_cast<EventKind>(kind);

@@ -16,6 +16,17 @@ constexpr std::size_t kMaxBuckets = 64 * kSubBuckets + 1;
 
 LogHistogram::LogHistogram() : buckets_(kMaxBuckets, 0) {}
 
+std::size_t LogHistogram::bucket_count() { return kMaxBuckets; }
+
+std::size_t LogHistogram::bucket_index(std::int64_t v) {
+  if (v < 0) v = 0;
+  return std::min(bucket_for(v), kMaxBuckets - 1);
+}
+
+std::int64_t LogHistogram::bucket_value(std::size_t b) {
+  return bucket_mid(std::min(b, kMaxBuckets - 1));
+}
+
 std::size_t LogHistogram::bucket_for(std::int64_t v) {
   REQB_DCHECK(v >= 0);
   const auto u = static_cast<std::uint64_t>(v);

@@ -34,6 +34,15 @@ class LogHistogram {
   std::int64_t p99() const { return quantile(0.99); }
   std::int64_t p999() const { return quantile(0.999); }
 
+  /// Bucket layout, exposed so side tables can be keyed by the same
+  /// buckets a recorded value lands in (e.g. the latency-attribution
+  /// matrix keys per-component sums by response-time bucket).
+  static std::size_t bucket_count();
+  /// Index of the bucket `v` would be recorded into (negatives clamp to 0).
+  static std::size_t bucket_index(std::int64_t v);
+  /// Representative (midpoint) value of bucket `b`.
+  static std::int64_t bucket_value(std::size_t b);
+
   // --- Checkpoint support (snapshot/) ----------------------------------
   const std::vector<std::uint64_t>& raw_buckets() const { return buckets_; }
   double raw_sum() const { return sum_; }

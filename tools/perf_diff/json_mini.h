@@ -1,0 +1,206 @@
+// Minimal recursive-descent JSON reader (objects, arrays, strings,
+// numbers, true/false/null) — the grammar CI's `python3 -m json.tool`
+// check accepts, kept dependency-free on purpose. Shared between
+// perf_diff (ledger validation/comparison) and the test suite (strict
+// parsing of the exported Chrome trace).
+//
+// Number lexemes are retained verbatim in `text` so 64-bit fingerprints
+// compare exactly instead of through a lossy double.
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsonmini {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  // string value, or the raw lexeme for numbers
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input as one JSON value; throws std::runtime_error
+  /// (with a byte offset) on any syntax error or trailing garbage.
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* w) {
+    const std::size_t n = std::string(w).size();
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') return object_value();
+    if (c == '[') return array_value();
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.text = string_value();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    return number_value();
+  }
+
+  JsonValue object_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Neither the ledger nor the trace exporter emits \u escapes;
+            // accept and keep them verbatim.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          default: fail("bad escape character");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  JsonValue number_value() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a JSON value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.text = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v.number = std::strtod(v.text.c_str(), &end);
+    if (end != v.text.c_str() + v.text.size()) fail("malformed number");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace jsonmini
