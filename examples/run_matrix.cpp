@@ -39,6 +39,11 @@ int main(int argc, char** argv) try {
                  " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
                  "burst arrivals: [--burst-len N] [--burst-period N]"
                  " [--burst-factor X] [--burst-idle X]\n"
+                 "tenants: [--tenants N] [--arbiter rr|wrr|drr]"
+                 " [--drr-quantum PAGES] [--tenant-weights W,..]"
+                 " [--tenant-rates R,..] [--tenant-burst-len N,..]"
+                 " [--tenant-burst-period N,..] [--tenant-burst-factor X,..]"
+                 " [--tenant-csv FILE]\n"
                  "profiles: hm_1 lun_1 usr_0 src1_2 ts_0 proj_0\n"
                  "policies: lru fifo lfu cflru fab bplru vbbms reqblock\n";
     return 0;
@@ -75,6 +80,7 @@ int main(int argc, char** argv) try {
         static_cast<std::uint32_t>(args.get_u64_strict("delta", 5)));
     c.options.fault.apply_cli(args);
     c.options.overload.apply_cli(args);
+    c.options.tenants.apply_cli(args);
     c.label = policy;
     cases.push_back(std::move(c));
   }
@@ -95,7 +101,14 @@ int main(int argc, char** argv) try {
   results_table(results).print(std::cout);
   for (const auto& r : results) write_fault_summary(std::cout, r);
   for (const auto& r : results) write_overload_summary(std::cout, r);
+  for (const auto& r : results) write_tenant_summary(std::cout, r);
 
+  if (const auto csv_path = args.get("tenant-csv")) {
+    std::ostringstream csv;
+    write_tenant_csv(csv, results);
+    write_file_atomic(*csv_path, csv.str());
+    std::cout << "\nWrote per-tenant CSV to " << *csv_path << "\n";
+  }
   if (const auto csv_path = args.get("csv")) {
     std::ostringstream csv;
     write_results_csv(csv, results);

@@ -79,6 +79,15 @@ int main(int argc, char** argv) try {
                  "overload: [--queue-depth N] [--deadline-us US]"
                  " [--queue-retries N] [--queue-backoff-us US]"
                  " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
+                 "tenants (synthetic only): [--tenants N]"
+                 " [--arbiter rr|wrr|drr] [--drr-quantum PAGES]"
+                 " [--tenant-weights W,..] [--tenant-rates R,..]"
+                 " [--tenant-burst-len N,..] [--tenant-burst-period N,..]"
+                 " [--tenant-burst-factor X,..] [--tenant-csv FILE]\n"
+                 "telemetry: [--telemetry-trace LEVEL]"
+                 " [--telemetry-trace-buffer N] [--telemetry-trace-sample N]"
+                 " [--telemetry-snapshot-every N] [--telemetry-profile]"
+                 " [--attribution]\n"
                  "burst arrivals (synthetic only): [--burst-len N]"
                  " [--burst-period N] [--burst-factor X] [--burst-idle X]\n"
                  "checkpointing: [--checkpoint-dir DIR]"
@@ -110,9 +119,17 @@ int main(int argc, char** argv) try {
   if (args.has("occupancy")) options.occupancy_log_interval = 10000;
   options.fault.apply_cli(args);
   options.overload.apply_cli(args);
-  // Only the attribution switch from the telemetry CLI: trace_replay's
-  // --trace and --profile already mean "MSR file" and "workload name".
-  if (args.has("attribution")) options.telemetry.attribution = true;
+  // Telemetry flags ride behind a "telemetry-" namespace: trace_replay's
+  // own --trace and --profile already mean "MSR file" and "workload name".
+  options.telemetry.apply_cli(args, "telemetry-");
+  options.tenants.apply_cli(args);
+  if (options.tenants.enabled() &&
+      (args.has("trace") || args.has("spc"))) {
+    std::cerr << "trace_replay: --tenants needs a synthetic --profile; "
+                 "file-backed traces cannot be split into per-tenant "
+                 "streams\n";
+    return 1;
+  }
 
   CheckpointOptions ckpt;
   ckpt.dir = args.get_or("checkpoint-dir", "");
@@ -128,7 +145,14 @@ int main(int argc, char** argv) try {
 
   RunResult result;
   if (!ckpt.dir.empty() || !resume_from.empty()) {
-    result = run_with_checkpoints(options, *trace, ckpt, resume_from);
+    if (options.tenants.enabled()) {
+      const auto* synth = dynamic_cast<const SyntheticTraceSource*>(&*trace);
+      auto streams = make_tenant_streams(synth->profile(), options.tenants);
+      result = run_with_checkpoints(options, streams.sources, ckpt,
+                                    resume_from);
+    } else {
+      result = run_with_checkpoints(options, *trace, ckpt, resume_from);
+    }
   } else {
     Simulator sim(options);
     result = sim.run(*trace);
@@ -137,6 +161,13 @@ int main(int argc, char** argv) try {
   results_table({result}).print(std::cout);
   write_fault_summary(std::cout, result);
   write_overload_summary(std::cout, result);
+  write_tenant_summary(std::cout, result);
+  if (const auto csv_path = args.get("tenant-csv")) {
+    std::ostringstream csv;
+    write_tenant_csv(csv, {result});
+    write_file_atomic(*csv_path, csv.str());
+    std::cout << "\nWrote per-tenant CSV to " << *csv_path << "\n";
+  }
   write_tail_attribution(std::cout, {result});
   if (const auto csv_path = args.get("attribution-csv")) {
     std::ostringstream csv;

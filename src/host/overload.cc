@@ -130,7 +130,7 @@ HostAdmissionQueue::Admission HostAdmissionQueue::admit(SimTime arrival) {
     ++metrics_.admitted;
     if (trace_ != nullptr) {
       trace_->emit({arrival, 0, 0, slots_.size() + 1,
-                    EventKind::kQueueEnqueue, kTrackHost, 0});
+                    EventKind::kQueueEnqueue, kTrackHost, tenant_});
     }
     return adm;
   }
@@ -154,14 +154,14 @@ HostAdmissionQueue::Admission HostAdmissionQueue::admit(SimTime arrival) {
       metrics_.queue_wait_total += adm.wait;
       if (trace_ != nullptr) {
         trace_->emit({arrival, adm.wait, 0, slots_.size() + 1,
-                      EventKind::kQueueEnqueue, kTrackHost, 0});
+                      EventKind::kQueueEnqueue, kTrackHost, tenant_});
       }
       return adm;
     }
     ++metrics_.timeouts;
     if (trace_ != nullptr) {
       trace_->emit({attempt, wait - options_.deadline_ns, 0, rounds,
-                    EventKind::kQueueTimeout, kTrackHost, 0});
+                    EventKind::kQueueTimeout, kTrackHost, tenant_});
     }
     if (options_.timeout_action != TimeoutAction::kRetry ||
         rounds >= options_.max_retries) {
@@ -203,7 +203,8 @@ void HostAdmissionQueue::note_throttle(SimTime at, SimTime delay) {
   ++metrics_.throttle_events;
   metrics_.throttle_delay_total += delay;
   if (trace_ != nullptr) {
-    trace_->emit({at, delay, 0, 0, EventKind::kThrottle, kTrackHost, 0});
+    trace_->emit(
+        {at, delay, 0, 0, EventKind::kThrottle, kTrackHost, tenant_});
   }
 }
 

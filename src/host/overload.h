@@ -162,6 +162,10 @@ class HostAdmissionQueue {
   /// (overload events ride the cache lane), mirroring CacheManager.
   void set_trace(TraceBuffer* trace);
 
+  /// Tenant id stamped into this queue's events (TraceEvent::channel).
+  /// Defaults to 0, so single-tenant runs emit the historical bytes.
+  void set_tenant(std::uint16_t tenant) { tenant_ = tenant; }
+
   /// Checkpoint: metrics plus the in-flight completion times in sorted
   /// order (equal multiset => equal bytes, and the min-heap pop order
   /// depends only on values, so a restored queue behaves identically).
@@ -175,6 +179,7 @@ class HostAdmissionQueue {
   std::vector<SimTime> slots_;  // min-heap of in-flight completion times
   OverloadMetrics metrics_;
   TraceBuffer* trace_ = nullptr;  // non-null only when cache events are on
+  std::uint16_t tenant_ = 0;      // stamped into emitted events' channel
 };
 
 }  // namespace reqblock

@@ -1,0 +1,195 @@
+#include "host/tenant.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "snapshot/snapshot.h"
+#include "trace/synthetic.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+namespace reqblock {
+
+namespace {
+
+/// Grows `specs` to cover index `i` (new entries default-constructed).
+TenantSpec& spec_at(std::vector<TenantSpec>& specs, std::size_t i) {
+  if (specs.size() <= i) specs.resize(i + 1);
+  return specs[i];
+}
+
+/// Applies one comma-separated per-tenant list: `set` is called with
+/// (spec, field text) for each present entry. Throws on lists longer than
+/// the tenant count so a typo'd spec never silently drops.
+template <typename Setter>
+void apply_list(const ArgParser& args, const std::string& flag,
+                std::uint32_t count, std::vector<TenantSpec>& specs,
+                Setter set) {
+  const auto value = args.get(flag);
+  if (!value) return;
+  const auto fields = split(*value, ',');
+  if (fields.size() > count) {
+    throw std::invalid_argument("--" + flag + " lists " +
+                                std::to_string(fields.size()) +
+                                " tenants but --tenants is " +
+                                std::to_string(count));
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    set(spec_at(specs, i), flag, fields[i]);
+  }
+}
+
+std::uint64_t parse_u64_field(const std::string& flag, std::string_view text) {
+  const auto v = parse_u64(trim(text));
+  if (!v) {
+    throw std::invalid_argument("--" + flag + ": '" + std::string(text) +
+                                "' is not an unsigned integer");
+  }
+  return *v;
+}
+
+double parse_double_field(const std::string& flag, std::string_view text) {
+  const auto v = parse_double(trim(text));
+  if (!v) {
+    throw std::invalid_argument("--" + flag + ": '" + std::string(text) +
+                                "' is not a number");
+  }
+  return *v;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> TenantOptions::weights() const {
+  std::vector<std::uint32_t> w;
+  w.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) w.push_back(spec(i).weight);
+  return w;
+}
+
+void TenantOptions::validate() const {
+  if (count == 0) {
+    throw std::invalid_argument("tenant count must be >= 1");
+  }
+  if (specs.size() > count) {
+    throw std::invalid_argument(
+        "more tenant specs (" + std::to_string(specs.size()) +
+        ") than tenants (" + std::to_string(count) + ")");
+  }
+  if (drr_quantum_pages == 0) {
+    throw std::invalid_argument("DRR quantum must be >= 1 page");
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TenantSpec& s = specs[i];
+    const std::string who = "tenant " + std::to_string(i);
+    if (s.weight == 0) {
+      throw std::invalid_argument(who + ": weight must be >= 1");
+    }
+    if (s.rate <= 0.0) {
+      throw std::invalid_argument(who + ": rate multiplier must be > 0");
+    }
+    if ((s.burst_period == 0) != (s.burst_len == 0)) {
+      throw std::invalid_argument(
+          who + ": burst length and period must be set together");
+    }
+    if (s.burst_period > 0 && s.burst_len > s.burst_period) {
+      throw std::invalid_argument(who + ": burst length exceeds the period");
+    }
+    if (s.burst_period > 0 && s.burst_factor <= 0.0) {
+      throw std::invalid_argument(who + ": burst factor must be > 0");
+    }
+  }
+}
+
+void TenantOptions::apply_cli(const ArgParser& args) {
+  count = static_cast<std::uint32_t>(args.get_u64_strict("tenants", count));
+  if (const auto v = args.get("arbiter")) arbiter = parse_arbiter_kind(*v);
+  drr_quantum_pages = static_cast<std::uint32_t>(
+      args.get_u64_strict("drr-quantum", drr_quantum_pages));
+  apply_list(args, "tenant-weights", count, specs,
+             [](TenantSpec& s, const std::string& flag, std::string_view t) {
+               s.weight =
+                   static_cast<std::uint32_t>(parse_u64_field(flag, t));
+             });
+  apply_list(args, "tenant-rates", count, specs,
+             [](TenantSpec& s, const std::string& flag, std::string_view t) {
+               s.rate = parse_double_field(flag, t);
+             });
+  apply_list(args, "tenant-burst-len", count, specs,
+             [](TenantSpec& s, const std::string& flag, std::string_view t) {
+               s.burst_len = parse_u64_field(flag, t);
+             });
+  apply_list(args, "tenant-burst-period", count, specs,
+             [](TenantSpec& s, const std::string& flag, std::string_view t) {
+               s.burst_period = parse_u64_field(flag, t);
+             });
+  apply_list(args, "tenant-burst-factor", count, specs,
+             [](TenantSpec& s, const std::string& flag, std::string_view t) {
+               s.burst_factor = parse_double_field(flag, t);
+             });
+  validate();
+}
+
+void TenantResult::serialize(SnapshotWriter& w) const {
+  w.tag("tenant_result");
+  w.str(name);
+  w.u64(requests);
+  w.u64(read_requests);
+  w.u64(write_requests);
+  reqblock::serialize(w, response);
+  reqblock::serialize(w, queue_wait);
+  overload.serialize(w);
+  w.u64(attr_requests);
+  for (const std::uint64_t v : attr_ns) w.u64(v);
+}
+
+void TenantResult::deserialize(SnapshotReader& r) {
+  r.tag("tenant_result");
+  name = r.str();
+  requests = r.u64();
+  read_requests = r.u64();
+  write_requests = r.u64();
+  reqblock::deserialize(r, response);
+  reqblock::deserialize(r, queue_wait);
+  overload.deserialize(r);
+  attr_requests = r.u64();
+  for (std::uint64_t& v : attr_ns) v = r.u64();
+}
+
+std::vector<WorkloadProfile> derive_tenant_profiles(
+    const WorkloadProfile& base, const TenantOptions& tenants) {
+  tenants.validate();
+  std::vector<WorkloadProfile> profiles;
+  profiles.reserve(tenants.count);
+  for (std::uint32_t i = 0; i < tenants.count; ++i) {
+    const TenantSpec s = tenants.spec(i);
+    WorkloadProfile p = base;
+    p.name = base.name + "#t" + std::to_string(i);
+    // Tenant 0 keeps the base seed so its solo run replays the identical
+    // stream; later tenants decorrelate via a fixed odd stride.
+    if (i > 0) p.seed = base.seed + 0x9E3779B1ull * i;
+    if (s.rate != 1.0) {
+      const double gap = static_cast<double>(p.mean_interarrival_ns) / s.rate;
+      p.mean_interarrival_ns = gap < 1.0 ? 1 : static_cast<SimTime>(gap);
+    }
+    if (s.burst_period > 0) {
+      p.burst_arrival_len = s.burst_len;
+      p.burst_arrival_period = s.burst_period;
+      p.burst_arrival_factor = s.burst_factor;
+    }
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+TenantStreams make_tenant_streams(const WorkloadProfile& base,
+                                  const TenantOptions& tenants) {
+  TenantStreams streams;
+  for (WorkloadProfile& p : derive_tenant_profiles(base, tenants)) {
+    streams.owned.push_back(
+        std::make_unique<SyntheticTraceSource>(std::move(p)));
+    streams.sources.push_back(streams.owned.back().get());
+  }
+  return streams;
+}
+
+}  // namespace reqblock

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -92,10 +93,12 @@ std::string find_latest_checkpoint(const std::string& dir,
   return all.empty() ? std::string() : all.back().second;
 }
 
-RunResult run_with_checkpoints(const SimOptions& options, TraceSource& trace,
-                               const CheckpointOptions& ckpt,
-                               const std::string& resume_from) {
-  SimulationSession session(options, trace);
+namespace {
+
+/// Shared checkpointed replay loop of an already-constructed session.
+RunResult run_session_with_checkpoints(SimulationSession& session,
+                                       const CheckpointOptions& ckpt,
+                                       const std::string& resume_from) {
   if (!resume_from.empty()) restore_session_checkpoint(session, resume_from);
   const bool periodic = !ckpt.dir.empty() && ckpt.every_n_requests != 0;
   std::uint64_t next_ckpt = 0;
@@ -110,6 +113,23 @@ RunResult run_with_checkpoints(const SimOptions& options, TraceSource& trace,
     }
   }
   return session.finish();
+}
+
+}  // namespace
+
+RunResult run_with_checkpoints(const SimOptions& options, TraceSource& trace,
+                               const CheckpointOptions& ckpt,
+                               const std::string& resume_from) {
+  SimulationSession session(options, trace);
+  return run_session_with_checkpoints(session, ckpt, resume_from);
+}
+
+RunResult run_with_checkpoints(const SimOptions& options,
+                               const std::vector<TraceSource*>& tenant_traces,
+                               const CheckpointOptions& ckpt,
+                               const std::string& resume_from) {
+  SimulationSession session(options, tenant_traces);
+  return run_session_with_checkpoints(session, ckpt, resume_from);
 }
 
 // --- RunResult storage -----------------------------------------------------
@@ -167,6 +187,9 @@ void serialize_run_result(SnapshotWriter& w, const RunResult& res) {
   w.f64(res.channel_utilization);
   w.f64(res.chip_utilization);
   res.attribution.serialize(w);
+  w.tag("tenants");
+  w.u64(res.tenants.size());
+  for (const TenantResult& tr : res.tenants) tr.serialize(w);
 }
 
 void deserialize_run_result(SnapshotReader& r, RunResult& res) {
@@ -238,6 +261,15 @@ void deserialize_run_result(SnapshotReader& r, RunResult& res) {
   res.channel_utilization = r.f64();
   res.chip_utilization = r.f64();
   res.attribution.deserialize(r);
+  r.tag("tenants");
+  const std::uint64_t tenant_count = r.count(16);
+  res.tenants.clear();
+  res.tenants.reserve(tenant_count);
+  for (std::uint64_t i = 0; i < tenant_count; ++i) {
+    TenantResult tr;
+    tr.deserialize(r);
+    res.tenants.push_back(std::move(tr));
+  }
 }
 
 void save_run_result(const RunResult& result, const std::string& path,
@@ -370,8 +402,19 @@ std::vector<RunResult> run_cases_resumable(
     const std::string stem = "case_" + std::to_string(i);
     const std::string result_path =
         (fs::path(ckpt.dir) / (stem + ".result")).string();
+    // Multi-tenant cases replay one derived stream per tenant; the bundle
+    // must outlive the session (which holds non-owning pointers).
     SyntheticTraceSource trace(c.profile);
-    SimulationSession session(c.options, trace);
+    TenantStreams streams;
+    std::unique_ptr<SimulationSession> owned_session;
+    if (c.options.tenants.enabled()) {
+      streams = make_tenant_streams(c.profile, c.options.tenants);
+      owned_session =
+          std::make_unique<SimulationSession>(c.options, streams.sources);
+    } else {
+      owned_session = std::make_unique<SimulationSession>(c.options, trace);
+    }
+    SimulationSession& session = *owned_session;
     if (done.contains(i)) {
       results[i] = load_run_result(result_path, session.config_hash(),
                                    session.trace_hash());

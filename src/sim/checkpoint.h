@@ -70,6 +70,13 @@ RunResult run_with_checkpoints(const SimOptions& options, TraceSource& trace,
                                const CheckpointOptions& ckpt,
                                const std::string& resume_from = "");
 
+/// Multi-queue variant: one trace source per tenant (must match
+/// options.tenants.count; see SimulationSession's multi-trace ctor).
+RunResult run_with_checkpoints(const SimOptions& options,
+                               const std::vector<TraceSource*>& tenant_traces,
+                               const CheckpointOptions& ckpt,
+                               const std::string& resume_from = "");
+
 /// Serialization of a finished RunResult (wall_seconds and the
 /// self-profile included — a stored result reproduces everything the
 /// report layer prints).

@@ -281,6 +281,54 @@ void write_tail_attribution_csv(std::ostream& os,
   }
 }
 
+void write_tenant_summary(std::ostream& os, const RunResult& r) {
+  if (r.tenants.empty()) return;
+  os << "Tenants (" << r.trace_name << " / " << r.policy_name << ")\n";
+  const auto ms = [](SimTime ns) {
+    return format_double(static_cast<double>(ns) / kMillisecond, 3) + "ms";
+  };
+  TextTable t({"tenant", "requests", "admitted", "sheds", "q-wait p50",
+               "q-wait p99", "resp mean", "resp p99"});
+  for (const TenantResult& tn : r.tenants) {
+    t.add_row({tn.name, std::to_string(tn.requests),
+               std::to_string(tn.overload.admitted),
+               std::to_string(tn.overload.sheds), ms(tn.queue_wait.p50()),
+               ms(tn.queue_wait.p99()),
+               format_double(tn.response.mean() / kMillisecond, 3) + "ms",
+               ms(tn.response.p99())});
+  }
+  t.print(os);
+}
+
+void write_tenant_csv(std::ostream& os,
+                      const std::vector<RunResult>& results) {
+  os << "trace,policy,tenant,requests,read_requests,write_requests,"
+        "admitted,queued_waits,timeouts,sheds,retries,"
+        "queue_wait_total_ns,queue_p50_ns,queue_p95_ns,queue_p99_ns,"
+        "queue_p999_ns,resp_mean_ns,resp_p50_ns,resp_p99_ns,resp_p999_ns,"
+        "attr_requests";
+  for (std::size_t c = 0; c < kAttrComponents; ++c) {
+    os << ",attr_" << to_string(static_cast<AttrComponent>(c)) << "_ns";
+  }
+  os << '\n';
+  for (const auto& r : results) {
+    for (const TenantResult& tn : r.tenants) {
+      os << r.trace_name << ',' << r.policy_name << ',' << tn.name << ','
+         << tn.requests << ',' << tn.read_requests << ','
+         << tn.write_requests << ',' << tn.overload.admitted << ','
+         << tn.overload.queued_waits << ',' << tn.overload.timeouts << ','
+         << tn.overload.sheds << ',' << tn.overload.retries << ','
+         << tn.overload.queue_wait_total << ',' << tn.queue_wait.p50() << ','
+         << tn.queue_wait.p95() << ',' << tn.queue_wait.p99() << ','
+         << tn.queue_wait.p999() << ',' << format_double(tn.response.mean(), 1)
+         << ',' << tn.response.p50() << ',' << tn.response.p99() << ','
+         << tn.response.p999() << ',' << tn.attr_requests;
+      for (const std::uint64_t comp : tn.attr_ns) os << ',' << comp;
+      os << '\n';
+    }
+  }
+}
+
 TextTable results_table(const std::vector<RunResult>& results) {
   TextTable t({"trace", "policy", "cache", "hit", "mean", "p99",
                "flash-writes", "WAF", "pages/evict", "metadata"});

@@ -53,6 +53,18 @@ void write_self_profile(std::ostream& os, const RunResult& r);
 /// min, and max over the run. Prints nothing when no snapshots were taken.
 void write_snapshot_summary(std::ostream& os, const RunResult& r);
 
+/// Per-tenant slice of one multi-tenant run: request counts, admission /
+/// shed totals, queue-wait and response percentiles. Prints nothing for
+/// single-tenant runs (RunResult::tenants empty).
+void write_tenant_summary(std::ostream& os, const RunResult& r);
+
+/// Machine-readable per-tenant export: one CSV row per (run, tenant) with
+/// integer-ns percentiles and per-component attribution totals. Rows
+/// appear only for multi-tenant runs, so single-tenant exports are empty
+/// beyond the header.
+void write_tenant_csv(std::ostream& os,
+                      const std::vector<RunResult>& results);
+
 /// Tail root-cause report: for each run with latency attribution enabled,
 /// splits the slowest decile (p90+) and slowest percentile (p99+) of
 /// requests into their component time, ranked by contribution. Answers

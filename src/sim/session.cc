@@ -1,6 +1,7 @@
 #include "sim/session.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "core/req_block_policy.h"
@@ -84,11 +85,45 @@ std::uint64_t config_fingerprint(const SimOptions& o) {
   fp.add_i64(t.snapshot_every_ns);
   fp.add_bool(t.profile);
   fp.add_bool(t.attribution);
+  // The multi-queue block folds in only when a second tenant exists:
+  // historical single-stream fingerprints (and the stored results keyed
+  // by them) stay valid, while any multi-tenant knob change refuses a
+  // mismatched restore.
+  const TenantOptions& tn = o.tenants;
+  if (tn.enabled()) {
+    fp.add_string("tenants");
+    fp.add(tn.count);
+    fp.add(static_cast<std::uint64_t>(tn.arbiter));
+    fp.add(tn.drr_quantum_pages);
+    for (std::uint32_t i = 0; i < tn.count; ++i) {
+      const TenantSpec spec = tn.spec(i);
+      fp.add(spec.weight);
+      fp.add_double(spec.rate);
+      fp.add(spec.burst_len);
+      fp.add(spec.burst_period);
+      fp.add_double(spec.burst_factor);
+    }
+  }
   return fp.value();
 }
 
 SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
-    : options_(std::move(options)), trace_(trace) {
+    : options_(std::move(options)) {
+  REQB_CHECK_MSG(options_.tenants.count <= 1,
+                 "multi-tenant session needs one trace source per tenant");
+  init({&trace});
+}
+
+SimulationSession::SimulationSession(SimOptions options,
+                                     const std::vector<TraceSource*>& traces)
+    : options_(std::move(options)) {
+  REQB_CHECK_MSG(options_.tenants.count == traces.size(),
+                 "tenant count and trace source count must agree");
+  init(traces);
+}
+
+void SimulationSession::init(const std::vector<TraceSource*>& traces) {
+  REQB_CHECK_MSG(!traces.empty(), "session needs at least one trace source");
   options_.ssd.validate();
   REQB_CHECK_MSG(options_.cache.capacity_pages == 0 ||
                      options_.cache.capacity_pages ==
@@ -100,16 +135,23 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
   }
   options_.fault.validate();
   options_.overload.validate();
+  options_.tenants.validate();
   config_hash_ = config_fingerprint(options_);
-  trace_hash_ = trace_.identity_hash();
+  const bool multi = traces.size() > 1;
+  if (multi) {
+    Fingerprint fp;
+    fp.add_string("tenant_traces");
+    fp.add(traces.size());
+    for (const TraceSource* t : traces) fp.add(t->identity_hash());
+    trace_hash_ = fp.value();
+  } else {
+    trace_hash_ = traces.front()->identity_hash();
+  }
 
   // REQB_LINT_ALLOW(no-wallclock): wall_seconds is operator telemetry;
   // it is excluded from checkpoints, CSVs and the config fingerprint.
   wall_start_ = std::chrono::steady_clock::now();
   ftl_ = std::make_unique<Ftl>(options_.ssd);
-  for (const auto& [begin, end] : trace_.preexisting_ranges()) {
-    ftl_->add_preexisting_range(begin, end);
-  }
   CacheOptions cache_opts = options_.cache;
   cache_opts.capacity_pages = options_.policy.capacity_pages;
   if (options_.overload.bg_flush_enabled()) {
@@ -128,10 +170,60 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
   telemetry_ = std::make_unique<Telemetry>(options_.telemetry);
   cache_->set_telemetry(&telemetry_->trace(), &telemetry_->profiler());
   ftl_->set_telemetry(&telemetry_->trace(), &telemetry_->profiler());
-  queue_ = std::make_unique<HostAdmissionQueue>(options_.overload);
-  queue_->set_trace(&telemetry_->trace());
 
-  result_.trace_name = trace_.name();
+  // Namespace slices: with N tenants the logical space splits into N
+  // equal, block-aligned, disjoint ranges (NVMe namespaces). The single
+  // tenant keeps the identity mapping (span 0), bit-identical to the
+  // historical front end.
+  Lpn span = 0;
+  if (multi) {
+    const Lpn per_tenant = options_.ssd.total_pages() /
+                           static_cast<Lpn>(traces.size());
+    span = per_tenant - per_tenant % options_.ssd.pages_per_block;
+    REQB_CHECK_MSG(span >= options_.ssd.pages_per_block,
+                   "device too small for this many tenant namespaces");
+  }
+  tenants_.resize(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    Tenant& t = tenants_[i];
+    t.trace = traces[i];
+    t.lpn_span = span;
+    t.lpn_base = span * static_cast<Lpn>(i);
+    t.queue = std::make_unique<HostAdmissionQueue>(options_.overload);
+    t.queue->set_trace(&telemetry_->trace());
+    t.queue->set_tenant(static_cast<std::uint16_t>(i));
+    t.acct.name = "t";
+    t.acct.name += std::to_string(i);
+    t.trace->reset();
+    for (const auto& [begin, end] : t.trace->preexisting_ranges()) {
+      if (span == 0) {
+        ftl_->add_preexisting_range(begin, end);
+      } else {
+        // Fold the range into the tenant's slice the same way requests
+        // fold (clamped at the slice end).
+        const Lpn b = t.lpn_base + begin % span;
+        const Lpn e = std::min(t.lpn_base + span, b + (end - begin));
+        ftl_->add_preexisting_range(b, e);
+      }
+    }
+  }
+  arbiter_ = make_arbiter(options_.tenants.arbiter, options_.tenants.weights(),
+                          options_.tenants.drr_quantum_pages);
+  ready_.reserve(tenants_.size());
+
+  if (multi) {
+    // "usr_0#t0" + 3 tenants -> "usr_0x3": one stable label per run.
+    std::string base = tenants_.front().trace->name();
+    const std::string suffix = "#t0";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      base.resize(base.size() - suffix.size());
+    }
+    result_.trace_name = base + "x" + std::to_string(tenants_.size());
+  } else {
+    result_.trace_name = tenants_.front().trace->name();
+  }
   result_.policy_name = cache_->policy().name();
   result_.cache_capacity_pages = cache_opts.capacity_pages;
   if (options_.telemetry.snapshots_enabled()) {
@@ -143,8 +235,19 @@ SimulationSession::SimulationSession(SimOptions options, TraceSource& trace)
   next_snap_ns_ = options_.telemetry.snapshot_every_ns;
   warmup_channel_busy_.assign(options_.ssd.channels, 0);
   warmup_chip_busy_.assign(options_.ssd.total_chips(), 0);
+}
 
-  trace_.reset();
+std::size_t SimulationSession::queue_in_flight() const {
+  std::size_t total = 0;
+  for (const Tenant& t : tenants_) total += t.queue->in_flight();
+  return total;
+}
+
+std::vector<std::size_t> SimulationSession::tenant_queue_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) depths.push_back(t.queue->in_flight());
+  return depths;
 }
 
 void SimulationSession::take_snapshot() {
@@ -160,7 +263,12 @@ void SimulationSession::end_warmup() {
   cache_->reset_metrics();
   ftl_->reset_metrics();
   if (fault_ != nullptr) fault_->reset_metrics();
-  queue_->reset_metrics();
+  for (Tenant& t : tenants_) {
+    t.queue->reset_metrics();
+    TenantResult fresh;
+    fresh.name = t.acct.name;
+    t.acct = std::move(fresh);
+  }
   telemetry_->trace().clear();
   telemetry_->profiler().clear();
   for (std::uint32_t c = 0; c < options_.ssd.channels; ++c) {
@@ -172,8 +280,49 @@ void SimulationSession::end_warmup() {
   warmup_end_ = last_warmup_arrival_;
 }
 
+std::size_t SimulationSession::select_tenant() {
+  // Top up every queue's head so arbitration sees the full picture.
+  SimTime min_arrival = 0;
+  bool any = false;
+  for (Tenant& t : tenants_) {
+    if (!t.head_valid && !t.exhausted) {
+      if (t.trace->next(t.head)) {
+        t.head_valid = true;
+      } else {
+        t.exhausted = true;
+      }
+    }
+    if (t.head_valid && (!any || t.head.arrival < min_arrival)) {
+      min_arrival = t.head.arrival;
+      any = true;
+    }
+  }
+  if (!any) return kNoTenant;
+  // An idle device fast-forwards the arbitration clock to the earliest
+  // pending arrival; a busy one arbitrates among everything that arrived
+  // while it worked (the completion frontier set by serve paths).
+  if (min_arrival > arb_now_) arb_now_ = min_arrival;
+  ready_.clear();
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const Tenant& t = tenants_[i];
+    if (t.head_valid && t.head.arrival <= arb_now_) {
+      ready_.push_back({static_cast<std::uint32_t>(i), t.head.pages});
+    }
+  }
+  const std::size_t pick = arbiter_->pick(ready_);
+  return ready_[pick].tenant;
+}
+
+void SimulationSession::apply_namespace(const Tenant& t,
+                                        IoRequest& req) const {
+  if (t.lpn_span == 0) return;
+  req.lpn = t.lpn_base + req.lpn % t.lpn_span;
+  const Lpn room = t.lpn_base + t.lpn_span - req.lpn;
+  if (req.pages > room) req.pages = static_cast<std::uint32_t>(room);
+}
+
 SimulationSession::ServeOutcome SimulationSession::serve_request(
-    IoRequest& req) {
+    IoRequest& req, Tenant& t) {
   // A request arriving while the device recovers from a power loss waits;
   // its latency still counts from the original arrival, so the downtime
   // shows up in the response distribution.
@@ -192,16 +341,17 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
     const SimTime delay = options_.overload.throttle_delay(
         ftl_->gc_pressure_level(options_.overload.throttle_headroom_blocks));
     if (delay > 0) {
-      queue_->note_throttle(req.arrival, delay);
+      t.queue->note_throttle(req.arrival, delay);
       req.arrival += delay;
       out.bd[AttrComponent::kThrottle] = delay;
     }
   }
-  const HostAdmissionQueue::Admission adm = queue_->admit(req.arrival);
+  const HostAdmissionQueue::Admission adm = t.queue->admit(req.arrival);
   if (!adm.admitted) {
     out.shed = true;
     out.service_start = adm.admit_at;
     out.done = adm.admit_at;
+    if (adm.admit_at > arb_now_) arb_now_ = adm.admit_at;
     return out;
   }
   req.arrival = adm.admit_at;
@@ -209,7 +359,10 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
   out.service_start = adm.admit_at;
   out.bd[AttrComponent::kQueueWait] = adm.wait;
   out.done = cache_->serve(req, attribute ? &out.bd : nullptr);
-  queue_->complete(out.done);
+  t.queue->complete(out.done);
+  // The completion frontier drives multi-queue eligibility: every head
+  // that arrived before this completion now competes for service.
+  if (out.done > arb_now_) arb_now_ = out.done;
   if (attribute) {
     // The tentpole invariant: the component spans tile [host_arrival,
     // done] exactly, in integer sim-ns, for every request (warmup
@@ -225,8 +378,13 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
   return out;
 }
 
-void SimulationSession::serve_measured(IoRequest& req) {
-  const ServeOutcome out = serve_request(req);
+void SimulationSession::on_power_loss(SimTime at) {
+  for (Tenant& t : tenants_) t.queue->on_power_loss(at, resume_at_);
+}
+
+void SimulationSession::serve_measured(IoRequest& req, Tenant& t) {
+  const ServeOutcome out = serve_request(req, t);
+  const bool multi = tenants_.size() > 1;
   if (out.shed) {
     // A shed request still counts as an arrival (it consumed a trace slot
     // and a queue attempt) but never completes, so it stays out of the
@@ -235,6 +393,14 @@ void SimulationSession::serve_measured(IoRequest& req) {
       ++result_.write_requests;
     } else {
       ++result_.read_requests;
+    }
+    if (multi) {
+      ++t.acct.requests;
+      if (req.is_write()) {
+        ++t.acct.write_requests;
+      } else {
+        ++t.acct.read_requests;
+      }
     }
   } else {
     if (options_.overload.queue_enabled()) {
@@ -249,8 +415,26 @@ void SimulationSession::serve_measured(IoRequest& req) {
       ++result_.read_requests;
       result_.read_response.record(latency);
     }
+    if (multi) {
+      ++t.acct.requests;
+      if (req.is_write()) {
+        ++t.acct.write_requests;
+      } else {
+        ++t.acct.read_requests;
+      }
+      t.acct.response.record(latency);
+      if (options_.overload.queue_enabled()) {
+        t.acct.queue_wait.record(out.wait);
+      }
+    }
     if (options_.telemetry.attribution) {
       result_.attribution.record(out.bd, latency);
+      if (multi) {
+        ++t.acct.attr_requests;
+        for (std::size_t c = 0; c < kAttrComponents; ++c) {
+          t.acct.attr_ns[c] += static_cast<std::uint64_t>(out.bd.ns[c]);
+        }
+      }
       // Span tree for Perfetto: the nonzero components tile
       // [host_arrival, done] in enum order, one lane per component.
       SimTime cursor = out.host_arrival;
@@ -269,7 +453,7 @@ void SimulationSession::serve_measured(IoRequest& req) {
   ++served_;
   if (fault_ != nullptr && fault_->power_loss_due(served_)) {
     resume_at_ = cache_->power_loss(out.done, *fault_);
-    queue_->on_power_loss(out.done, resume_at_);
+    on_power_loss(out.done);
     result_.sim_end = std::max(result_.sim_end, resume_at_);
   }
 
@@ -293,32 +477,32 @@ void SimulationSession::serve_measured(IoRequest& req) {
 bool SimulationSession::step() {
   REQB_CHECK_MSG(!finalized_, "step() after finish()");
   if (finished_) return false;
-  IoRequest req;
+  const std::size_t picked = select_tenant();
+  if (picked == kNoTenant) {
+    // Every trace exhausted. If that happened inside warmup, close the
+    // warmup bookkeeping; the measured phase would see no requests.
+    if (!warmup_done_) end_warmup();
+    finished_ = true;
+    return false;
+  }
+  Tenant& t = tenants_[picked];
+  IoRequest req = t.head;
+  t.head_valid = false;
+  apply_namespace(t, req);
   if (!warmup_done_) {
     if (result_.warmup_requests < options_.warmup_requests) {
-      if (!trace_.next(req)) {
-        // Trace exhausted inside warmup: close warmup bookkeeping; the
-        // measured phase would see an empty trace immediately.
-        end_warmup();
-        finished_ = true;
-        return false;
-      }
-      const ServeOutcome out = serve_request(req);
+      const ServeOutcome out = serve_request(req, t);
       ++result_.warmup_requests;
       ++served_;
       last_warmup_arrival_ = out.service_start;
       if (fault_ != nullptr && fault_->power_loss_due(served_)) {
         resume_at_ = cache_->power_loss(out.done, *fault_);
-        queue_->on_power_loss(out.done, resume_at_);
+        on_power_loss(out.done);
       }
       if (result_.warmup_requests >= options_.warmup_requests) end_warmup();
       return true;
     }
     end_warmup();  // no warmup configured
-  }
-  if (!trace_.next(req)) {
-    finished_ = true;
-    return false;
   }
   if (options_.max_requests != 0 &&
       result_.requests >= options_.max_requests) {
@@ -327,7 +511,7 @@ bool SimulationSession::step() {
     finished_ = true;
     return false;
   }
-  serve_measured(req);
+  serve_measured(req, t);
   return true;
 }
 
@@ -343,8 +527,31 @@ RunResult SimulationSession::finish() {
   result_.cache = cache_->metrics();
   result_.flash = ftl_->metrics();
   if (fault_ != nullptr) result_.fault = fault_->metrics();
-  result_.overload = queue_->metrics();
-  result_.overload.enabled = options_.overload.enabled();
+  // The global overload view sums the per-tenant queues (exactly the
+  // single queue's metrics when there is one tenant).
+  OverloadMetrics total;
+  for (const Tenant& t : tenants_) {
+    const OverloadMetrics& m = t.queue->metrics();
+    total.admitted += m.admitted;
+    total.queued_waits += m.queued_waits;
+    total.timeouts += m.timeouts;
+    total.sheds += m.sheds;
+    total.retries += m.retries;
+    total.throttle_events += m.throttle_events;
+    total.throttle_delay_total += m.throttle_delay_total;
+    total.queue_wait_total += m.queue_wait_total;
+  }
+  total.enabled = options_.overload.enabled();
+  result_.overload = total;
+  if (tenants_.size() > 1) {
+    result_.tenants.clear();
+    for (const Tenant& t : tenants_) {
+      TenantResult tr = t.acct;
+      tr.overload = t.queue->metrics();
+      tr.overload.enabled = options_.overload.enabled();
+      result_.tenants.push_back(std::move(tr));
+    }
+  }
   if (telemetry_->trace().any_enabled()) {
     result_.telemetry.events = telemetry_->trace().drain();
     result_.telemetry.events_emitted = telemetry_->trace().emitted();
@@ -385,6 +592,7 @@ void SimulationSession::serialize(SnapshotWriter& w) const {
   w.i64(next_snap_ns_);
   w.i64(last_warmup_arrival_);
   w.i64(warmup_end_);
+  w.i64(arb_now_);
   w.u64(warmup_channel_busy_.size());
   for (const SimTime t : warmup_channel_busy_) w.i64(t);
   w.u64(warmup_chip_busy_.size());
@@ -412,13 +620,31 @@ void SimulationSession::serialize(SnapshotWriter& w) const {
   result_.telemetry.snapshots.serialize(w);
   result_.attribution.serialize(w);
 
+  // Per-tenant front end: trace cursor, pre-pulled head (the cursor has
+  // already advanced past it, so it must travel with the snapshot),
+  // admission queue, and accounting — then the arbiter's dynamic state.
+  w.tag("tenants");
+  w.u64(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    w.tag("tenant");
+    w.b(t.head_valid);
+    w.b(t.exhausted);
+    w.u64(t.head.id);
+    w.i64(t.head.arrival);
+    w.u8(static_cast<std::uint8_t>(t.head.type));
+    w.u64(t.head.lpn);
+    w.u64(t.head.pages);
+    t.acct.serialize(w);
+    t.queue->serialize(w);
+    t.trace->serialize(w);
+  }
+  arbiter_->serialize(w);
+
   // Layers, outermost first.
-  trace_.serialize(w);
   cache_->serialize(w);
   ftl_->serialize(w);
   w.b(fault_ != nullptr);
   if (fault_ != nullptr) fault_->serialize(w);
-  queue_->serialize(w);
   telemetry_->trace().serialize(w);
 }
 
@@ -434,6 +660,7 @@ void SimulationSession::deserialize(SnapshotReader& r) {
   next_snap_ns_ = r.i64();
   last_warmup_arrival_ = r.i64();
   warmup_end_ = r.i64();
+  arb_now_ = r.i64();
   if (r.u64() != warmup_channel_busy_.size()) {
     throw SnapshotError("session snapshot has a different channel count");
   }
@@ -472,7 +699,29 @@ void SimulationSession::deserialize(SnapshotReader& r) {
         "session snapshot disagrees about latency attribution being on");
   }
 
-  trace_.deserialize(r);
+  r.tag("tenants");
+  if (r.u64() != tenants_.size()) {
+    throw SnapshotError("session snapshot has a different tenant count");
+  }
+  for (Tenant& t : tenants_) {
+    r.tag("tenant");
+    t.head_valid = r.b();
+    t.exhausted = r.b();
+    t.head.id = r.u64();
+    t.head.arrival = r.i64();
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(IoType::kWrite)) {
+      throw SnapshotError("tenant snapshot has an unknown request type");
+    }
+    t.head.type = static_cast<IoType>(type);
+    t.head.lpn = r.u64();
+    t.head.pages = static_cast<std::uint32_t>(r.u64());
+    t.acct.deserialize(r);
+    t.queue->deserialize(r);
+    t.trace->deserialize(r);
+  }
+  arbiter_->deserialize(r);
+
   cache_->deserialize(r);
   ftl_->deserialize(r);
   const bool had_fault = r.b();
@@ -481,7 +730,6 @@ void SimulationSession::deserialize(SnapshotReader& r) {
         "session snapshot disagrees about fault injection being wired");
   }
   if (fault_ != nullptr) fault_->deserialize(r);
-  queue_->deserialize(r);
   telemetry_->trace().deserialize(r);
 }
 

@@ -1,13 +1,28 @@
 // Stepwise, checkpointable simulation of one run.
 //
 // SimulationSession is Simulator::run unrolled into an object: construct
-// it around a trace, call step() once per request, then finish() to close
-// the run and collect the RunResult. The stepped form exists so a long run
-// can be checkpointed between any two requests — serialize() captures
-// every piece of state the next step depends on (cache + policy, FTL +
-// flash array, fault-injector RNG stream, trace cursor, partial result
-// accumulators, telemetry buffers), and a session deserialized from that
-// snapshot continues the run bit-for-bit as if it had never stopped.
+// it around a trace (or one trace per tenant), call step() once per
+// request, then finish() to close the run and collect the RunResult. The
+// stepped form exists so a long run can be checkpointed between any two
+// requests — serialize() captures every piece of state the next step
+// depends on (cache + policy, FTL + flash array, fault-injector RNG
+// stream, per-tenant trace cursors and pre-pulled heads, admission
+// queues, arbiter state, partial result accumulators, telemetry
+// buffers), and a session deserialized from that snapshot continues the
+// run bit-for-bit as if it had never stopped.
+//
+// Multi-queue front end: with N > 1 tenants each trace source feeds its
+// own submission queue bound to a disjoint slice of the logical address
+// space, and an Arbiter (see host/arbiter.h) picks which queue's head
+// request is served next. Eligibility is driven by a monotone
+// arbitration clock: a head whose arrival is at or before the latest
+// completion frontier is "ready" (it had arrived while the device was
+// busy); when no head is ready the clock jumps to the earliest arrival.
+// Ties break deterministically — the ready list is ordered by tenant id
+// and every arbiter resolves cyclic ties toward the lowest tenant next
+// in order — so equal configurations replay byte-identical runs at any
+// thread count. A single-tenant session degenerates to serving the trace
+// in order, bit-identical to the historical single-stream loop.
 //
 // What is deliberately NOT checkpointed:
 //   * wall-clock accounting — RunResult::wall_seconds of a resumed run
@@ -15,10 +30,11 @@
 //     and never feeds a results CSV);
 //   * the self-profiler — same reason, same consumer.
 //
-// Identity: a snapshot embeds config_fingerprint(options) and the trace's
-// identity_hash(). Restoring against a session built from different
-// options or a different trace throws SnapshotError instead of silently
-// producing a franken-run.
+// Identity: a snapshot embeds config_fingerprint(options) and the
+// trace's identity_hash() (for multi-tenant runs, a fingerprint over
+// every tenant stream's identity). Restoring against a session built
+// from different options or different traces throws SnapshotError
+// instead of silently producing a franken-run.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "host/arbiter.h"
 #include "sim/simulator.h"
 
 namespace reqblock {
@@ -35,20 +52,31 @@ class SnapshotWriter;
 
 /// Stable hash over every option field that affects a run's results:
 /// device geometry and timing, cache and policy configuration, warmup and
-/// request caps, the fault plan, and the telemetry options. Two SimOptions
-/// with equal fingerprints drive byte-identical runs of the same trace.
+/// request caps, the fault plan, the telemetry options, and — only when
+/// more than one tenant is configured — the multi-queue front end (count,
+/// arbiter, per-tenant specs). Single-tenant fingerprints are unchanged
+/// from earlier builds, so stored single-stream results stay loadable.
+/// Two SimOptions with equal fingerprints drive byte-identical runs of
+/// the same trace(s).
 std::uint64_t config_fingerprint(const SimOptions& options);
 
 class SimulationSession {
  public:
   /// Builds the full stack (device, cache, fault wiring, telemetry) and
   /// resets the trace to its first request. Mirrors Simulator's option
-  /// validation, including the REQBLOCK_TRACE env override.
+  /// validation, including the REQBLOCK_TRACE env override. Requires
+  /// options.tenants.count == 1 (the classic single-stream front end).
   SimulationSession(SimOptions options, TraceSource& trace);
 
+  /// Multi-queue front end: one trace source per tenant (the sources must
+  /// outlive the session), each bound to its own submission queue and
+  /// namespace slice. Requires options.tenants.count == traces.size().
+  SimulationSession(SimOptions options,
+                    const std::vector<TraceSource*>& traces);
+
   /// Serves the next request (warmup or measured). Returns false when the
-  /// run is complete — trace exhausted or max_requests reached — after
-  /// which step() keeps returning false.
+  /// run is complete — every trace exhausted or max_requests reached —
+  /// after which step() keeps returning false.
   bool step();
 
   bool done() const { return finished_; }
@@ -57,9 +85,12 @@ class SimulationSession {
   std::uint64_t served() const { return served_; }
   /// Measured (post-warmup) requests served so far.
   std::uint64_t measured_requests() const { return result_.requests; }
-  /// Host-queue commands currently in flight (0 when admission control is
-  /// off). Lets callers checkpoint "mid-burst with a non-empty queue".
-  std::size_t queue_in_flight() const { return queue_->in_flight(); }
+  /// Host-queue commands currently in flight across all tenants (0 when
+  /// admission control is off). Lets callers checkpoint "mid-burst with a
+  /// non-empty queue".
+  std::size_t queue_in_flight() const;
+  /// Per-tenant in-flight command counts, in tenant-id order.
+  std::vector<std::size_t> tenant_queue_depths() const;
 
   /// Finalizes the run (drains telemetry, runs the device audit, computes
   /// utilization) and returns the result. Call exactly once, after step()
@@ -70,17 +101,34 @@ class SimulationSession {
   const SimOptions& options() const { return options_; }
   /// config_fingerprint(options()) — embedded in checkpoints.
   std::uint64_t config_hash() const { return config_hash_; }
-  /// The trace's content identity — embedded in checkpoints.
+  /// The trace's content identity — embedded in checkpoints. Multi-tenant
+  /// sessions fingerprint every tenant stream's identity in order.
   std::uint64_t trace_hash() const { return trace_hash_; }
 
   /// Checkpoint every piece of state the next step() depends on. The
   /// target of deserialize() must be a freshly constructed session over
-  /// the same options and trace; identity is the caller's contract here
-  /// (checkpoint files carry the fingerprints — see sim/checkpoint.h).
+  /// the same options and trace(s); identity is the caller's contract
+  /// here (checkpoint files carry the fingerprints — see
+  /// sim/checkpoint.h).
   void serialize(SnapshotWriter& w) const;
   void deserialize(SnapshotReader& r);
 
  private:
+  /// One submission queue: its trace source, namespace slice, admission
+  /// queue, the pre-pulled head request, and per-tenant accounting.
+  struct Tenant {
+    TraceSource* trace = nullptr;
+    Lpn lpn_base = 0;
+    /// Pages in this tenant's namespace slice; 0 = identity mapping (the
+    /// single-tenant front end owns the whole device).
+    Lpn lpn_span = 0;
+    std::unique_ptr<HostAdmissionQueue> queue;
+    IoRequest head;
+    bool head_valid = false;
+    bool exhausted = false;
+    TenantResult acct;
+  };
+
   /// What one trip through throttle -> admission -> cache service produced.
   /// On a shed, `done` is the attempt time (nothing was served) and `wait`
   /// is meaningless.
@@ -95,25 +143,42 @@ class SimulationSession {
     RequestBreakdown bd;
   };
 
+  static constexpr std::size_t kNoTenant = static_cast<std::size_t>(-1);
+
+  void init(const std::vector<TraceSource*>& traces);
+  /// Pulls missing heads, advances the arbitration clock, and asks the
+  /// arbiter to choose among the ready heads. Returns kNoTenant when all
+  /// traces are exhausted.
+  std::size_t select_tenant();
+  /// Folds the request into the tenant's namespace slice (no-op when
+  /// lpn_span == 0).
+  void apply_namespace(const Tenant& t, IoRequest& req) const;
   void end_warmup();
   /// Shared overload-aware serve path for warmup and measured requests:
   /// power-loss recovery clamp, GC-pressure throttle, bounded-queue
   /// admission, then CacheManager::serve for admitted requests.
-  ServeOutcome serve_request(IoRequest& req);
-  void serve_measured(IoRequest& req);
+  ServeOutcome serve_request(IoRequest& req, Tenant& t);
+  void serve_measured(IoRequest& req, Tenant& t);
+  void on_power_loss(SimTime at);
   void take_snapshot();
 
   SimOptions options_;
-  TraceSource& trace_;
   std::uint64_t config_hash_ = 0;
   std::uint64_t trace_hash_ = 0;
 
   std::unique_ptr<Ftl> ftl_;
   std::unique_ptr<CacheManager> cache_;
   std::unique_ptr<FaultInjector> fault_;
-  std::unique_ptr<HostAdmissionQueue> queue_;
   std::unique_ptr<Telemetry> telemetry_;
   ReqBlockPolicy* req_block_ = nullptr;  // occupancy probe target, or null
+
+  std::vector<Tenant> tenants_;
+  std::unique_ptr<Arbiter> arbiter_;
+  /// Monotone arbitration clock: the latest completion frontier (or, when
+  /// idle, the earliest pending arrival). Heads arrived at or before it
+  /// compete for service.
+  SimTime arb_now_ = 0;
+  std::vector<ReadyHead> ready_;  // scratch for select_tenant()
 
   RunResult result_;
   std::uint64_t served_ = 0;  // warmup + measured, drives the loss schedule

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include "sim/session.h"
+#include "trace/synthetic.h"
 #include "util/check.h"
 
 namespace reqblock {
@@ -13,12 +14,27 @@ Simulator::Simulator(SimOptions options) : options_(std::move(options)) {
                  "cache and policy capacity must agree");
   if (options_.telemetry_env_override) options_.telemetry.apply_env();
   options_.fault.validate();
+  options_.tenants.validate();
 }
 
 RunResult Simulator::run(TraceSource& trace) {
   // The stepped session is the single definition of the replay loop;
   // running it to completion in one go reproduces the historical
   // Simulator::run semantics exactly (see sim/session.h).
+  if (options_.tenants.enabled()) {
+    // Multi-tenant runs derive one stream per tenant from the base
+    // synthetic profile (file traces carry no generator to re-seed).
+    auto* synthetic = dynamic_cast<SyntheticTraceSource*>(&trace);
+    REQB_CHECK_MSG(synthetic != nullptr,
+                   "multi-tenant runs need a synthetic profile to derive "
+                   "per-tenant streams from");
+    const TenantStreams streams =
+        make_tenant_streams(synthetic->profile(), options_.tenants);
+    SimulationSession session(options_, streams.sources);
+    while (session.step()) {
+    }
+    return session.finish();
+  }
   SimulationSession session(options_, trace);
   while (session.step()) {
   }

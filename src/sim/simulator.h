@@ -9,6 +9,7 @@
 #include "cache/policy_factory.h"
 #include "fault/fault.h"
 #include "host/overload.h"
+#include "host/tenant.h"
 #include "core/req_block.h"
 #include "ssd/config.h"
 #include "ssd/ftl.h"
@@ -40,6 +41,10 @@ struct SimOptions {
   /// watermark background flushing, and GC-pressure write throttling. All
   /// off by default, leaving runs bit-identical to earlier builds.
   OverloadOptions overload;
+  /// Multi-queue host front end: tenant count, arbitration discipline,
+  /// per-tenant workload specs. The default single tenant leaves runs
+  /// bit-identical to earlier builds.
+  TenantOptions tenants;
   /// Event tracing, metric snapshots, and self-profiling for this run.
   TelemetryOptions telemetry;
   /// Let REQBLOCK_TRACE override telemetry.trace.level at Simulator
@@ -90,6 +95,10 @@ struct RunResult {
   /// Per-request latency attribution (enabled == false, everything empty,
   /// unless telemetry.attribution was on).
   AttributionResult attribution;
+
+  /// Per-tenant slices of this run, in tenant-id order. Empty on
+  /// single-tenant runs (the global fields above are the only view).
+  std::vector<TenantResult> tenants;
 
   SimTime sim_end = 0;
   double wall_seconds = 0.0;

@@ -138,7 +138,10 @@ class SnapshotReader {
 // flash kinds, and sessions/results carry admission-queue + SLO state.
 // Version 3: EventKind gained kAttrSpan after kBlockRetire, and
 // sessions/results carry the latency-attribution section.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
+/// v4: multi-queue sessions — per-tenant blocks (pre-pulled head, trace
+/// cursor, admission queue, accounting), arbiter state, and the
+/// arbitration clock replace the single trace/queue layout.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 4;
 
 /// Identity carried alongside the payload and validated before restore.
 struct SnapshotHeader {

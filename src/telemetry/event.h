@@ -130,7 +130,9 @@ struct TraceEvent {
   std::uint64_t arg = 0;   // kind-specific payload, see header comment
   EventKind kind = EventKind::kCacheHit;
   std::uint16_t track = 0;    // cache: CacheTrack; flash: global chip index
-  std::uint16_t channel = 0;  // flash events only
+  /// Flash events: channel index. Host-queue events (kQueueEnqueue,
+  /// kQueueTimeout, kThrottle): emitting tenant id (0 when single-tenant).
+  std::uint16_t channel = 0;
 };
 
 }  // namespace reqblock

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "telemetry/metrics_registry.h"
 #include "telemetry/profiler.h"
@@ -50,8 +51,11 @@ struct TelemetryOptions {
   /// Reads the standard CLI flags: --trace LEVEL, --trace-buffer EVENTS,
   /// --trace-sample N, --snapshot-every REQS, --snapshot-every-ms MS,
   /// --profile, --attribution. Flags the parser does not carry keep their
-  /// current value.
-  void apply_cli(const ArgParser& args);
+  /// current value. `prefix` namespaces every flag (binaries whose own
+  /// flags collide pass e.g. "telemetry-" and expose --telemetry-trace,
+  /// --telemetry-profile, ...); --attribution is always honored unprefixed
+  /// as well, since no binary overloads it.
+  void apply_cli(const ArgParser& args, std::string_view prefix = "");
 };
 
 class Telemetry {

@@ -1,0 +1,214 @@
+// Differential validation of the submission-queue arbiters against the
+// brute-force oracles in arbiter_reference.h: 100k+ randomized ready-set
+// sequences audited pick by pick, snapshot byte-stability mid-stream, and
+// the starvation-freedom bounds each discipline advertises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/arbiter.h"
+#include "arbiter_reference.h"
+#include "snapshot/snapshot.h"
+#include "util/rng.h"
+
+namespace reqblock {
+namespace {
+
+using testing::OracleDeficit;
+using testing::OracleRoundRobin;
+using testing::OracleWeighted;
+
+/// A random non-empty ready list over `count` tenants, sorted by tenant id
+/// (the order SimulationSession guarantees), page costs in [1, max_cost].
+std::vector<ReadyHead> random_ready(Rng& rng, std::uint32_t count,
+                                    std::uint32_t max_cost) {
+  std::vector<ReadyHead> ready;
+  for (std::uint32_t t = 0; t < count; ++t) {
+    if (rng.next_below(100) < 55) {
+      ready.push_back(
+          {t, static_cast<std::uint32_t>(rng.next_in(1, max_cost))});
+    }
+  }
+  if (ready.empty()) {
+    const std::uint32_t t = static_cast<std::uint32_t>(rng.next_below(count));
+    ready.push_back({t, static_cast<std::uint32_t>(rng.next_in(1, max_cost))});
+  }
+  return ready;
+}
+
+std::vector<std::uint32_t> random_weights(Rng& rng, std::uint32_t count) {
+  std::vector<std::uint32_t> w;
+  for (std::uint32_t t = 0; t < count; ++t) {
+    w.push_back(static_cast<std::uint32_t>(rng.next_in(1, 8)));
+  }
+  return w;
+}
+
+struct OracleSet {
+  OracleRoundRobin rr;
+  OracleWeighted wrr;
+  OracleDeficit drr;
+
+  std::size_t pick(ArbiterKind kind, const std::vector<ReadyHead>& ready) {
+    switch (kind) {
+      case ArbiterKind::kRoundRobin:
+        return rr.pick(ready);
+      case ArbiterKind::kWeighted:
+        return wrr.pick(ready);
+      case ArbiterKind::kDeficit:
+        return drr.pick(ready);
+    }
+    return ready.size();
+  }
+};
+
+TEST(ArbiterDifferentialTest, RandomSequencesMatchOracles) {
+  // 3 disciplines x 12 configurations x 3000 picks > 100k audited ops.
+  std::uint64_t audited = 0;
+  for (const ArbiterKind kind : {ArbiterKind::kRoundRobin,
+                                 ArbiterKind::kWeighted,
+                                 ArbiterKind::kDeficit}) {
+    for (std::uint32_t config = 0; config < 12; ++config) {
+      Rng rng(0xA5B1000 + 97 * config + static_cast<std::uint64_t>(kind));
+      const std::uint32_t count =
+          static_cast<std::uint32_t>(rng.next_in(1, 9));
+      const std::uint32_t quantum =
+          static_cast<std::uint32_t>(rng.next_in(1, 32));
+      const auto weights = random_weights(rng, count);
+      const auto real = make_arbiter(kind, weights, quantum);
+      OracleSet oracle{OracleRoundRobin(count), OracleWeighted(weights),
+                       OracleDeficit(weights, quantum)};
+      for (std::uint32_t op = 0; op < 3000; ++op) {
+        const auto ready = random_ready(rng, count, 32);
+        const std::size_t got = real->pick(ready);
+        const std::size_t want = oracle.pick(kind, ready);
+        ASSERT_EQ(got, want)
+            << to_string(kind) << " config " << config << " op " << op
+            << ": real served tenant " << ready[got].tenant
+            << ", oracle tenant " << ready[want].tenant;
+        ++audited;
+      }
+    }
+  }
+  EXPECT_GE(audited, 100000u);
+}
+
+TEST(ArbiterDifferentialTest, MidStreamSnapshotIsByteStableAndEquivalent) {
+  for (const ArbiterKind kind : {ArbiterKind::kRoundRobin,
+                                 ArbiterKind::kWeighted,
+                                 ArbiterKind::kDeficit}) {
+    SCOPED_TRACE(to_string(kind));
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(kind));
+    const std::uint32_t count = 5;
+    const std::vector<std::uint32_t> weights = {3, 1, 4, 1, 5};
+    const auto a = make_arbiter(kind, weights, 16);
+    for (std::uint32_t op = 0; op < 500; ++op) {
+      a->pick(random_ready(rng, count, 32));
+    }
+    SnapshotWriter w1;
+    a->serialize(w1);
+    const std::string bytes = w1.take();
+
+    const auto b = make_arbiter(kind, weights, 16);
+    SnapshotReader r(bytes);
+    b->deserialize(r);
+    SnapshotWriter w2;
+    b->serialize(w2);
+    EXPECT_EQ(bytes, w2.take())
+        << "serialize -> deserialize -> serialize must reproduce bytes";
+
+    // The restored arbiter must continue exactly like the original.
+    Rng cont_rng(0xFACE);
+    for (std::uint32_t op = 0; op < 500; ++op) {
+      const auto ready = random_ready(cont_rng, count, 32);
+      ASSERT_EQ(a->pick(ready), b->pick(ready)) << "op " << op;
+    }
+  }
+}
+
+TEST(ArbiterDifferentialTest, DrrSnapshotRefusesDifferentTenantCount) {
+  const auto a = make_arbiter(ArbiterKind::kDeficit, {1, 2, 3}, 16);
+  SnapshotWriter w;
+  a->serialize(w);
+  const std::string bytes = w.take();
+  const auto b = make_arbiter(ArbiterKind::kDeficit, {1, 2}, 16);
+  SnapshotReader r(bytes);
+  EXPECT_THROW(b->deserialize(r), SnapshotError);
+}
+
+/// With every queue continuously ready, round-robin serves each tenant
+/// exactly once per N consecutive picks.
+TEST(ArbiterStarvationTest, RoundRobinIsPerfectlyCyclic) {
+  const std::uint32_t count = 7;
+  const auto arb = make_arbiter(ArbiterKind::kRoundRobin,
+                                std::vector<std::uint32_t>(count, 1), 16);
+  std::vector<ReadyHead> ready;
+  for (std::uint32_t t = 0; t < count; ++t) ready.push_back({t, 1});
+  for (std::uint32_t cycle = 0; cycle < 50; ++cycle) {
+    for (std::uint32_t t = 0; t < count; ++t) {
+      ASSERT_EQ(ready[arb->pick(ready)].tenant, t);
+    }
+  }
+}
+
+/// With every queue continuously ready, WRR serves tenant t exactly
+/// weight[t] times per sum-of-weights picks.
+TEST(ArbiterStarvationTest, WeightedServesProportionally) {
+  const std::vector<std::uint32_t> weights = {4, 1, 2};
+  const auto arb = make_arbiter(ArbiterKind::kWeighted, weights, 16);
+  std::vector<ReadyHead> ready = {{0, 1}, {1, 1}, {2, 1}};
+  std::vector<std::uint64_t> served(weights.size(), 0);
+  const std::uint32_t rounds = 100;
+  for (std::uint32_t op = 0; op < rounds * (4 + 1 + 2); ++op) {
+    ++served[ready[arb->pick(ready)].tenant];
+  }
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    EXPECT_EQ(served[t], static_cast<std::uint64_t>(rounds) * weights[t]);
+  }
+}
+
+/// DRR starvation freedom: with every queue continuously ready and page
+/// costs in [1, max_cost], the gap between consecutive serves of tenant i
+/// is bounded by rounds * sum_{j != i} (quantum_j + max_cost), where
+/// rounds = ceil(max_cost / quantum_i) + 1 covers the visits tenant i may
+/// need to bank enough deficit for an expensive head.
+TEST(ArbiterStarvationTest, DeficitGapIsBounded) {
+  const std::vector<std::uint32_t> weights = {1, 3, 2, 1};
+  const std::uint32_t quantum = 4;
+  const std::uint32_t max_cost = 32;
+  const auto arb = make_arbiter(ArbiterKind::kDeficit, weights, quantum);
+  Rng rng(0xD22);
+
+  std::uint64_t quanta_total = 0;
+  for (const std::uint32_t w : weights) quanta_total += w * quantum;
+  std::vector<std::uint64_t> last_served(weights.size(), 0);
+  std::vector<std::uint64_t> max_gap(weights.size(), 0);
+  const std::uint64_t ops = 20000;
+  for (std::uint64_t op = 1; op <= ops; ++op) {
+    std::vector<ReadyHead> ready;
+    for (std::uint32_t t = 0; t < weights.size(); ++t) {
+      ready.push_back(
+          {t, static_cast<std::uint32_t>(rng.next_in(1, max_cost))});
+    }
+    const std::uint32_t t = ready[arb->pick(ready)].tenant;
+    max_gap[t] = std::max(max_gap[t], op - last_served[t]);
+    last_served[t] = op;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const std::uint64_t quantum_i =
+        static_cast<std::uint64_t>(weights[i]) * quantum;
+    const std::uint64_t rounds = (max_cost + quantum_i - 1) / quantum_i + 1;
+    const std::uint64_t others =
+        quanta_total - quantum_i +
+        (weights.size() - 1) * static_cast<std::uint64_t>(max_cost);
+    EXPECT_LE(max_gap[i], rounds * others) << "tenant " << i;
+    EXPECT_GT(last_served[i], ops - rounds * others)
+        << "tenant " << i << " starved at the tail";
+  }
+}
+
+}  // namespace
+}  // namespace reqblock

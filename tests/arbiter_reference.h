@@ -1,0 +1,146 @@
+// Brute-force reference arbiters for the differential tests.
+//
+// Each oracle re-implements one arbitration discipline from its textbook
+// definition, deliberately NOT sharing code or structure with
+// src/host/arbiter.cc: where the production arbiters scan the (sorted)
+// ready vector, the oracles walk every tenant id in cyclic order and test
+// membership per id. Equal pick sequences from two independent
+// formulations is the property under test.
+//
+// Shared semantics being modeled:
+//   * the ready list is sorted by tenant id and non-empty;
+//   * "after the cursor" means cyclic order on tenant ids, starting below
+//     tenant 0 before the first pick;
+//   * a queue that goes non-ready forfeits its WRR credit / DRR deficit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/arbiter.h"
+
+namespace reqblock::testing {
+
+/// Index of `tenant` in the sorted ready list, or npos when absent.
+inline std::size_t ready_index(const std::vector<ReadyHead>& ready,
+                               std::uint32_t tenant) {
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (ready[i].tenant == tenant) return i;
+  }
+  return ready.size();
+}
+
+/// Plain round-robin: serve the first ready tenant strictly after the one
+/// served last, walking tenant ids cyclically.
+class OracleRoundRobin {
+ public:
+  explicit OracleRoundRobin(std::uint32_t tenant_count)
+      : count_(tenant_count) {}
+
+  std::size_t pick(const std::vector<ReadyHead>& ready) {
+    for (std::uint32_t step = 1; step <= count_; ++step) {
+      const std::uint32_t t =
+          last_ < 0 ? step - 1
+                    : (static_cast<std::uint32_t>(last_) + step) % count_;
+      const std::size_t i = ready_index(ready, t);
+      if (i < ready.size()) {
+        last_ = static_cast<std::int64_t>(t);
+        return i;
+      }
+    }
+    return ready.size();  // unreachable with a non-empty ready list
+  }
+
+ private:
+  std::uint32_t count_;
+  std::int64_t last_ = -1;
+};
+
+/// Weighted round-robin: each visit to tenant t entitles it to weight[t]
+/// consecutive serves; leaving (or going non-ready) forfeits the rest.
+class OracleWeighted {
+ public:
+  explicit OracleWeighted(std::vector<std::uint32_t> weights)
+      : weights_(std::move(weights)) {}
+
+  std::size_t pick(const std::vector<ReadyHead>& ready) {
+    if (last_ >= 0 && credit_ > 0) {
+      const std::size_t i =
+          ready_index(ready, static_cast<std::uint32_t>(last_));
+      if (i < ready.size()) {
+        --credit_;
+        return i;
+      }
+    }
+    const std::uint32_t count = static_cast<std::uint32_t>(weights_.size());
+    for (std::uint32_t step = 1; step <= count; ++step) {
+      const std::uint32_t t =
+          last_ < 0 ? step - 1
+                    : (static_cast<std::uint32_t>(last_) + step) % count;
+      const std::size_t i = ready_index(ready, t);
+      if (i < ready.size()) {
+        last_ = static_cast<std::int64_t>(t);
+        credit_ = weights_[t] - 1;
+        return i;
+      }
+    }
+    return ready.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::int64_t last_ = -1;
+  std::uint32_t credit_ = 0;
+};
+
+/// Deficit round-robin: every visit banks weight[t] * quantum pages; a
+/// head is served once the bank covers its page cost. Non-ready queues
+/// lose their bank each arbitration (anti-hoarding).
+class OracleDeficit {
+ public:
+  OracleDeficit(const std::vector<std::uint32_t>& weights,
+                std::uint32_t quantum_pages)
+      : deficit_(weights.size(), 0) {
+    for (const std::uint32_t w : weights) {
+      quanta_.push_back(static_cast<std::uint64_t>(w) * quantum_pages);
+    }
+  }
+
+  std::size_t pick(const std::vector<ReadyHead>& ready) {
+    const std::uint32_t count = static_cast<std::uint32_t>(quanta_.size());
+    for (std::uint32_t t = 0; t < count; ++t) {
+      if (ready_index(ready, t) == ready.size()) deficit_[t] = 0;
+    }
+    if (last_ >= 0) {
+      const std::uint32_t t = static_cast<std::uint32_t>(last_);
+      const std::size_t i = ready_index(ready, t);
+      if (i < ready.size() && deficit_[t] >= ready[i].cost_pages) {
+        deficit_[t] -= ready[i].cost_pages;
+        return i;
+      }
+    }
+    for (;;) {
+      for (std::uint32_t step = 1; step <= count; ++step) {
+        const std::uint32_t t =
+            last_ < 0 ? step - 1
+                      : (static_cast<std::uint32_t>(last_) + step) % count;
+        const std::size_t i = ready_index(ready, t);
+        if (i == ready.size()) continue;
+        last_ = static_cast<std::int64_t>(t);
+        deficit_[t] += quanta_[t];
+        if (deficit_[t] >= ready[i].cost_pages) {
+          deficit_[t] -= ready[i].cost_pages;
+          return i;
+        }
+        break;  // restart the walk after this (still unaffordable) visit
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> quanta_;
+  std::vector<std::uint64_t> deficit_;
+  std::int64_t last_ = -1;
+};
+
+}  // namespace reqblock::testing

@@ -1,0 +1,264 @@
+// Multi-tenant runs under the determinism and checkpoint contracts:
+// byte-identical CSVs (global and per-tenant) at 1, 4, and hardware
+// threads for every arbiter with and without faults and overload; a
+// session checkpointed mid-burst with non-empty per-tenant queues
+// snapshots byte-stably and resumes to byte-identical results; the config
+// fingerprint covers every tenant knob; and a count-of-one tenant block
+// leaves runs (and fingerprints) bit-identical to the default front end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/session.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/mtckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+WorkloadProfile base_profile(std::uint64_t requests = 3000) {
+  WorkloadProfile p;
+  p.name = "mt-base";
+  p.total_requests = requests;
+  p.seed = 23;
+  p.write_ratio = 0.75;
+  p.hot_extents = 96;
+  p.cold_stream_pages = 1 << 15;
+  p.mean_interarrival_ns = 140 * kMicrosecond;
+  return p;
+}
+
+SimOptions tenant_options(ArbiterKind kind, bool faults, bool overload) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  o.tenants.count = 3;
+  o.tenants.arbiter = kind;
+  o.tenants.drr_quantum_pages = 8;
+  TenantSpec noisy;
+  noisy.weight = 1;
+  noisy.rate = 3.0;
+  noisy.burst_len = 150;
+  noisy.burst_period = 900;
+  noisy.burst_factor = 8.0;
+  o.tenants.specs = {TenantSpec{.weight = 4}, TenantSpec{.weight = 2}, noisy};
+  if (overload) {
+    o.overload.queue_depth = 4;
+    o.overload.deadline_ns = 3 * kMillisecond;
+    o.overload.timeout_action = TimeoutAction::kRetry;
+    o.overload.max_retries = 2;
+    o.overload.retry_backoff_ns = 250 * kMicrosecond;
+    o.overload.throttle = true;
+  }
+  if (faults) {
+    o.fault.seed = 9;
+    o.fault.program_fail_prob = 0.01;
+    o.fault.power_loss_every_requests = 800;
+  }
+  return o;
+}
+
+std::string csvs_of(const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  write_results_csv(os, results);
+  write_tenant_csv(os, results);
+  return os.str();
+}
+
+TEST(MultiTenantDeterminismTest, CsvByteIdenticalAcrossThreadCounts) {
+  std::vector<ExperimentCase> cases;
+  for (const ArbiterKind kind : {ArbiterKind::kRoundRobin,
+                                 ArbiterKind::kWeighted,
+                                 ArbiterKind::kDeficit}) {
+    for (const bool faults : {false, true}) {
+      for (const bool overload : {false, true}) {
+        ExperimentCase c;
+        c.profile = base_profile(1500);
+        c.options = tenant_options(kind, faults, overload);
+        c.label = std::string(to_string(kind)) + (faults ? "+f" : "") +
+                  (overload ? "+ov" : "");
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  const std::string serial = csvs_of(run_cases(cases, 1));
+  EXPECT_EQ(serial, csvs_of(run_cases(cases, 4)));
+  EXPECT_EQ(serial, csvs_of(run_cases(cases, 0)));  // hardware concurrency
+  // The per-tenant export actually carries rows for every case.
+  EXPECT_NE(serial.find(",t2,"), std::string::npos);
+}
+
+TEST(MultiTenantCheckpointTest, MidBurstSnapshotIsByteStable) {
+  FullAuditScope audit_scope;
+  for (const ArbiterKind kind : {ArbiterKind::kRoundRobin,
+                                 ArbiterKind::kWeighted,
+                                 ArbiterKind::kDeficit}) {
+    SCOPED_TRACE(to_string(kind));
+    const SimOptions o = tenant_options(kind, false, true);
+    const WorkloadProfile p = base_profile();
+    TenantStreams streams = make_tenant_streams(p, o.tenants);
+    SimulationSession session(o, streams.sources);
+    // Stop inside the noisy tenant's spike so several per-tenant queues
+    // hold in-flight commands.
+    while (session.served() < 1600 && session.step()) {
+    }
+    const auto depths = session.tenant_queue_depths();
+    ASSERT_EQ(depths.size(), 3u);
+    std::size_t busy = 0;
+    for (const std::size_t d : depths) busy += d > 0 ? 1 : 0;
+    ASSERT_GE(busy, 2u)
+        << "checkpoint must land with non-empty per-tenant queues";
+
+    SnapshotWriter w1;
+    session.serialize(w1);
+    const std::string bytes = w1.take();
+    TenantStreams streams2 = make_tenant_streams(p, o.tenants);
+    SimulationSession restored(o, streams2.sources);
+    SnapshotReader r(bytes);
+    restored.deserialize(r);
+    EXPECT_EQ(restored.tenant_queue_depths(), depths);
+    SnapshotWriter w2;
+    restored.serialize(w2);
+    EXPECT_EQ(bytes, w2.take()) << "serialize -> deserialize -> serialize "
+                                   "must reproduce identical bytes";
+  }
+}
+
+TEST(MultiTenantCheckpointTest, ResumeMidBurstMatchesUninterruptedCsv) {
+  FullAuditScope audit_scope;
+  for (const bool faults : {false, true}) {
+    SCOPED_TRACE(faults ? "faults" : "fault-free");
+    const SimOptions o = tenant_options(ArbiterKind::kDeficit, faults, true);
+    const WorkloadProfile p = base_profile();
+
+    TenantStreams whole_streams = make_tenant_streams(p, o.tenants);
+    SimulationSession whole(o, whole_streams.sources);
+    while (whole.step()) {
+    }
+    const RunResult whole_result = whole.finish();
+    ASSERT_GT(whole_result.overload.admitted, 0u);
+
+    const std::string dir = scratch_dir(faults ? "resume_f" : "resume_nf");
+    {
+      TenantStreams streams = make_tenant_streams(p, o.tenants);
+      SimulationSession session(o, streams.sources);
+      while (session.served() < 1600 && session.step()) {
+      }
+      EXPECT_GT(session.queue_in_flight(), 0u);
+      save_session_checkpoint(session, dir, "run", 2);
+    }
+    TenantStreams streams = make_tenant_streams(p, o.tenants);
+    SimulationSession session(o, streams.sources);
+    restore_session_checkpoint(session, find_latest_checkpoint(dir, "run"));
+    while (session.step()) {
+    }
+    EXPECT_EQ(csvs_of({whole_result}), csvs_of({session.finish()}));
+  }
+}
+
+TEST(MultiTenantCheckpointTest, RestoreRefusesMismatchedTenantConfig) {
+  const WorkloadProfile p = base_profile(1200);
+  const SimOptions o = tenant_options(ArbiterKind::kDeficit, false, true);
+  const std::string dir = scratch_dir("refuse");
+  {
+    TenantStreams streams = make_tenant_streams(p, o.tenants);
+    SimulationSession session(o, streams.sources);
+    while (session.served() < 500 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string path = find_latest_checkpoint(dir, "run");
+  ASSERT_FALSE(path.empty());
+
+  const auto refuse = [&](SimOptions other) {
+    TenantStreams streams = make_tenant_streams(p, other.tenants);
+    SimulationSession session(other, streams.sources);
+    EXPECT_THROW(restore_session_checkpoint(session, path), SnapshotError);
+  };
+  SimOptions other = tenant_options(ArbiterKind::kRoundRobin, false, true);
+  refuse(other);
+  other = tenant_options(ArbiterKind::kDeficit, false, true);
+  other.tenants.drr_quantum_pages = 16;
+  refuse(other);
+  other = tenant_options(ArbiterKind::kDeficit, false, true);
+  other.tenants.specs[0].weight = 1;
+  refuse(other);
+
+  TenantStreams streams = make_tenant_streams(p, o.tenants);
+  SimulationSession session(o, streams.sources);
+  EXPECT_NO_THROW(restore_session_checkpoint(session, path));
+}
+
+TEST(MultiTenantCheckpointTest, FingerprintCoversEveryTenantKnob) {
+  const SimOptions base = tenant_options(ArbiterKind::kDeficit, false, false);
+  const std::uint64_t h = config_fingerprint(base);
+  const auto differs = [&](auto mutate) {
+    SimOptions o = tenant_options(ArbiterKind::kDeficit, false, false);
+    mutate(o.tenants);
+    EXPECT_NE(config_fingerprint(o), h);
+  };
+  differs([](TenantOptions& t) { t.count = 2; });
+  differs([](TenantOptions& t) { t.arbiter = ArbiterKind::kWeighted; });
+  differs([](TenantOptions& t) { t.drr_quantum_pages += 1; });
+  differs([](TenantOptions& t) { t.specs[0].weight += 1; });
+  differs([](TenantOptions& t) { t.specs[1].rate = 2.5; });
+  differs([](TenantOptions& t) { t.specs[2].burst_len += 1; });
+  differs([](TenantOptions& t) { t.specs[2].burst_period += 1; });
+  differs([](TenantOptions& t) { t.specs[2].burst_factor = 9.0; });
+}
+
+TEST(MultiTenantCheckpointTest, SingleTenantBlockIsInert) {
+  // A count-of-one tenant block — whatever its inert knobs say — must not
+  // change the fingerprint or the run bytes relative to the default
+  // front end: single-tenant runs stay bit-identical to pre-multi-queue
+  // builds and their stored fingerprints.
+  SimOptions plain = tenant_options(ArbiterKind::kDeficit, false, true);
+  plain.tenants = TenantOptions{};
+  SimOptions dressed = plain;
+  dressed.tenants.arbiter = ArbiterKind::kDeficit;
+  dressed.tenants.drr_quantum_pages = 99;
+  dressed.tenants.specs = {TenantSpec{.weight = 7}};
+  EXPECT_EQ(config_fingerprint(plain), config_fingerprint(dressed));
+
+  const WorkloadProfile p = base_profile(1200);
+  const auto run = [&](const SimOptions& o) {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.step()) {
+    }
+    return session.finish();
+  };
+  const RunResult a = run(plain);
+  const RunResult b = run(dressed);
+  EXPECT_TRUE(a.tenants.empty());
+  EXPECT_EQ(csvs_of({a}), csvs_of({b}));
+}
+
+}  // namespace
+}  // namespace reqblock

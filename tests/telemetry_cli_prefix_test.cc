@@ -1,0 +1,117 @@
+// Regression coverage for the telemetry CLI namespace and the tenant CLI.
+//
+// trace_replay's own --trace (an MSR file path) and --profile (a workload
+// name) used to collide with the telemetry flags of the same names; the
+// telemetry bundle now reads its flags behind a caller-chosen prefix.
+// These tests pin the contract: prefixed flags configure telemetry,
+// unprefixed --trace/--profile are ignored by it, and --attribution works
+// both ways.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+#include "host/tenant.h"
+#include "telemetry/telemetry.h"
+#include "util/args.h"
+
+namespace reqblock {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(TelemetryCliPrefixTest, PrefixedFlagsDoNotCollideWithTraceReplay) {
+  // The exact collision from the bug: --trace names an MSR file and
+  // --profile a workload, while the telemetry flags ride the prefix.
+  const auto args = parse({"prog", "--trace", "/data/msr.csv", "--profile",
+                           "usr_0", "--telemetry-trace", "all",
+                           "--telemetry-trace-buffer", "4096",
+                           "--telemetry-trace-sample", "2",
+                           "--telemetry-snapshot-every", "500",
+                           "--telemetry-profile"});
+  TelemetryOptions t;
+  t.apply_cli(args, "telemetry-");
+  EXPECT_EQ(t.trace.level, TraceLevel::kAll);
+  EXPECT_EQ(t.trace.capacity, 4096u);
+  EXPECT_EQ(t.trace.sample_period, 2u);
+  EXPECT_EQ(t.snapshot_every_requests, 500u);
+  EXPECT_TRUE(t.profile);
+  // trace_replay's own flags are still intact for its own parsing.
+  EXPECT_EQ(args.get_or("trace", ""), "/data/msr.csv");
+  EXPECT_EQ(args.get_or("profile", ""), "usr_0");
+}
+
+TEST(TelemetryCliPrefixTest, UnprefixedFlagsAreIgnoredUnderAPrefix) {
+  // "--trace all --profile" must NOT flip telemetry switches when the
+  // caller asked for the "telemetry-" namespace: those spellings belong
+  // to the binary, not to the bundle.
+  const auto args = parse({"prog", "--trace", "all", "--profile"});
+  TelemetryOptions t;
+  t.apply_cli(args, "telemetry-");
+  EXPECT_EQ(t.trace.level, TraceLevel::kOff);
+  EXPECT_FALSE(t.profile);
+}
+
+TEST(TelemetryCliPrefixTest, AttributionWorksPrefixedAndBare) {
+  // No binary overloads --attribution, so both spellings stay valid.
+  TelemetryOptions bare;
+  bare.apply_cli(parse({"prog", "--attribution"}), "telemetry-");
+  EXPECT_TRUE(bare.attribution);
+  TelemetryOptions prefixed;
+  prefixed.apply_cli(parse({"prog", "--telemetry-attribution"}),
+                     "telemetry-");
+  EXPECT_TRUE(prefixed.attribution);
+}
+
+TEST(TenantCliTest, ParsesTheFullFlagSet) {
+  const auto args = parse({"prog", "--tenants", "3", "--arbiter", "drr",
+                           "--drr-quantum", "8", "--tenant-weights", "4,2,1",
+                           "--tenant-rates", "1,1,4", "--tenant-burst-len",
+                           "0,0,500", "--tenant-burst-period", "0,0,2500",
+                           "--tenant-burst-factor", "8,8,6"});
+  TenantOptions tn;
+  tn.apply_cli(args);
+  EXPECT_EQ(tn.count, 3u);
+  EXPECT_EQ(tn.arbiter, ArbiterKind::kDeficit);
+  EXPECT_EQ(tn.drr_quantum_pages, 8u);
+  EXPECT_EQ(tn.weights(), (std::vector<std::uint32_t>{4, 2, 1}));
+  EXPECT_DOUBLE_EQ(tn.spec(2).rate, 4.0);
+  EXPECT_EQ(tn.spec(2).burst_len, 500u);
+  EXPECT_EQ(tn.spec(2).burst_period, 2500u);
+  EXPECT_DOUBLE_EQ(tn.spec(2).burst_factor, 6.0);
+}
+
+TEST(TenantCliTest, ShortListsPadWithDefaults) {
+  const auto args =
+      parse({"prog", "--tenants", "3", "--tenant-weights", "5"});
+  TenantOptions tn;
+  tn.apply_cli(args);
+  EXPECT_EQ(tn.weights(), (std::vector<std::uint32_t>{5, 1, 1}));
+  EXPECT_DOUBLE_EQ(tn.spec(1).rate, 1.0);
+}
+
+TEST(TenantCliTest, RejectsOverlongListsAndBadValues) {
+  TenantOptions tn;
+  EXPECT_THROW(tn.apply_cli(parse({"prog", "--tenants", "2",
+                                   "--tenant-weights", "1,2,3"})),
+               std::invalid_argument);
+  EXPECT_THROW(tn.apply_cli(parse({"prog", "--tenants", "0"})),
+               std::invalid_argument);
+  EXPECT_THROW(tn.apply_cli(parse({"prog", "--tenants", "2", "--arbiter",
+                                   "lottery"})),
+               std::invalid_argument);
+  EXPECT_THROW(tn.apply_cli(parse({"prog", "--tenants", "2",
+                                   "--tenant-rates", "0"})),
+               std::invalid_argument);
+  // Burst length without a period is half a specification.
+  EXPECT_THROW(tn.apply_cli(parse({"prog", "--tenants", "2",
+                                   "--tenant-burst-len", "0,100"})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reqblock
