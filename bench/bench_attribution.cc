@@ -16,6 +16,7 @@
 // its own line so `grep -v wall_unix_s` yields byte-identical files for
 // same-seed runs (CI proves exactly that).
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -112,9 +113,13 @@ std::string ledger_record(const std::string& trace, const std::string& policy,
         a.total_ns == 0 ? 0.0
                         : static_cast<double>(a.component_ns[i]) /
                               static_cast<double>(a.total_ns);
+    // Truncate, don't round: the exact shares sum to 1, and rounding each
+    // of the 8 components up can push the printed sum past perf_diff's
+    // sum-at-most-1 validation.
+    const double floored = std::floor(share * 1e6) / 1e6;
     os << (i == 0 ? "" : ", ") << "\""
        << to_string(static_cast<AttrComponent>(i))
-       << "\": " << format_double(share, 6);
+       << "\": " << format_double(floored, 6);
   }
   os << "}\n}";
   return os.str();

@@ -1,0 +1,306 @@
+// Long-horizon soak: fresh-device vs end-of-life per-policy deltas on a
+// GC-pressured device, appended as fingerprinted records to
+// BENCH_soak.json.
+//
+// Each policy runs the same drifting workload twice. The *fresh* cell is
+// a clean device; the *aged* cell opens near its rated P/E budget
+// (AgingPlan::initial_pe_cycles) with wear-ramped program/erase faults,
+// read-disturb migration, retention scrubbing, and the end-of-life
+// read-mostly floors armed. Both cells rotate the hot set and cycle the
+// arrival rate (drift/diurnal knobs), so the fresh-vs-aged delta
+// isolates device aging under a workload that refuses to sit still.
+//
+// The footprint is shrunk onto a 2 GB device (same Table 1 geometry
+// ratios) so a multi-million-request soak overwrites the free space
+// several times: garbage collection, wear, and block retirement all
+// accumulate within the run instead of needing billions of requests.
+//
+// Checkpointing: set REQBLOCK_SOAK_CHECKPOINT_DIR to checkpoint every
+// cell (REQBLOCK_SOAK_CHECKPOINT_EVERY served requests, default 200000)
+// into <dir>/<cell>/; a rerun after a kill resumes from the newest
+// checkpoint and produces byte-identical results, exactly like
+// trace_replay --checkpoint-dir.
+//
+// Ledger format matches BENCH_attribution.json (tools/perf_diff reads
+// both): {"records": [...]}, every field deterministic except
+// wall_unix_s on its own line. Soak records append aging columns
+// (retired blocks, refresh traffic, shed writes) after the shared ones;
+// perf_diff ignores fields it does not know.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "sim/checkpoint.h"
+#include "sim/session.h"
+#include "util/atomic_file.h"
+
+namespace reqblock::benchx {
+namespace {
+
+constexpr const char* kLedgerPath = "BENCH_soak.json";
+constexpr const char* kLedgerHead = "{\"records\": [\n";
+constexpr const char* kLedgerTail = "\n]}\n";
+
+/// Request cap the registered cells ran with; report() rebuilds each case
+/// with the same cap so the ledger fingerprints match the executed runs.
+std::uint64_t g_request_cap = 0;
+
+const std::vector<std::string>& soak_policies() { return paper_policies(); }
+
+std::string cell_name(const std::string& policy, bool aged) {
+  return "soak/" + policy + (aged ? "/aged" : "/fresh");
+}
+
+ExperimentCase soak_case(const std::string& policy, bool aged,
+                         std::uint64_t cap) {
+  ExperimentCase c = make_case("usr_0", policy, 8, cap);
+  // Shrink the usr_0 footprint (~1.5 GB logical) onto a 2 GB device so
+  // the soak overwrites the free space repeatedly: GC erases, and with
+  // them wear, happen by the tens of thousands within a few million
+  // requests.
+  c.profile.hot_extents = 2000;
+  c.profile.cold_stream_pages = 1ULL << 16;
+  c.options.ssd.capacity_bytes = 2ULL << 30;
+  // Workload drift in BOTH cells: rotate the hot set a prime step every
+  // 50k requests and swing the arrival rate +/-40% per 120k-request
+  // diurnal cycle. Identical traces keep the fresh-vs-aged comparison a
+  // pure device-aging delta.
+  c.profile.drift_period = 50000;
+  c.profile.drift_step = 211;
+  c.profile.diurnal_period = 120000;
+  c.profile.diurnal_amplitude = 0.4;
+  c.options.telemetry.attribution = true;
+  c.label = cell_name(policy, aged);
+  if (aged) {
+    FaultPlan& f = c.options.fault;
+    f.seed = 0x50a7;
+    f.program_fail_prob = 0.0005;
+    f.read_fail_prob = 0.0002;
+    f.erase_fail_prob = 0.001;
+    AgingPlan& ag = f.aging;
+    // Open at 90% of rated wear: the quadratic endurance ramp starts the
+    // run at ~0.8x its maxima and keeps climbing as GC consumes cycles.
+    ag.rated_pe_cycles = 3000;
+    ag.initial_pe_cycles = 2700;
+    ag.wear_program_fail_max = 0.01;
+    ag.wear_erase_fail_max = 0.02;
+    ag.read_disturb_limit = 128;
+    ag.read_disturb_fail_max = 0.01;
+    ag.retention_age_limit = 500000 * kMillisecond;  // 500 sim-seconds
+    ag.retention_fail_max = 0.005;
+    // End-of-life floors stay at their defaults (auto free-block floor,
+    // no spare floor): the device degrades if retirement eats enough of
+    // a plane, but is not forced read-mostly from the start.
+  }
+  return c;
+}
+
+/// Like bench_common's register_case, plus optional checkpointing via
+/// REQBLOCK_SOAK_CHECKPOINT_DIR (each cell gets its own subdirectory;
+/// reruns resume from the newest checkpoint).
+void register_soak_case(const std::string& name, ExperimentCase c) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [name, c](benchmark::State& state) {
+        std::string dir;
+        if (const char* env = std::getenv("REQBLOCK_SOAK_CHECKPOINT_DIR");
+            env != nullptr && *env != '\0') {
+          dir = std::string(env) + "/";
+          for (const char ch : name) dir += ch == '/' ? '_' : ch;
+        }
+        RunResult result;
+        for (auto _ : state) {
+          SyntheticTraceSource trace(c.profile);
+          if (dir.empty()) {
+            Simulator sim(c.options);
+            result = sim.run(trace);
+          } else {
+            CheckpointOptions ckpt;
+            ckpt.dir = dir;
+            ckpt.every_n_requests = 200000;
+            if (const char* every =
+                    std::getenv("REQBLOCK_SOAK_CHECKPOINT_EVERY");
+                every != nullptr && *every != '\0') {
+              ckpt.every_n_requests = std::strtoull(every, nullptr, 10);
+            }
+            result = run_with_checkpoints(
+                c.options, trace, ckpt, find_latest_checkpoint(dir, "run"));
+          }
+        }
+        state.counters["hit_pct"] = result.hit_ratio() * 100.0;
+        state.counters["p99_ms"] =
+            static_cast<double>(result.response.p99()) / kMillisecond;
+        state.counters["erases"] =
+            static_cast<double>(result.flash.erases);
+        state.counters["retired"] =
+            static_cast<double>(result.fault.blocks_retired);
+        RunStore::instance().add(name, std::move(result));
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void register_benchmarks(std::uint64_t cap) {
+  for (const auto& policy : soak_policies()) {
+    register_soak_case(cell_name(policy, false), soak_case(policy, false, cap));
+    register_soak_case(cell_name(policy, true), soak_case(policy, true, cap));
+  }
+}
+
+double gc_share(const RunResult& r) {
+  const AttributionResult& a = r.attribution;
+  if (a.total_ns == 0) return 0.0;
+  return static_cast<double>(
+             a.component_ns[static_cast<std::size_t>(AttrComponent::kGc)]) /
+         static_cast<double>(a.total_ns);
+}
+
+/// One ledger record; the shared fields mirror bench_attribution so
+/// tools/perf_diff compares soak ledgers unchanged, and the aging block
+/// rides behind them as extra (ignored) columns.
+std::string ledger_record(const std::string& name, const ExperimentCase& c,
+                          const RunResult& r) {
+  // REQB_LINT_ALLOW(no-wallclock): the ledger timestamp records *when*
+  // the benchmark ran, for humans reading the cross-run history. It is
+  // stamped after the deterministic run finished, lives on its own line,
+  // and perf_diff never compares it.
+  const std::int64_t wall_unix_s =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const double sim_seconds = static_cast<double>(r.sim_end) / 1e9;
+  const double throughput =
+      sim_seconds == 0.0 ? 0.0 : static_cast<double>(r.requests) / sim_seconds;
+  std::ostringstream os;
+  os << "{\n"
+     << "\"case\": \"" << name << "\",\n"
+     << "\"config_fingerprint\": " << config_fingerprint(c.options) << ",\n"
+     << "\"trace_fingerprint\": "
+     << SyntheticTraceSource(c.profile).identity_hash() << ",\n"
+     << "\"wall_unix_s\": " << wall_unix_s << ",\n"
+     << "\"requests\": " << r.requests << ",\n"
+     << "\"throughput_rps\": " << format_double(throughput, 3) << ",\n"
+     << "\"p50_ns\": " << r.response.p50() << ",\n"
+     << "\"p99_ns\": " << r.response.p99() << ",\n"
+     << "\"p999_ns\": " << r.response.p999() << ",\n"
+     << "\"mean_ns\": " << static_cast<std::int64_t>(r.response.mean())
+     << ",\n"
+     << "\"hit_pct\": " << format_double(r.hit_ratio() * 100.0, 3) << ",\n"
+     << "\"erases\": " << r.flash.erases << ",\n"
+     << "\"blocks_retired\": " << r.fault.blocks_retired << ",\n"
+     << "\"read_disturb_migrations\": " << r.fault.read_disturb_migrations
+     << ",\n"
+     << "\"retention_scrubs\": " << r.fault.retention_scrubs << ",\n"
+     << "\"degraded_write_sheds\": " << r.fault.degraded_write_sheds << ",\n"
+     << "\"component_share\": {";
+  const AttributionResult& a = r.attribution;
+  for (std::size_t i = 0; i < kAttrComponents; ++i) {
+    const double share =
+        a.total_ns == 0 ? 0.0
+                        : static_cast<double>(a.component_ns[i]) /
+                              static_cast<double>(a.total_ns);
+    // Truncate, don't round: the exact shares sum to 1, and rounding each
+    // of the 8 components up can push the printed sum past perf_diff's
+    // sum-at-most-1 validation.
+    const double floored = std::floor(share * 1e6) / 1e6;
+    os << (i == 0 ? "" : ", ") << "\""
+       << to_string(static_cast<AttrComponent>(i))
+       << "\": " << format_double(floored, 6);
+  }
+  os << "}\n}";
+  return os.str();
+}
+
+/// Appends `records` (comma-joined record texts) to the ledger, creating
+/// it when missing. A file that does not look like a ledger is replaced
+/// rather than corrupted further.
+void append_to_ledger(const std::string& records) {
+  std::string body;
+  std::ifstream in(kLedgerPath);
+  if (in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string existing = buf.str();
+    const std::string head = kLedgerHead;
+    const std::string tail = kLedgerTail;
+    if (existing.size() > head.size() + tail.size() &&
+        existing.compare(0, head.size(), head) == 0 &&
+        existing.compare(existing.size() - tail.size(), tail.size(), tail) ==
+            0) {
+      body = existing.substr(head.size(),
+                             existing.size() - head.size() - tail.size());
+    }
+  }
+  if (!body.empty()) body += ",\n";
+  body += records;
+  write_file_atomic(kLedgerPath, kLedgerHead + body + kLedgerTail);
+}
+
+void report() {
+  TextTable t({"Policy", "device", "hit", "p99 (ms)", "GC share", "erases",
+               "retired", "migr", "scrubs", "sheds"});
+  std::string records;
+  std::uint64_t cells = 0;
+  std::vector<std::string> deltas;
+  for (const auto& policy : soak_policies()) {
+    const RunResult* fresh =
+        RunStore::instance().find(cell_name(policy, false));
+    const RunResult* aged = RunStore::instance().find(cell_name(policy, true));
+    for (const bool is_aged : {false, true}) {
+      const RunResult* r = is_aged ? aged : fresh;
+      if (r == nullptr) continue;
+      t.add_row({policy, is_aged ? "aged" : "fresh",
+                 format_double(r->hit_ratio() * 100.0, 2) + "%",
+                 format_double(static_cast<double>(r->response.p99()) /
+                                   kMillisecond, 2),
+                 format_double(gc_share(*r) * 100.0, 1) + "%",
+                 std::to_string(r->flash.erases),
+                 std::to_string(r->fault.blocks_retired),
+                 std::to_string(r->fault.read_disturb_migrations),
+                 std::to_string(r->fault.retention_scrubs),
+                 std::to_string(r->fault.degraded_write_sheds)});
+      if (!records.empty()) records += ",\n";
+      records += ledger_record(cell_name(policy, is_aged),
+                               soak_case(policy, is_aged, g_request_cap), *r);
+      ++cells;
+    }
+    if (fresh != nullptr && aged != nullptr) {
+      const double p99_fresh =
+          static_cast<double>(fresh->response.p99()) / kMillisecond;
+      const double p99_aged =
+          static_cast<double>(aged->response.p99()) / kMillisecond;
+      std::ostringstream d;
+      d << policy << ": p99 " << format_double(p99_fresh, 2) << " -> "
+        << format_double(p99_aged, 2) << " ms, hit "
+        << format_double(fresh->hit_ratio() * 100.0, 2) << " -> "
+        << format_double(aged->hit_ratio() * 100.0, 2) << "%, "
+        << aged->fault.blocks_retired << " blocks retired";
+      deltas.push_back(d.str());
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nFresh -> aged deltas:\n";
+  for (const auto& d : deltas) std::cout << "  " << d << "\n";
+  if (cells > 0) {
+    append_to_ledger(records);
+    std::cout << "Appended " << cells << " records to " << kLedgerPath
+              << "\n";
+  }
+  expect_line("aging effect",
+              "worn device retires blocks and lifts the tail",
+              "see aged rows: retired > 0, p99(aged) >= p99(fresh)");
+}
+
+}  // namespace
+}  // namespace reqblock::benchx
+
+int main(int argc, char** argv) {
+  using namespace reqblock::benchx;
+  g_request_cap = reqblock::bench_request_cap(2000000);
+  register_benchmarks(g_request_cap);
+  return bench_main(argc, argv, report,
+                    "Soak: fresh vs aged device, drifting workload");
+}

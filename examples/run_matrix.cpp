@@ -34,11 +34,20 @@ int main(int argc, char** argv) try {
                  " [--fault-read-fail P] [--fault-erase-fail P]"
                  " [--fault-retries N] [--fault-spares N]"
                  " [--fault-power-loss-every N]\n"
+                 "device aging: [--aging-rated-pe N]"
+                 " [--aging-wear-program-max P] [--aging-wear-erase-max P]"
+                 " [--aging-initial-pe N] [--aging-read-disturb-limit N]"
+                 " [--aging-read-disturb-max P]"
+                 " [--aging-retention-limit-ms MS] [--aging-retention-max P]"
+                 " [--aging-eol-floor N] [--aging-eol-margin N]"
+                 " [--aging-eol-spare-floor N]\n"
                  "overload: [--queue-depth N] [--deadline-us US]"
                  " [--queue-retries N] [--queue-backoff-us US]"
                  " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
                  "burst arrivals: [--burst-len N] [--burst-period N]"
                  " [--burst-factor X] [--burst-idle X]\n"
+                 "workload drift: [--drift-period N] [--drift-step N]"
+                 " [--diurnal-period N] [--diurnal-amplitude A]\n"
                  "tenants: [--tenants N] [--arbiter rr|wrr|drr]"
                  " [--drr-quantum PAGES] [--tenant-weights W,..]"
                  " [--tenant-rates R,..] [--tenant-burst-len N,..]"
@@ -60,6 +69,13 @@ int main(int argc, char** argv) try {
       args.get_double_strict("burst-factor", profile.burst_arrival_factor);
   profile.burst_idle_factor =
       args.get_double_strict("burst-idle", profile.burst_idle_factor);
+  profile.drift_period =
+      args.get_u64_strict("drift-period", profile.drift_period);
+  profile.drift_step = args.get_u64_strict("drift-step", profile.drift_step);
+  profile.diurnal_period =
+      args.get_u64_strict("diurnal-period", profile.diurnal_period);
+  profile.diurnal_amplitude = args.get_double_strict(
+      "diurnal-amplitude", profile.diurnal_amplitude);
 
   std::vector<std::string> policies;
   if (const auto list = args.get("policies")) {
@@ -100,6 +116,7 @@ int main(int argc, char** argv) try {
 
   results_table(results).print(std::cout);
   for (const auto& r : results) write_fault_summary(std::cout, r);
+  for (const auto& r : results) write_aging_summary(std::cout, r);
   for (const auto& r : results) write_overload_summary(std::cout, r);
   for (const auto& r : results) write_tenant_summary(std::cout, r);
 

@@ -58,6 +58,16 @@ std::unique_ptr<TraceSource> open_trace(const ArgParser& args) {
       args.get_double_strict("burst-factor", profile.burst_arrival_factor);
   profile.burst_idle_factor =
       args.get_double_strict("burst-idle", profile.burst_idle_factor);
+  // Workload drift (long-horizon soaks): --drift-period rotates the hot
+  // set by --drift-step extents every period; --diurnal-period/-amplitude
+  // cycle the arrival rate.
+  profile.drift_period =
+      args.get_u64_strict("drift-period", profile.drift_period);
+  profile.drift_step = args.get_u64_strict("drift-step", profile.drift_step);
+  profile.diurnal_period =
+      args.get_u64_strict("diurnal-period", profile.diurnal_period);
+  profile.diurnal_amplitude = args.get_double_strict(
+      "diurnal-amplitude", profile.diurnal_amplitude);
   return std::make_unique<SyntheticTraceSource>(profile);
 }
 
@@ -76,6 +86,13 @@ int main(int argc, char** argv) try {
                  " [--fault-read-fail P] [--fault-erase-fail P]"
                  " [--fault-retries N] [--fault-spares N]"
                  " [--fault-power-loss-every N]\n"
+                 "device aging: [--aging-rated-pe N]"
+                 " [--aging-wear-program-max P] [--aging-wear-erase-max P]"
+                 " [--aging-initial-pe N] [--aging-read-disturb-limit N]"
+                 " [--aging-read-disturb-max P]"
+                 " [--aging-retention-limit-ms MS] [--aging-retention-max P]"
+                 " [--aging-eol-floor N] [--aging-eol-margin N]"
+                 " [--aging-eol-spare-floor N]\n"
                  "overload: [--queue-depth N] [--deadline-us US]"
                  " [--queue-retries N] [--queue-backoff-us US]"
                  " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
@@ -90,6 +107,9 @@ int main(int argc, char** argv) try {
                  " [--attribution]\n"
                  "burst arrivals (synthetic only): [--burst-len N]"
                  " [--burst-period N] [--burst-factor X] [--burst-idle X]\n"
+                 "workload drift (synthetic only): [--drift-period N]"
+                 " [--drift-step N] [--diurnal-period N]"
+                 " [--diurnal-amplitude A]\n"
                  "checkpointing: [--checkpoint-dir DIR]"
                  " [--checkpoint-every-n REQS] [--resume-from FILE]\n"
                  "profiles: hm_1 lun_1 usr_0 src1_2 ts_0 proj_0\n"
@@ -160,6 +180,7 @@ int main(int argc, char** argv) try {
 
   results_table({result}).print(std::cout);
   write_fault_summary(std::cout, result);
+  write_aging_summary(std::cout, result);
   write_overload_summary(std::cout, result);
   write_tenant_summary(std::cout, result);
   if (const auto csv_path = args.get("tenant-csv")) {

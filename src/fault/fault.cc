@@ -27,6 +27,7 @@ void FaultPlan::validate() const {
   if (max_program_retries == 0) {
     throw std::invalid_argument("max_program_retries must be >= 1");
   }
+  aging.validate();
 }
 
 void FaultPlan::apply_cli(const ArgParser& args) {
@@ -41,31 +42,46 @@ void FaultPlan::apply_cli(const ArgParser& args) {
       args.get_u64_or("fault-spares", spare_blocks_per_plane));
   power_loss_every_requests =
       args.get_u64_or("fault-power-loss-every", power_loss_every_requests);
+  aging.apply_cli(args);
 }
 
+namespace {
+
+/// Combined base + aging probability, held below 1 so every bounded
+/// retry/retire loop still terminates on a success branch.
+double combined_prob(double base, double extra) {
+  const double p = base + extra;
+  return p < 0.999 ? p : 0.999;
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(const FaultPlan& plan)
-    : plan_(plan), rng_(plan.seed) {
+    : plan_(plan), aging_(plan.aging), rng_(plan.seed) {
   plan_.validate();
   metrics_.enabled = plan_.enabled();
 }
 
-bool FaultInjector::inject_program_fault() {
-  if (plan_.program_fail_prob <= 0.0) return false;
-  if (!rng_.next_bool(plan_.program_fail_prob)) return false;
+bool FaultInjector::inject_program_fault(double extra) {
+  const double p = combined_prob(plan_.program_fail_prob, extra);
+  if (p <= 0.0) return false;
+  if (!rng_.next_bool(p)) return false;
   ++metrics_.program_faults;
   return true;
 }
 
-bool FaultInjector::inject_read_fault() {
-  if (plan_.read_fail_prob <= 0.0) return false;
-  if (!rng_.next_bool(plan_.read_fail_prob)) return false;
+bool FaultInjector::inject_read_fault(double extra) {
+  const double p = combined_prob(plan_.read_fail_prob, extra);
+  if (p <= 0.0) return false;
+  if (!rng_.next_bool(p)) return false;
   ++metrics_.read_faults;
   return true;
 }
 
-bool FaultInjector::inject_erase_fault() {
-  if (plan_.erase_fail_prob <= 0.0) return false;
-  if (!rng_.next_bool(plan_.erase_fail_prob)) return false;
+bool FaultInjector::inject_erase_fault(double extra) {
+  const double p = combined_prob(plan_.erase_fail_prob, extra);
+  if (p <= 0.0) return false;
+  if (!rng_.next_bool(p)) return false;
   ++metrics_.erase_faults;
   return true;
 }
@@ -103,6 +119,14 @@ void FaultMetrics::serialize(SnapshotWriter& w) const {
   w.u64(power_loss_events);
   w.u64(lost_dirty_pages);
   w.i64(recovery_time_total);
+  w.u64(read_disturb_migrations);
+  w.u64(read_disturb_pages_moved);
+  w.u64(retention_scrubs);
+  w.u64(retention_pages_moved);
+  w.u64(wear_threshold_crossings);
+  w.u64(degraded_mode_enters);
+  w.u64(degraded_mode_exits);
+  w.u64(degraded_write_sheds);
 }
 
 void FaultMetrics::deserialize(SnapshotReader& r) {
@@ -118,6 +142,14 @@ void FaultMetrics::deserialize(SnapshotReader& r) {
   power_loss_events = r.u64();
   lost_dirty_pages = r.u64();
   recovery_time_total = r.i64();
+  read_disturb_migrations = r.u64();
+  read_disturb_pages_moved = r.u64();
+  retention_scrubs = r.u64();
+  retention_pages_moved = r.u64();
+  wear_threshold_crossings = r.u64();
+  degraded_mode_enters = r.u64();
+  degraded_mode_exits = r.u64();
+  degraded_write_sheds = r.u64();
 }
 
 void FaultInjector::serialize(SnapshotWriter& w) const {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/aging.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -64,11 +65,18 @@ struct FaultPlan {
   /// rebuild work is proportional to what was in flight).
   SimTime recovery_replay_per_page = 10 * kMicrosecond;
 
+  // --- Device aging -----------------------------------------------------
+  /// Lifetime fault ramps and end-of-life behavior (src/fault/aging.h).
+  /// Rides inside the fault plan so both share one seed, one injector,
+  /// and one RNG stream.
+  AgingPlan aging;
+
   /// True when any fault class can fire. Disabled plans are never wired,
   /// so the hot paths keep their fault-free behavior bit-for-bit.
   bool enabled() const {
     return program_fail_prob > 0.0 || read_fail_prob > 0.0 ||
-           erase_fail_prob > 0.0 || power_loss_every_requests > 0;
+           erase_fail_prob > 0.0 || power_loss_every_requests > 0 ||
+           aging.enabled();
   }
 
   /// Throws std::invalid_argument on out-of-range probabilities.
@@ -76,8 +84,10 @@ struct FaultPlan {
 
   /// Reads the standard CLI flags: --fault-seed, --fault-program-fail,
   /// --fault-read-fail, --fault-erase-fail, --fault-retries,
-  /// --fault-spares, --fault-power-loss-every. Flags the parser does not
-  /// carry keep their current value.
+  /// --fault-spares, --fault-power-loss-every, plus every --aging-* flag
+  /// (AgingPlan::apply_cli). Both drivers funnel through this one method,
+  /// so trace_replay and run_matrix accept the identical flag set. Flags
+  /// the parser does not carry keep their current value.
   void apply_cli(const ArgParser& args);
 };
 
@@ -96,6 +106,23 @@ struct FaultMetrics {
   std::uint64_t lost_dirty_pages = 0;  // dirty pages dropped by power loss
   SimTime recovery_time_total = 0;     // summed recovery-replay stalls
 
+  // --- Aging (reconciled 1:1 against the aging EventKinds) -------------
+  std::uint64_t read_disturb_migrations = 0;  // kReadDisturbMigrate events
+  std::uint64_t read_disturb_pages_moved = 0;  // sum of their page args
+  std::uint64_t retention_scrubs = 0;          // kRetentionScrub events
+  std::uint64_t retention_pages_moved = 0;     // sum of their page args
+  std::uint64_t wear_threshold_crossings = 0;  // kWearThreshold events
+  std::uint64_t degraded_mode_enters = 0;      // kDegradedModeEnter events
+  std::uint64_t degraded_mode_exits = 0;       // kDegradedModeExit events
+  std::uint64_t degraded_write_sheds = 0;  // host writes shed in read-mostly
+
+  /// True when any aging mechanism left a trace in this run.
+  bool any_aging() const {
+    return read_disturb_migrations > 0 || retention_scrubs > 0 ||
+           wear_threshold_crossings > 0 || degraded_mode_enters > 0 ||
+           degraded_write_sheds > 0;
+  }
+
   void serialize(SnapshotWriter& w) const;
   void deserialize(SnapshotReader& r);
 };
@@ -106,13 +133,22 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  /// Ramp math for the plan's aging block (enabled() is false when the
+  /// plan carries no aging).
+  const AgingModel& aging() const { return aging_; }
+
   /// Draws, in device-operation order, from the single stream. Each
-  /// returns true when the fault fires and counts it. A zero probability
-  /// never touches the RNG, so unrelated fault classes do not perturb
-  /// each other's sequences when toggled off.
-  bool inject_program_fault();
-  bool inject_read_fault();
-  bool inject_erase_fault();
+  /// returns true when the fault fires and counts it. `extra` is the
+  /// age-dependent addition (AgingModel ramps) folded into the same
+  /// single draw; the combined probability is clamped below 1 so the
+  /// bounded retry/retire paths stay reachable. A zero combined
+  /// probability never touches the RNG, so unrelated fault classes do
+  /// not perturb each other's sequences when toggled off — and aged runs
+  /// with zero base probabilities draw exactly one variate per
+  /// instrumented operation, same as base-fault runs.
+  bool inject_program_fault(double extra = 0.0);
+  bool inject_read_fault(double extra = 0.0);
+  bool inject_erase_fault(double extra = 0.0);
 
   /// Chip backoff for the next retry after a failed program: the base
   /// doubles per consecutive failure on that chip (capped at 2^6x) and
@@ -140,6 +176,7 @@ class FaultInjector {
 
  private:
   FaultPlan plan_;
+  AgingModel aging_;
   Rng rng_;
   std::vector<std::uint32_t> chip_fail_streak_;
   FaultMetrics metrics_;

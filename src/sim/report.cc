@@ -64,6 +64,12 @@ void write_results_csv(std::ostream& os,
   const bool any_overload =
       std::any_of(results.begin(), results.end(),
                   [](const RunResult& r) { return r.overload.enabled; });
+  // Aging columns follow the same rule: they appear only when some run
+  // actually aged (any_aging() looks at the counters, not the plan, so a
+  // plan that never fired keeps the historical layout).
+  const bool any_aging =
+      std::any_of(results.begin(), results.end(),
+                  [](const RunResult& r) { return r.fault.any_aging(); });
   os << "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
         "p95_ns,p99_ns,p999_ns,flash_writes,flash_reads,gc_moves,erases,"
         "waf,pages_per_evict,metadata_pct,channel_util,chip_util";
@@ -76,6 +82,11 @@ void write_results_csv(std::ostream& os,
     os << ",queue_p50_ns,queue_p95_ns,queue_p99_ns,queue_p999_ns,"
           "queue_wait_ns,timeouts,sheds,retries,throttle_events,"
           "throttle_ns,bg_flush_batches,bg_flush_pages";
+  }
+  if (any_aging) {
+    os << ",disturb_migrations,disturb_pages_moved,retention_scrubs,"
+          "retention_pages_moved,wear_threshold_crossings,"
+          "degraded_enters,degraded_exits,degraded_write_sheds";
   }
   os << '\n';
   for (const auto& r : results) {
@@ -109,6 +120,15 @@ void write_results_csv(std::ostream& os,
          << r.overload.throttle_delay_total << ','
          << r.cache.bg_flush_batches << ',' << r.cache.bg_flush_pages;
     }
+    if (any_aging) {
+      os << ',' << r.fault.read_disturb_migrations << ','
+         << r.fault.read_disturb_pages_moved << ','
+         << r.fault.retention_scrubs << ','
+         << r.fault.retention_pages_moved << ','
+         << r.fault.wear_threshold_crossings << ','
+         << r.fault.degraded_mode_enters << ',' << r.fault.degraded_mode_exits
+         << ',' << r.fault.degraded_write_sheds;
+    }
     os << '\n';
   }
 }
@@ -130,6 +150,27 @@ void write_fault_summary(std::ostream& os, const RunResult& r) {
              "recovery time",
              format_double(static_cast<double>(r.fault.recovery_time_total) /
                                kMillisecond, 2) + "ms"});
+  t.print(os);
+}
+
+void write_aging_summary(std::ostream& os, const RunResult& r) {
+  if (!r.fault.any_aging()) return;
+  os << "Device aging (" << r.trace_name << " / " << r.policy_name << ")\n";
+  TextTable t({"wear & refresh", "count", "end of life", "count"});
+  t.add_row({"disturb migrations",
+             std::to_string(r.fault.read_disturb_migrations),
+             "degraded enters", std::to_string(r.fault.degraded_mode_enters)});
+  t.add_row({"disturb pages moved",
+             std::to_string(r.fault.read_disturb_pages_moved),
+             "degraded exits", std::to_string(r.fault.degraded_mode_exits)});
+  t.add_row({"retention scrubs", std::to_string(r.fault.retention_scrubs),
+             "writes shed", std::to_string(r.fault.degraded_write_sheds)});
+  t.add_row({"retention pages moved",
+             std::to_string(r.fault.retention_pages_moved),
+             "blocks retired", std::to_string(r.fault.blocks_retired)});
+  t.add_row({"rated-wear crossings",
+             std::to_string(r.fault.wear_threshold_crossings),
+             "degraded planes", std::to_string(r.fault.degraded_planes)});
   t.print(os);
 }
 

@@ -29,14 +29,22 @@ double metadata_percent(const RunResult& r);
 /// When at least one run injected faults, the fault columns
 /// (program_faults .. recovery_ns) are appended; likewise the overload
 /// columns (queue_p50_ns .. bg_flush_pages) appear only when some run
-/// enabled overload protection. Fault-free, overload-free exports keep
-/// the historical layout byte for byte.
+/// enabled overload protection, and the aging columns
+/// (disturb_migrations .. degraded_write_sheds) only when some run's aging
+/// counters fired. Fault-free, overload-free, un-aged exports keep the
+/// historical layout byte for byte.
 void write_results_csv(std::ostream& os,
                        const std::vector<RunResult>& results);
 
 /// Fault-injection summary table of one run (counts per fault class and
 /// their outcomes). Prints nothing when the run injected no faults.
 void write_fault_summary(std::ostream& os, const RunResult& r);
+
+/// Device-aging summary of one run: refresh traffic (read-disturb
+/// migrations, retention scrubs), rated-wear crossings, and end-of-life
+/// accounting (degraded-mode transitions, shed writes, retired blocks).
+/// Prints nothing when the run never aged (FaultMetrics::any_aging()).
+void write_aging_summary(std::ostream& os, const RunResult& r);
 
 /// Overload-protection summary of one run: admission/SLO accounting
 /// (queue-wait percentiles, timeouts, sheds, retries), background-flush

@@ -66,6 +66,24 @@ std::uint64_t config_fingerprint(const SimOptions& o) {
   fp.add(f.power_loss_every_requests);
   fp.add_i64(f.power_loss_downtime);
   fp.add_i64(f.recovery_replay_per_page);
+  // The aging block folds in only when the plan can alter a run: historical
+  // fingerprints (and stored results keyed by them) stay valid, while any
+  // aging knob change refuses a mismatched restore.
+  const AgingPlan& ag = f.aging;
+  if (ag.enabled()) {
+    fp.add_string("aging");
+    fp.add(ag.rated_pe_cycles);
+    fp.add_double(ag.wear_program_fail_max);
+    fp.add_double(ag.wear_erase_fail_max);
+    fp.add(ag.initial_pe_cycles);
+    fp.add(ag.read_disturb_limit);
+    fp.add_double(ag.read_disturb_fail_max);
+    fp.add_i64(ag.retention_age_limit);
+    fp.add_double(ag.retention_fail_max);
+    fp.add(ag.eol_free_block_floor);
+    fp.add(ag.eol_exit_margin);
+    fp.add(ag.eol_spare_floor);
+  }
   const OverloadOptions& ov = o.overload;
   fp.add(ov.queue_depth);
   fp.add_i64(ov.deadline_ns);
@@ -333,6 +351,21 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
     // Waiting out power-loss recovery is fault time by definition.
     out.bd[AttrComponent::kFaultRetry] = resume_at_ - req.arrival;
     req.arrival = resume_at_;
+  }
+  // End-of-life read-mostly mode: an aged-out device sheds host writes
+  // (reads still serve) instead of driving the allocator into an assert.
+  // The drop reuses the admission shed path — the request consumed its
+  // trace slot and counts as an arrival but never completes — and counts
+  // in FaultMetrics::degraded_write_sheds rather than the queue's sheds,
+  // keeping the overload identity (timeouts == retries + sheds) intact.
+  if (fault_ != nullptr && options_.fault.aging.enabled() && req.is_write() &&
+      ftl_->update_degraded_mode(req.arrival)) {
+    ++fault_->metrics().degraded_write_sheds;
+    out.shed = true;
+    out.service_start = req.arrival;
+    out.done = req.arrival;
+    if (req.arrival > arb_now_) arb_now_ = req.arrival;
+    return out;
   }
   // GC-pressure throttle: stretch host writes deterministically when the
   // fullest plane nears the collection threshold, before they compete for

@@ -138,10 +138,14 @@ class SnapshotReader {
 // flash kinds, and sessions/results carry admission-queue + SLO state.
 // Version 3: EventKind gained kAttrSpan after kBlockRetire, and
 // sessions/results carry the latency-attribution section.
-/// v4: multi-queue sessions — per-tenant blocks (pre-pulled head, trace
-/// cursor, admission queue, accounting), arbiter state, and the
-/// arbitration clock replace the single trace/queue layout.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 4;
+// v4: multi-queue sessions — per-tenant blocks (pre-pulled head, trace
+// cursor, admission queue, accounting), arbiter state, and the
+// arbitration clock replace the single trace/queue layout.
+/// v5: device aging — per-block wear state (read counters, data-age
+/// stamps) in the flash array, aging counters in the fault metrics,
+/// degraded-mode state in the FTL, and EventKind gained the aging kinds
+/// after kAttrSpan.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 5;
 
 /// Identity carried alongside the payload and validated before restore.
 struct SnapshotHeader {

@@ -181,9 +181,54 @@ void FlashArray::erase_block(std::uint32_t plane, std::uint32_t block) {
   }
   b.write_ptr = 0;
   b.invalid_count = 0;
+  b.read_count = 0;
+  b.data_origin = 0;
   ++b.erase_count;
   ++total_erases_;
   pl.free_list.push_back(block);
+}
+
+FlashArray::BlockWear FlashArray::block_wear(std::uint32_t plane,
+                                             std::uint32_t block) const {
+  const Block& b = block_at(plane, block);
+  return BlockWear{b.erase_count, b.read_count, b.data_origin};
+}
+
+void FlashArray::note_read(std::uint32_t plane, std::uint32_t block) {
+  ++block_at(plane, block).read_count;
+}
+
+void FlashArray::note_program(Ppn ppn, SimTime now) {
+  const PhysAddr a = amap_.to_addr(ppn);
+  Block& b = block_at(amap_.plane_of(ppn), a.block);
+  b.read_count = 0;
+  if (a.page == 0) b.data_origin = now;
+}
+
+void FlashArray::pre_age(std::uint32_t cycles) {
+  REQB_CHECK_MSG(total_erases_ == 0 && initial_pe_ == 0,
+                 "pre_age must run at wiring time, before any traffic");
+  if (cycles == 0) return;
+  initial_pe_ = cycles;
+  for (Plane& pl : planes_) {
+    for (Block& b : pl.blocks) b.erase_count += cycles;
+  }
+}
+
+std::uint64_t FlashArray::reclaimable_blocks(std::uint32_t plane) const {
+  REQB_DCHECK(plane < planes_.size());
+  const Plane& pl = planes_[plane];
+  const std::uint64_t usable =
+      pl.blocks.size() - pl.retired_count - pl.spare_list.size();
+  const std::uint64_t data_blocks =
+      (pl.valid_pages + cfg_.pages_per_block - 1) / cfg_.pages_per_block;
+  return usable > data_blocks ? usable - data_blocks : 0;
+}
+
+std::uint64_t FlashArray::spares_total() const {
+  std::uint64_t total = 0;
+  for (const Plane& pl : planes_) total += pl.spare_list.size();
+  return total;
 }
 
 std::uint32_t FlashArray::erase_count(std::uint32_t plane,
@@ -231,6 +276,8 @@ bool FlashArray::retire_block(std::uint32_t plane, std::uint32_t block) {
   }
   b.write_ptr = 0;
   b.invalid_count = 0;
+  b.read_count = 0;
+  b.data_origin = 0;
   b.retired = true;
   ++pl.retired_count;
   ++total_retired_;
@@ -342,6 +389,9 @@ void FlashArray::audit(AuditReport& report) const {
                          blk.invalid_count == 0,
                      plane_tag + " free block " + std::to_string(b) +
                          " is not empty");
+      REQB_AUDIT_MSG(report, blk.read_count == 0 && blk.data_origin == 0,
+                     plane_tag + " free block " + std::to_string(b) +
+                         " carries stale wear state");
       REQB_AUDIT_MSG(report, !blk.retired,
                      plane_tag + " retired block " + std::to_string(b) +
                          " is on the free list");
@@ -383,7 +433,16 @@ void FlashArray::audit(AuditReport& report) const {
                            blk.invalid_count == 0,
                        tag + " retired but not empty");
         REQB_AUDIT_MSG(report, b != pl.active, tag + " retired yet active");
+        REQB_AUDIT_MSG(report,
+                       blk.read_count == 0 && blk.data_origin == 0,
+                       tag + " retired but carries wear state");
       }
+      REQB_AUDIT_MSG(report, blk.erase_count >= initial_pe_,
+                     tag + " P/E count " + std::to_string(blk.erase_count) +
+                         " fell below the pre-age floor " +
+                         std::to_string(initial_pe_));
+      REQB_AUDIT_MSG(report, blk.write_ptr > 0 || blk.read_count == 0,
+                     tag + " counts reads but holds no programmed pages");
       REQB_AUDIT_MSG(report,
                      blk.valid_count + blk.invalid_count == blk.write_ptr,
                      tag + " counters " + std::to_string(blk.valid_count) +
@@ -422,7 +481,42 @@ void FlashArray::audit(AuditReport& report) const {
                    plane_tag + " holds " + std::to_string(plane_retired) +
                        " retired blocks, counter says " +
                        std::to_string(pl.retired_count));
+
+    // Retired blocks must be invisible to GC victim selection: any heap
+    // entry whose invalid count still matches the live block (the only
+    // entries pick_gc_victim will act on) must point at an in-service
+    // block.
+    auto heap = pl.gc_heap;
+    while (!heap.empty()) {
+      const auto [cnt, b] = heap.top();
+      heap.pop();
+      if (b >= pl.blocks.size()) continue;  // stale beyond range
+      const Block& blk = pl.blocks[b];
+      if (blk.invalid_count != cnt || cnt == 0) continue;  // stale entry
+      REQB_AUDIT_MSG(report, !blk.retired,
+                     plane_tag + " GC heap holds live entry for retired "
+                                 "block " + std::to_string(b));
+    }
   }
+
+  // P/E accounting closes: every erase either rode total_erases_ or was
+  // part of the uniform pre-age.
+  std::uint64_t erase_sum = 0;
+  std::uint64_t block_count = 0;
+  for (const auto& plane : planes_) {
+    for (const auto& block : plane.blocks) {
+      erase_sum += block.erase_count;
+      ++block_count;
+    }
+  }
+  REQB_AUDIT_MSG(
+      report,
+      erase_sum == total_erases_ +
+                       static_cast<std::uint64_t>(initial_pe_) * block_count,
+      "per-block P/E counts sum to " + std::to_string(erase_sum) +
+          ", expected total_erases " + std::to_string(total_erases_) +
+          " + pre-age " + std::to_string(initial_pe_) + " x " +
+          std::to_string(block_count) + " blocks");
 }
 
 void FlashArray::serialize(SnapshotWriter& w) const {
@@ -454,6 +548,8 @@ void FlashArray::serialize(SnapshotWriter& w) const {
       w.u16(b.valid_count);
       w.u16(b.invalid_count);
       w.u32(b.erase_count);
+      w.u32(b.read_count);
+      w.i64(b.data_origin);
       w.b(b.marked_bad);
       w.b(b.retired);
       // Page storage is lazily allocated; only written pages carry state.
@@ -496,6 +592,8 @@ void FlashArray::deserialize(SnapshotReader& r) {
       b.valid_count = r.u16();
       b.invalid_count = r.u16();
       b.erase_count = r.u32();
+      b.read_count = r.u32();
+      b.data_origin = r.i64();
       b.marked_bad = r.b();
       b.retired = r.b();
       if (b.write_ptr > cfg_.pages_per_block) {

@@ -79,6 +79,9 @@ class FlashArray {
   /// Closes the plane's active block (next program allocates a fresh
   /// one). Used after the active block is declared bad mid-write.
   void close_active(std::uint32_t plane);
+  bool is_active(std::uint32_t plane, std::uint32_t block) const {
+    return planes_[plane].active == block;
+  }
 
   /// True when the plane can afford to permanently lose one more block:
   /// after the retirement it could still hold its current valid data plus
@@ -105,6 +108,40 @@ class FlashArray {
   std::uint64_t total_erases() const { return total_erases_; }
   std::uint32_t erase_count(std::uint32_t plane, std::uint32_t block) const;
   std::uint64_t valid_page_count(std::uint32_t plane) const;
+
+  // --- Per-block wear state (aging subsystem) -------------------------
+
+  /// Wear view of one block, the inputs to the AgingModel ramps.
+  struct BlockWear {
+    std::uint32_t pe_cycles = 0;    // erase count (pre-age included)
+    std::uint32_t read_count = 0;   // reads since the last program
+    SimTime data_origin = 0;        // when the block's data epoch began
+  };
+  BlockWear block_wear(std::uint32_t plane, std::uint32_t block) const;
+
+  /// Counts one read against the block (read-disturb accounting).
+  void note_read(std::uint32_t plane, std::uint32_t block);
+
+  /// Wear bookkeeping for a page just programmed: the block's read count
+  /// resets (programming refreshes the cell charge the disturb model
+  /// tracks) and the first page after an erase stamps the data epoch.
+  void note_program(Ppn ppn, SimTime now);
+
+  /// Pre-ages every block by `cycles` P/E cycles, so a run opens mid-life
+  /// or near end-of-life. Wiring-time only, before any traffic; uniform,
+  /// so relative wear ordering (and wear-aware GC) is unchanged.
+  void pre_age(std::uint32_t cycles);
+  std::uint32_t initial_pe_cycles() const { return initial_pe_; }
+
+  /// Blocks the plane could free by moving every valid page elsewhere:
+  /// usable capacity minus the blocks its current data needs. The
+  /// end-of-life floor watches this — unlike the transient free count it
+  /// does not dip during normal GC, and unlike total valid pages it
+  /// recovers when overwrites invalidate a stuck plane's data.
+  std::uint64_t reclaimable_blocks(std::uint32_t plane) const;
+
+  /// Spare blocks left across all planes (end-of-life spare floor).
+  std::uint64_t spares_total() const;
 
   /// Wear distribution across all blocks (endurance view; the paper's
   /// Table 1 device context — QLC-era parts tolerate ~500 P/E cycles).
@@ -140,6 +177,8 @@ class FlashArray {
     std::uint16_t valid_count = 0;
     std::uint16_t invalid_count = 0;
     std::uint32_t erase_count = 0;
+    std::uint32_t read_count = 0;  // reads since last program (disturb)
+    SimTime data_origin = 0;       // epoch stamp of the current data
     bool marked_bad = false;  // retries exhausted; retire at next erase
     bool retired = false;     // permanently out of service
   };
@@ -169,6 +208,7 @@ class FlashArray {
   std::vector<Plane> planes_;
   std::uint64_t total_erases_ = 0;
   std::uint64_t total_retired_ = 0;
+  std::uint32_t initial_pe_ = 0;  // uniform pre-age applied at wiring
 };
 
 }  // namespace reqblock

@@ -41,9 +41,11 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue, OpAttribution* attr) {
   if (it == l2p_.end()) {
     if (in_preexisting(lpn)) {
       // Pre-conditioned data: full flash-read timing from the plane the
-      // page would statically live on, version 0.
+      // page would statically live on, version 0. No physical block
+      // exists, so the aging ramps see none of these reads.
       const auto plane = static_cast<std::uint32_t>(lpn % cfg_.total_planes());
-      const SimTime done = flash_read(plane, lpn, issue, attr);
+      const SimTime done =
+          flash_read(plane, FlashArray::kNoBlock, lpn, issue, attr);
       return {done, 0, true};
     }
     // Reading a never-written page: served by the controller (zero-fill),
@@ -52,17 +54,36 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue, OpAttribution* attr) {
     return {issue + cfg_.cache_access_latency, 0, false};
   }
   const Ppn ppn = it->second;
-  const SimTime done = flash_read(amap_.plane_of(ppn), lpn, issue, attr);
+  const SimTime done = flash_read(amap_.plane_of(ppn),
+                                  amap_.to_addr(ppn).block, lpn, issue, attr);
   return {done, version_of(lpn), true};
 }
 
-SimTime Ftl::flash_read(std::uint32_t plane, Lpn lpn, SimTime issue,
-                        OpAttribution* attr) {
+SimTime Ftl::flash_read(std::uint32_t plane, std::uint32_t block, Lpn lpn,
+                        SimTime issue, OpAttribution* attr) {
   if (attr != nullptr) *attr = OpAttribution{};
   const std::uint32_t chip = amap_.chip_global(plane);
   const std::uint32_t ch = amap_.channel_of_plane(plane);
+  // Wear accounting happens before the fault draw so the disturb ramp
+  // sees this read; the ramps are pure functions of the counters, so the
+  // single RNG draw below stays the only source of randomness.
+  double aging_extra = 0.0;
+  bool disturb_due = false;
+  bool scrub_due = false;
+  if (block != FlashArray::kNoBlock) {
+    array_.note_read(plane, block);
+    if (fault_ != nullptr && fault_->aging().enabled()) {
+      const FlashArray::BlockWear wear = array_.block_wear(plane, block);
+      const SimTime age = wear.data_origin > 0 && issue > wear.data_origin
+                              ? issue - wear.data_origin
+                              : 0;
+      aging_extra = fault_->aging().read_fail_extra(wear.read_count, age);
+      disturb_due = fault_->aging().read_disturb_migration_due(wear.read_count);
+      scrub_due = !disturb_due && fault_->aging().retention_scrub_due(age);
+    }
+  }
   SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
-  if (fault_ != nullptr && fault_->inject_read_fault()) {
+  if (fault_ != nullptr && fault_->inject_read_fault(aging_extra)) {
     // Injected read failure (uncorrectable on the first sense): one
     // chip-level re-read before the data crosses the bus.
     const SimTime begin = cell_done;
@@ -81,6 +102,14 @@ SimTime Ftl::flash_read(std::uint32_t plane, Lpn lpn, SimTime issue,
     trace_->emit({issue, done - issue, lpn, 0, EventKind::kPageRead,
                   static_cast<std::uint16_t>(chip),
                   static_cast<std::uint16_t>(ch)});
+  }
+  if (disturb_due || scrub_due) {
+    // Background refresh: the relocation rides the chip timeline after
+    // the host read's data is already on the bus, so it delays future
+    // operations, not this request.
+    reclaim_block(plane, block, done,
+                  disturb_due ? EventKind::kReadDisturbMigrate
+                              : EventKind::kRetentionScrub);
   }
   return done;
 }
@@ -143,6 +172,7 @@ void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
       ++metrics_.gc_page_moves;
       const SimTime begin = t;
       t = chips_[chip].acquire(t, cfg_.read_latency + cfg_.program_latency);
+      array_.note_program(fresh, t);
       if (trace_ != nullptr) {
         trace_->emit({begin, t - begin, lpn, victim, EventKind::kGcMove,
                       chip16, ch16});
@@ -154,6 +184,7 @@ void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
       ++metrics_.erases;
       const SimTime begin = t;
       t = chips_[chip].acquire(t, cfg_.erase_latency);
+      note_erase_wear(plane, victim, t);
       if (trace_ != nullptr) {
         trace_->emit({begin, t - begin, 0, victim, EventKind::kBlockErase,
                       chip16, ch16});
@@ -190,8 +221,16 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
     fresh = array_.program(plane, lpn);
     t = chips_[chip].acquire(t, cfg_.program_latency);
     if (attempt == 0) first_attempt_done = t;
+    // The endurance ramp reads the wear of the block this attempt landed
+    // on (retries can land on a different, fresher block).
+    const double wear_extra =
+        fault_ != nullptr && fault_->aging().enabled()
+            ? fault_->aging().program_fail_extra(
+                  array_.block_wear(plane, amap_.to_addr(fresh).block)
+                      .pe_cycles)
+            : 0.0;
     if (fault_ == nullptr || attempt >= fault_->plan().max_program_retries ||
-        !fault_->inject_program_fault()) {
+        !fault_->inject_program_fault(wear_extra)) {
       break;
     }
     // Injected program failure: the attempt burned a page (now garbage)
@@ -225,6 +264,7 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
     }
   }
   const SimTime done = t;
+  array_.note_program(fresh, done);
   if (attr != nullptr) {
     // gc: the pre-program GC's push of the chip past the bus handoff.
     // fault: everything after the first program attempt completed —
@@ -258,7 +298,12 @@ bool Ftl::maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t) {
   const std::uint16_t ch16 =
       static_cast<std::uint16_t>(amap_.channel_of_plane(plane));
   bool want_retire = array_.is_marked_bad(plane, block);
-  if (fault_->inject_erase_fault()) {
+  const double wear_extra =
+      fault_->aging().enabled()
+          ? fault_->aging().erase_fail_extra(
+                array_.block_wear(plane, block).pe_cycles)
+          : 0.0;
+  if (fault_->inject_erase_fault(wear_extra)) {
     // The failed erase attempt occupies the chip before the controller
     // gives up on the block.
     const SimTime begin = t;
@@ -290,6 +335,112 @@ bool Ftl::maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t) {
   return true;
 }
 
+void Ftl::reclaim_block(std::uint32_t plane, std::uint32_t block, SimTime t,
+                        EventKind kind) {
+  if (array_.free_blocks(plane) == 0) return;  // defer to a later read
+  const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint16_t chip16 = static_cast<std::uint16_t>(chip);
+  const std::uint16_t ch16 =
+      static_cast<std::uint16_t>(amap_.channel_of_plane(plane));
+  // The active block can be reclaimed too (a long read-only phase never
+  // closes it); the next host program simply opens a fresh one.
+  if (array_.is_active(plane, block)) array_.close_active(plane);
+  const SimTime begin = t;
+  std::uint64_t moved = 0;
+  for (const Ppn old : array_.valid_pages(plane, block)) {
+    const Lpn lpn = array_.lpn_at(old);
+    const Ppn fresh = array_.program(plane, lpn);
+    array_.invalidate(old);
+    l2p_[lpn] = fresh;
+    t = chips_[chip].acquire(t, cfg_.read_latency + cfg_.program_latency);
+    array_.note_program(fresh, t);
+    ++moved;
+  }
+  if (fault_ == nullptr || !maybe_retire(plane, block, t)) {
+    array_.erase_block(plane, block);
+    ++metrics_.erases;
+    const SimTime erase_begin = t;
+    t = chips_[chip].acquire(t, cfg_.erase_latency);
+    note_erase_wear(plane, block, t);
+    if (trace_ != nullptr) {
+      trace_->emit({erase_begin, t - erase_begin, 0, block,
+                    EventKind::kBlockErase, chip16, ch16});
+    }
+  }
+  FaultMetrics& m = fault_->metrics();
+  if (kind == EventKind::kReadDisturbMigrate) {
+    ++m.read_disturb_migrations;
+    m.read_disturb_pages_moved += moved;
+  } else {
+    ++m.retention_scrubs;
+    m.retention_pages_moved += moved;
+  }
+  if (trace_ != nullptr) {
+    trace_->emit({begin, t - begin, block, moved, kind, chip16, ch16});
+  }
+}
+
+void Ftl::note_erase_wear(std::uint32_t plane, std::uint32_t block,
+                          SimTime t) {
+  if (fault_ == nullptr) return;
+  const std::uint32_t rated = fault_->plan().aging.rated_pe_cycles;
+  if (rated == 0 || array_.block_wear(plane, block).pe_cycles != rated) {
+    return;
+  }
+  ++fault_->metrics().wear_threshold_crossings;
+  if (trace_ != nullptr) {
+    trace_->emit({t, 0, block, 0, EventKind::kWearThreshold,
+                  static_cast<std::uint16_t>(amap_.chip_global(plane)),
+                  static_cast<std::uint16_t>(amap_.channel_of_plane(plane))});
+  }
+}
+
+bool Ftl::update_degraded_mode(SimTime now) {
+  if (fault_ == nullptr) return degraded_mode_;
+  const AgingPlan& plan = fault_->plan().aging;
+  const std::uint64_t floor = plan.eol_free_block_floor > 0
+                                  ? plan.eol_free_block_floor
+                                  : cfg_.gc_threshold_blocks() + 3;
+  std::uint64_t min_reclaimable = ~0ull;
+  std::uint32_t worst_plane = 0;
+  for (std::uint32_t p = 0; p < cfg_.total_planes(); ++p) {
+    const std::uint64_t reclaimable = array_.reclaimable_blocks(p);
+    if (reclaimable < min_reclaimable) {
+      min_reclaimable = reclaimable;
+      worst_plane = p;
+    }
+  }
+  const bool spares_low =
+      plan.eol_spare_floor > 0 && array_.spares_total() < plan.eol_spare_floor;
+  bool next = degraded_mode_;
+  if (!degraded_mode_) {
+    if (min_reclaimable < floor || spares_low) next = true;
+  } else {
+    // Hysteresis: exit needs every plane comfortably above the floor, and
+    // the spare trigger is sticky (spares never regrow).
+    if (min_reclaimable >= floor + plan.eol_exit_margin && !spares_low) {
+      next = false;
+    }
+  }
+  if (next == degraded_mode_) return degraded_mode_;
+  degraded_mode_ = next;
+  FaultMetrics& m = fault_->metrics();
+  if (next) {
+    ++m.degraded_mode_enters;
+  } else {
+    ++m.degraded_mode_exits;
+  }
+  if (trace_ != nullptr) {
+    trace_->emit({now, 0, 0, worst_plane,
+                  next ? EventKind::kDegradedModeEnter
+                       : EventKind::kDegradedModeExit,
+                  static_cast<std::uint16_t>(amap_.chip_global(worst_plane)),
+                  static_cast<std::uint16_t>(
+                      amap_.channel_of_plane(worst_plane))});
+  }
+  return degraded_mode_;
+}
+
 std::uint64_t Ftl::gc_pressure_level(std::uint32_t headroom) const {
   const std::uint64_t threshold = cfg_.gc_threshold_blocks();
   const std::uint64_t target = threshold + headroom;
@@ -305,6 +456,9 @@ void Ftl::set_fault_injector(FaultInjector* injector) {
   fault_ = injector;
   if (fault_ != nullptr && fault_->plan().spare_blocks_per_plane > 0) {
     array_.reserve_spares(fault_->plan().spare_blocks_per_plane);
+  }
+  if (fault_ != nullptr && fault_->plan().aging.initial_pe_cycles > 0) {
+    array_.pre_age(fault_->plan().aging.initial_pe_cycles);
   }
 }
 
@@ -484,6 +638,7 @@ void Ftl::serialize(SnapshotWriter& w) const {
     w.u64(end);
   }
   w.u64(rr_counter_);
+  w.b(degraded_mode_);
   metrics_.serialize(w);
   w.u64(channels_.size());
   for (const auto& tl : channels_) {
@@ -530,6 +685,7 @@ void Ftl::deserialize(SnapshotReader& r) {
     preexisting_.emplace_back(begin, end);
   }
   rr_counter_ = r.u64();
+  degraded_mode_ = r.b();
   metrics_.deserialize(r);
   if (r.u64() != channels_.size()) {
     throw SnapshotError("FTL snapshot has a different channel count");

@@ -108,6 +108,20 @@ class Ftl {
   const SsdConfig& config() const { return cfg_; }
   const FlashArray& array() const { return array_; }
 
+  /// End-of-life read-mostly mode (aging subsystem). Entered when any
+  /// plane's reclaimable capacity falls below the plan's floor or the
+  /// device-wide spare pool drops below its floor; exits (with
+  /// hysteresis) once every plane regains floor + margin. The session
+  /// sheds host writes through the admission machinery while this is
+  /// set, instead of driving the allocator into an assert.
+  bool degraded_mode() const { return degraded_mode_; }
+
+  /// Re-evaluates the end-of-life floors at time `now`, emitting
+  /// kDegradedModeEnter/Exit and counting transitions. Call before
+  /// admitting a host write (aging-enabled runs only). Returns the mode
+  /// after the update.
+  bool update_degraded_mode(SimTime now);
+
   /// How close the fullest plane is to garbage collection, as an integer
   /// level in [0, headroom]: 0 while every plane keeps at least `headroom`
   /// free blocks above the GC threshold, `headroom` once any plane is at
@@ -163,9 +177,21 @@ class Ftl {
                            std::uint64_t version, SimTime issue,
                            OpAttribution* attr = nullptr);
   /// Full flash-read timing (chip sense, optional injected re-read, bus
-  /// transfer) plus the kPageRead event.
-  SimTime flash_read(std::uint32_t plane, Lpn lpn, SimTime issue,
-                     OpAttribution* attr = nullptr);
+  /// transfer) plus the kPageRead event. `block` is the physical block
+  /// read (wear accounting + aging ramps); FlashArray::kNoBlock for
+  /// pre-existing data, which has no physical page to age.
+  SimTime flash_read(std::uint32_t plane, std::uint32_t block, Lpn lpn,
+                     SimTime issue, OpAttribution* attr = nullptr);
+  /// Relocates a block's valid pages (read-disturb refresh or retention
+  /// scrub) and erases or retires it, charging copyback time on the chip
+  /// timeline from `t` on. Emits `kind` with arg = pages moved. Skipped
+  /// (deferred to a later read) when the plane has no free block to
+  /// receive the data.
+  void reclaim_block(std::uint32_t plane, std::uint32_t block, SimTime t,
+                     EventKind kind);
+  /// Emits kWearThreshold when `block`'s P/E count just crossed the
+  /// plan's rated cycles.
+  void note_erase_wear(std::uint32_t plane, std::uint32_t block, SimTime t);
   /// Runs greedy GC on the plane until it is above the free threshold.
   void maybe_collect(std::uint32_t plane, SimTime t);
   /// Retires `block` instead of erasing it when the injector demands it
@@ -184,6 +210,7 @@ class Ftl {
   std::unordered_map<Lpn, std::uint64_t> versions_;
   std::vector<std::pair<Lpn, Lpn>> preexisting_;  // sorted, disjoint
   std::uint64_t rr_counter_ = 0;
+  bool degraded_mode_ = false;  // end-of-life read-mostly mode (aging)
   FlashMetrics metrics_;
   TraceBuffer* trace_ = nullptr;  // non-null only when flash events are on
   Profiler* profiler_ = nullptr;

@@ -24,6 +24,9 @@
 //                  block index
 //                  kAttrSpan: track = AttrComponent index, arg = measured
 //                  request index, dur = component's share of the latency
+//                  kReadDisturbMigrate/kRetentionScrub: pages relocated
+//                  (lpn = block index), kWearThreshold: block index,
+//                  kDegradedModeEnter/Exit: triggering plane index
 #pragma once
 
 #include <cstdint>
@@ -67,6 +70,12 @@ enum class EventKind : std::uint8_t {
   // Latency attribution: one span per nonzero component of a served
   // request's breakdown, tiling [host arrival, completion].
   kAttrSpan,
+  // Device aging (>= kPageRead, so they categorize as flash events).
+  kReadDisturbMigrate,  // block refreshed after crossing the read limit
+  kRetentionScrub,      // block relocated after its data aged out
+  kWearThreshold,       // a block's P/E count crossed the rated cycles
+  kDegradedModeEnter,   // device entered end-of-life read-mostly mode
+  kDegradedModeExit,    // device recovered enough headroom to exit
 };
 
 enum class EventCategory : std::uint8_t { kCache = 1, kFlash = 2 };
@@ -107,6 +116,11 @@ constexpr const char* to_string(EventKind k) {
     case EventKind::kEraseFault: return "erase_fault";
     case EventKind::kBlockRetire: return "block_retire";
     case EventKind::kAttrSpan: return "attr_span";
+    case EventKind::kReadDisturbMigrate: return "read_disturb_migrate";
+    case EventKind::kRetentionScrub: return "retention_scrub";
+    case EventKind::kWearThreshold: return "wear_threshold";
+    case EventKind::kDegradedModeEnter: return "degraded_mode_enter";
+    case EventKind::kDegradedModeExit: return "degraded_mode_exit";
   }
   return "?";
 }

@@ -54,6 +54,9 @@ SyntheticTraceSource::SyntheticTraceSource(WorkloadProfile profile)
                        profile_.burst_idle_factor > 0.0,
                    "burst rate factors must be positive");
   }
+  REQB_CHECK_MSG(profile_.diurnal_amplitude >= 0.0 &&
+                     profile_.diurnal_amplitude < 1.0,
+                 "diurnal amplitude must stay in [0, 1)");
   reset();
 }
 
@@ -101,12 +104,35 @@ SyntheticTraceSource::HotExtent SyntheticTraceSource::hot_extent(
   return HotExtent{slot * profile_.stride_pages(), pages};
 }
 
+std::uint64_t SyntheticTraceSource::drift_offset() const {
+  // next() has already advanced emitted_ past the request being built.
+  if (!profile_.drift_enabled()) return 0;
+  return (emitted_ - 1) / profile_.drift_period * profile_.drift_step %
+         profile_.hot_extents;
+}
+
+double SyntheticTraceSource::diurnal_multiplier(std::uint64_t id) const {
+  if (!profile_.diurnal_enabled()) return 1.0;
+  const double x = static_cast<double>(id % profile_.diurnal_period) /
+                   static_cast<double>(profile_.diurnal_period);
+  // Triangle wave over the cycle: -1 at the start (peak load, shortest
+  // gaps), +1 at the midpoint (trough), back to -1 at the end.
+  const double tri = x < 0.5 ? 4.0 * x - 1.0 : 3.0 - 4.0 * x;
+  return 1.0 + profile_.diurnal_amplitude * tri;
+}
+
 std::uint64_t SyntheticTraceSource::sample_hot_id(bool record) {
   std::uint64_t extent_id;
   if (!recent_.empty() && rng_.next_bool(profile_.burst_prob)) {
+    // Burst re-hits come from the window of *rotated* identities, so a
+    // short-timescale re-access keeps targeting the same address even
+    // across a drift boundary.
     extent_id = recent_[rng_.next_below(recent_.size())];
   } else {
-    extent_id = hot_sampler_.sample(rng_);
+    // The Zipf draw ranks popularity; drift shifts which extent identity
+    // holds each rank, migrating the hot set without changing its shape.
+    extent_id =
+        (hot_sampler_.sample(rng_) + drift_offset()) % profile_.hot_extents;
   }
   // Only writes enter the burst window: the short-timescale locality the
   // generator models is "recently *written* data is re-accessed soon",
@@ -260,6 +286,7 @@ bool SyntheticTraceSource::next(IoRequest& out) {
                    ? mean_gap / profile_.burst_arrival_factor
                    : mean_gap * profile_.burst_idle_factor;
   }
+  mean_gap *= diurnal_multiplier(id);
   clock_ += static_cast<SimTime>(rng_.next_exponential(mean_gap));
   if (rng_.next_bool(profile_.write_ratio)) {
     out = rng_.next_bool(profile_.large_write_fraction)
@@ -316,6 +343,10 @@ std::uint64_t SyntheticTraceSource::identity_hash() const {
   fp.add(p.burst_arrival_period);
   fp.add_double(p.burst_arrival_factor);
   fp.add_double(p.burst_idle_factor);
+  fp.add(p.drift_period);
+  fp.add(p.drift_step);
+  fp.add(p.diurnal_period);
+  fp.add_double(p.diurnal_amplitude);
   return fp.value();
 }
 

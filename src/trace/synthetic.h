@@ -130,6 +130,23 @@ struct WorkloadProfile {
   double burst_arrival_factor = 8.0;
   double burst_idle_factor = 1.0;
 
+  // --- Workload drift (long-horizon soaks) ---------------------------------
+  /// Hot-set rotation: every `drift_period` requests the mapping from Zipf
+  /// popularity rank to extent identity shifts by `drift_step`, so the
+  /// working set slowly migrates across the address space the way real
+  /// workloads drift over days. Like the burst phase, the rotation offset
+  /// is a pure function of the request index — it checkpoints for free.
+  /// drift_period == 0 disables.
+  std::uint64_t drift_period = 0;
+  std::uint64_t drift_step = 1;
+  /// Diurnal load cycle: the mean arrival gap is modulated by a triangle
+  /// wave of relative amplitude `diurnal_amplitude` (in [0, 1)) over
+  /// `diurnal_period` requests — peak load at the cycle start, trough at
+  /// the midpoint. Integer/double arithmetic only (no transcendentals),
+  /// phase from the request index. diurnal_period == 0 disables.
+  std::uint64_t diurnal_period = 0;
+  double diurnal_amplitude = 0.5;
+
   /// Returns a copy with the request count scaled by `factor` (>0).
   WorkloadProfile scaled(double factor) const;
 
@@ -139,6 +156,12 @@ struct WorkloadProfile {
   /// True when the arrival process alternates spike and idle phases.
   bool burst_arrivals_enabled() const {
     return burst_arrival_period > 0 && burst_arrival_len > 0;
+  }
+  /// True when the hot set rotates over the run.
+  bool drift_enabled() const { return drift_period > 0 && drift_step > 0; }
+  /// True when the arrival rate follows the diurnal cycle.
+  bool diurnal_enabled() const {
+    return diurnal_period > 0 && diurnal_amplitude > 0.0;
   }
   /// Effective stride between hot extents.
   std::uint32_t stride_pages() const {
@@ -188,6 +211,11 @@ class SyntheticTraceSource final : public TraceSource {
   };
 
   HotExtent hot_extent(std::uint64_t extent_id) const;
+  /// Hot-set rotation offset for the request being generated (a pure
+  /// function of the request index; 0 while drift is off).
+  std::uint64_t drift_offset() const;
+  /// Diurnal gap multiplier for request `id` (1.0 while the cycle is off).
+  double diurnal_multiplier(std::uint64_t id) const;
   /// Two-timescale popularity draw: burst window or Zipf tail. Only
   /// writes (`record`) enter the window.
   std::uint64_t sample_hot_id(bool record);

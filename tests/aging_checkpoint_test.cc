@@ -1,0 +1,292 @@
+// Aged devices and drifting workloads under the determinism and
+// checkpoint contracts: byte-identical CSVs at 1, 4, and hardware threads
+// for fresh, aged, and aged+drift cells; a session snapshotted mid-soak
+// with live wear state serializes byte-stably and resumes to
+// byte-identical results; the config fingerprint covers every aging knob
+// (and refuses per-knob mismatched restores); drift knobs ride the trace
+// identity; and a disabled aging block leaves runs bit-identical to
+// pre-aging builds.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/session.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/agingckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+WorkloadProfile soak_profile(bool drift, std::uint64_t requests = 3000) {
+  WorkloadProfile p;
+  p.name = "aging-soak";
+  p.total_requests = requests;
+  p.seed = 31;
+  p.write_ratio = 0.6;
+  p.hot_extents = 96;
+  p.cold_stream_pages = 1 << 15;
+  p.mean_interarrival_ns = 140 * kMicrosecond;
+  if (drift) {
+    p.drift_period = 400;
+    p.drift_step = 7;
+    p.diurnal_period = 900;
+    p.diurnal_amplitude = 0.5;
+  }
+  return p;
+}
+
+SimOptions aged_options(bool faults) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  o.fault.aging.rated_pe_cycles = 5000;
+  o.fault.aging.initial_pe_cycles = 4800;
+  o.fault.aging.wear_program_fail_max = 0.02;
+  o.fault.aging.wear_erase_fail_max = 0.05;
+  o.fault.aging.read_disturb_limit = 16;
+  o.fault.aging.read_disturb_fail_max = 0.01;
+  o.fault.aging.retention_age_limit = 50 * kMillisecond;
+  o.fault.aging.retention_fail_max = 0.005;
+  if (faults) {
+    o.fault.seed = 9;
+    o.fault.program_fail_prob = 0.01;
+    o.fault.read_fail_prob = 0.005;
+    o.fault.power_loss_every_requests = 800;
+  }
+  return o;
+}
+
+std::string csvs_of(const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  write_results_csv(os, results);
+  return os.str();
+}
+
+TEST(AgingDeterminismTest, CsvByteIdenticalAcrossThreadCounts) {
+  std::vector<ExperimentCase> cases;
+  for (const bool aged : {false, true}) {
+    for (const bool drift : {false, true}) {
+      ExperimentCase c;
+      c.profile = soak_profile(drift, 1500);
+      c.options = aged ? aged_options(true) : aged_options(false);
+      if (!aged) c.options.fault = FaultPlan{};
+      c.label = std::string(aged ? "aged" : "fresh") + (drift ? "+drift" : "");
+      cases.push_back(std::move(c));
+    }
+  }
+  const std::string serial = csvs_of(run_cases(cases, 1));
+  EXPECT_EQ(serial, csvs_of(run_cases(cases, 4)));
+  EXPECT_EQ(serial, csvs_of(run_cases(cases, 0)));  // hardware concurrency
+}
+
+TEST(AgingCheckpointTest, MidSoakSnapshotIsByteStable) {
+  FullAuditScope audit_scope;
+  const SimOptions o = aged_options(true);
+  const WorkloadProfile p = soak_profile(true);
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  // Stop mid-soak with live wear state: pre-aged P/E counters plus the
+  // read counts and data epochs traffic has accumulated so far.
+  while (session.served() < 1500 && session.step()) {
+  }
+
+  SnapshotWriter w1;
+  session.serialize(w1);
+  const std::string bytes = w1.take();
+  SyntheticTraceSource trace2(p);
+  SimulationSession restored(o, trace2);
+  SnapshotReader r(bytes);
+  restored.deserialize(r);
+  SnapshotWriter w2;
+  restored.serialize(w2);
+  EXPECT_EQ(bytes, w2.take()) << "serialize -> deserialize -> serialize "
+                                 "must reproduce identical bytes";
+}
+
+TEST(AgingCheckpointTest, ResumeMidSoakMatchesUninterruptedCsv) {
+  FullAuditScope audit_scope;
+  for (const bool faults : {false, true}) {
+    for (const bool drift : {false, true}) {
+      SCOPED_TRACE(std::string(faults ? "faults" : "fault-free") +
+                   (drift ? "+drift" : ""));
+      const SimOptions o = aged_options(faults);
+      const WorkloadProfile p = soak_profile(drift);
+
+      SyntheticTraceSource whole_trace(p);
+      SimulationSession whole(o, whole_trace);
+      while (whole.step()) {
+      }
+      const RunResult whole_result = whole.finish();
+      // The cell genuinely ages: the wear ramps and refresh paths are
+      // active when the checkpoint lands, not dormant.
+      ASSERT_GT(whole_result.fault.read_disturb_migrations +
+                    whole_result.fault.retention_scrubs,
+                0u);
+
+      const std::string dir = scratch_dir(
+          std::string(faults ? "f" : "nf") + (drift ? "_d" : "_nd"));
+      {
+        SyntheticTraceSource trace(p);
+        SimulationSession session(o, trace);
+        while (session.served() < 1500 && session.step()) {
+        }
+        save_session_checkpoint(session, dir, "run", 2);
+      }
+      SyntheticTraceSource trace(p);
+      SimulationSession session(o, trace);
+      restore_session_checkpoint(session, find_latest_checkpoint(dir, "run"));
+      while (session.step()) {
+      }
+      EXPECT_EQ(csvs_of({whole_result}), csvs_of({session.finish()}));
+    }
+  }
+}
+
+TEST(AgingCheckpointTest, RestoreRefusesMismatchedAgingKnob) {
+  const WorkloadProfile p = soak_profile(false, 1200);
+  const SimOptions o = aged_options(false);
+  const std::string dir = scratch_dir("refuse");
+  {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.served() < 500 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string path = find_latest_checkpoint(dir, "run");
+  ASSERT_FALSE(path.empty());
+
+  const auto refuse = [&](auto mutate) {
+    SimOptions other = aged_options(false);
+    mutate(other.fault.aging);
+    SyntheticTraceSource trace(p);
+    SimulationSession session(other, trace);
+    EXPECT_THROW(restore_session_checkpoint(session, path), SnapshotError);
+  };
+  refuse([](AgingPlan& a) { a.rated_pe_cycles += 1; });
+  refuse([](AgingPlan& a) { a.initial_pe_cycles += 1; });
+  refuse([](AgingPlan& a) { a.wear_program_fail_max = 0.03; });
+  refuse([](AgingPlan& a) { a.wear_erase_fail_max = 0.06; });
+  refuse([](AgingPlan& a) { a.read_disturb_limit += 1; });
+  refuse([](AgingPlan& a) { a.read_disturb_fail_max = 0.02; });
+  refuse([](AgingPlan& a) { a.retention_age_limit += kMillisecond; });
+  refuse([](AgingPlan& a) { a.retention_fail_max = 0.01; });
+  refuse([](AgingPlan& a) { a.eol_free_block_floor += 1; });
+  refuse([](AgingPlan& a) { a.eol_exit_margin += 1; });
+  refuse([](AgingPlan& a) { a.eol_spare_floor += 1; });
+
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  EXPECT_NO_THROW(restore_session_checkpoint(session, path));
+}
+
+TEST(AgingCheckpointTest, RestoreRefusesMismatchedDriftKnob) {
+  // Drift shapes the request stream itself, so it rides the trace
+  // identity rather than the config fingerprint — a resumed soak must
+  // replay the exact drifting workload it checkpointed under.
+  const WorkloadProfile p = soak_profile(true, 1200);
+  const SimOptions o = aged_options(false);
+  const std::string dir = scratch_dir("drift_refuse");
+  {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.served() < 500 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string path = find_latest_checkpoint(dir, "run");
+  ASSERT_FALSE(path.empty());
+
+  const auto refuse = [&](auto mutate) {
+    WorkloadProfile other = soak_profile(true, 1200);
+    mutate(other);
+    SyntheticTraceSource trace(other);
+    SimulationSession session(o, trace);
+    EXPECT_THROW(restore_session_checkpoint(session, path), SnapshotError);
+  };
+  refuse([](WorkloadProfile& w) { w.drift_period = 500; });
+  refuse([](WorkloadProfile& w) { w.drift_step = 11; });
+  refuse([](WorkloadProfile& w) { w.diurnal_period = 1000; });
+  refuse([](WorkloadProfile& w) { w.diurnal_amplitude = 0.25; });
+
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  EXPECT_NO_THROW(restore_session_checkpoint(session, path));
+}
+
+TEST(AgingCheckpointTest, FingerprintCoversEveryAgingKnob) {
+  const SimOptions base = aged_options(false);
+  const std::uint64_t h = config_fingerprint(base);
+  const auto differs = [&](auto mutate) {
+    SimOptions o = aged_options(false);
+    mutate(o.fault.aging);
+    EXPECT_NE(config_fingerprint(o), h);
+  };
+  differs([](AgingPlan& a) { a.rated_pe_cycles += 1; });
+  differs([](AgingPlan& a) { a.initial_pe_cycles += 1; });
+  differs([](AgingPlan& a) { a.wear_program_fail_max = 0.03; });
+  differs([](AgingPlan& a) { a.wear_erase_fail_max = 0.06; });
+  differs([](AgingPlan& a) { a.read_disturb_limit += 1; });
+  differs([](AgingPlan& a) { a.read_disturb_fail_max = 0.02; });
+  differs([](AgingPlan& a) { a.retention_age_limit += 1; });
+  differs([](AgingPlan& a) { a.retention_fail_max = 0.01; });
+  differs([](AgingPlan& a) { a.eol_free_block_floor += 1; });
+  differs([](AgingPlan& a) { a.eol_exit_margin += 1; });
+  differs([](AgingPlan& a) { a.eol_spare_floor += 1; });
+}
+
+TEST(AgingCheckpointTest, DisabledAgingBlockIsInert) {
+  // EOL tuning without any enabling trigger (no rated budget, no limits,
+  // no spare floor, no pre-age) must not change the fingerprint or the
+  // run bytes: fresh-device runs stay bit-identical to pre-aging builds
+  // and their stored fingerprints.
+  SimOptions plain = aged_options(false);
+  plain.fault.aging = AgingPlan{};
+  SimOptions dressed = plain;
+  dressed.fault.aging.eol_free_block_floor = 9;
+  dressed.fault.aging.eol_exit_margin = 7;
+  EXPECT_EQ(config_fingerprint(plain), config_fingerprint(dressed));
+
+  const WorkloadProfile p = soak_profile(false, 1200);
+  const auto run = [&](const SimOptions& o) {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.step()) {
+    }
+    return session.finish();
+  };
+  const RunResult a = run(plain);
+  const RunResult b = run(dressed);
+  EXPECT_EQ(a.fault.read_disturb_migrations, 0u);
+  EXPECT_EQ(a.fault.blocks_retired, 0u);
+  EXPECT_EQ(csvs_of({a}), csvs_of({b}));
+}
+
+}  // namespace
+}  // namespace reqblock

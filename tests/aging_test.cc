@@ -1,0 +1,484 @@
+// Device-aging semantics: ramp math, per-block wear bookkeeping, the
+// refresh paths (read-disturb migration, retention scrub), rated-wear
+// crossings, pre-aged runs, end-of-life read-mostly mode, and the exact
+// reconciliation of the aging telemetry events against the injector's
+// aggregates — all under full audits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/aging.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "trace/vector_source.h"
+#include "util/args.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+std::uint64_t count_kind(const std::vector<TraceEvent>& events,
+                         EventKind kind) {
+  std::uint64_t n = 0;
+  for (const auto& e : events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::uint64_t sum_args(const std::vector<TraceEvent>& events,
+                       EventKind kind) {
+  std::uint64_t n = 0;
+  for (const auto& e : events) n += e.kind == kind ? e.arg : 0;
+  return n;
+}
+
+void expect_clean_audit(const Ftl& ftl, const std::string& subject) {
+  AuditReport report(subject);
+  ftl.audit(report);
+  EXPECT_TRUE(report.ok()) << subject;
+}
+
+// --- Ramp math -------------------------------------------------------------
+
+TEST(AgingModelTest, EnduranceRampIsQuadraticAndUncapped) {
+  AgingPlan plan;
+  plan.rated_pe_cycles = 100;
+  plan.wear_program_fail_max = 0.4;
+  plan.wear_erase_fail_max = 0.2;
+  const AgingModel m(plan);
+  EXPECT_DOUBLE_EQ(m.program_fail_extra(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.program_fail_extra(50), 0.4 * 0.25);
+  EXPECT_DOUBLE_EQ(m.program_fail_extra(100), 0.4);
+  // Past rated wear the curve keeps climbing (the injector clamps the
+  // combined probability, not the ramp).
+  EXPECT_DOUBLE_EQ(m.program_fail_extra(150), 0.4 * 2.25);
+  EXPECT_DOUBLE_EQ(m.erase_fail_extra(100), 0.2);
+  EXPECT_DOUBLE_EQ(m.erase_fail_extra(200), 0.2 * 4.0);
+}
+
+TEST(AgingModelTest, ReadRampsAreLinearAndSaturate) {
+  AgingPlan plan;
+  plan.read_disturb_limit = 10;
+  plan.read_disturb_fail_max = 0.2;
+  plan.retention_age_limit = 1000;
+  plan.retention_fail_max = 0.1;
+  const AgingModel m(plan);
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(5, 0), 0.1);
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(10, 0), 0.2);
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(50, 0), 0.2);  // saturates
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(0, 500), 0.05);
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(0, 2000), 0.1);  // saturates
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(10, 1000), 0.3);  // ramps add
+
+  EXPECT_FALSE(m.read_disturb_migration_due(9));
+  EXPECT_TRUE(m.read_disturb_migration_due(10));
+  EXPECT_FALSE(m.retention_scrub_due(999));
+  EXPECT_TRUE(m.retention_scrub_due(1000));
+}
+
+TEST(AgingModelTest, DisabledRampsNeverFire) {
+  const AgingModel m{};  // default plan: everything off
+  EXPECT_FALSE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.program_fail_extra(1000000), 0.0);
+  EXPECT_DOUBLE_EQ(m.erase_fail_extra(1000000), 0.0);
+  EXPECT_DOUBLE_EQ(m.read_fail_extra(1000000, 1000000000), 0.0);
+  EXPECT_FALSE(m.read_disturb_migration_due(1000000));
+  EXPECT_FALSE(m.retention_scrub_due(1000000000));
+}
+
+TEST(AgingModelTest, InvalidPlansAreRejected) {
+  AgingPlan plan;
+  plan.rated_pe_cycles = 100;
+  plan.wear_program_fail_max = 1.0;  // ramp maxima live in [0, 1)
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.wear_program_fail_max = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = AgingPlan{};
+  plan.wear_erase_fail_max = 0.1;  // wear ramp with no rated anchor
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = AgingPlan{};
+  plan.read_disturb_fail_max = 0.1;  // disturb ramp with no limit
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = AgingPlan{};
+  plan.retention_fail_max = 0.1;  // retention ramp with no limit
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(AgingModelTest, EnabledCoversEveryTrigger) {
+  EXPECT_FALSE(AgingPlan{}.enabled());
+  AgingPlan p;
+  p.rated_pe_cycles = 1;
+  EXPECT_TRUE(p.enabled());
+  p = AgingPlan{};
+  p.read_disturb_limit = 1;
+  EXPECT_TRUE(p.enabled());
+  p = AgingPlan{};
+  p.retention_age_limit = 1;
+  EXPECT_TRUE(p.enabled());
+  p = AgingPlan{};
+  p.eol_spare_floor = 1;
+  EXPECT_TRUE(p.enabled());
+  p = AgingPlan{};
+  p.initial_pe_cycles = 1;
+  EXPECT_TRUE(p.enabled());
+  // Ramp maxima and EOL tuning alone arm nothing.
+  p = AgingPlan{};
+  p.eol_free_block_floor = 5;
+  p.eol_exit_margin = 5;
+  EXPECT_FALSE(p.enabled());
+}
+
+// --- FTL wiring: refresh paths --------------------------------------------
+
+TEST(AgingFtlTest, ReadDisturbLimitForcesMigrationAndResetsCounter) {
+  FullAuditScope audit_scope;
+  Ftl ftl(testing::tiny_ssd());
+  FaultPlan plan;
+  plan.aging.read_disturb_limit = 8;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+
+  SimTime t = ftl.program_page(0, 1, 0);
+  // Each program resets the block's read counter, so every 8-read round
+  // crosses the limit exactly once and relocates the page.
+  for (int round = 1; round <= 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const auto rr = ftl.read_page(0, t + 1);
+      ASSERT_TRUE(rr.mapped);
+      EXPECT_EQ(rr.version, 1u) << "migration must preserve the mapping";
+      t = rr.complete;
+    }
+    EXPECT_EQ(injector.metrics().read_disturb_migrations,
+              static_cast<std::uint64_t>(round));
+  }
+  EXPECT_EQ(injector.metrics().read_disturb_pages_moved, 3u);
+  // Each migration erases (or retires) the disturbed block.
+  EXPECT_EQ(ftl.metrics().erases, 3u);
+  EXPECT_EQ(injector.metrics().retention_scrubs, 0u);
+  expect_clean_audit(ftl, "Ftl after read-disturb migrations");
+}
+
+TEST(AgingFtlTest, RetentionAgeForcesScrubOnRead) {
+  FullAuditScope audit_scope;
+  Ftl ftl(testing::tiny_ssd());
+  FaultPlan plan;
+  plan.aging.retention_age_limit = 1 * kSecond;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+
+  const SimTime written = ftl.program_page(0, 1, 1000);
+  // Young data: no scrub.
+  SimTime t = ftl.read_page(0, written + 10 * kMillisecond).complete;
+  EXPECT_EQ(injector.metrics().retention_scrubs, 0u);
+  // Past the age limit the read relocates the block's data...
+  t = ftl.read_page(0, written + 2 * kSecond).complete;
+  EXPECT_EQ(injector.metrics().retention_scrubs, 1u);
+  EXPECT_EQ(injector.metrics().retention_pages_moved, 1u);
+  // ...which restamps its data epoch: an immediate re-read is quiet.
+  const auto rr = ftl.read_page(0, t + kMicrosecond);
+  EXPECT_TRUE(rr.mapped);
+  EXPECT_EQ(rr.version, 1u);
+  EXPECT_EQ(injector.metrics().retention_scrubs, 1u);
+  expect_clean_audit(ftl, "Ftl after retention scrub");
+}
+
+TEST(AgingFtlTest, WearThresholdFiresWhenEraseHitsRatedExactly) {
+  FullAuditScope audit_scope;
+  Ftl ftl(testing::tiny_ssd());
+  FaultPlan plan;
+  plan.aging.rated_pe_cycles = 1;
+  plan.aging.read_disturb_limit = 4;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+
+  SimTime t = ftl.program_page(0, 1, 0);
+  for (int i = 0; i < 4; ++i) t = ftl.read_page(0, t + 1).complete;
+  // The migration erased the disturbed block: its first P/E cycle is the
+  // rated budget, so the crossing fires exactly once.
+  EXPECT_EQ(injector.metrics().read_disturb_migrations, 1u);
+  EXPECT_EQ(injector.metrics().wear_threshold_crossings, 1u);
+  expect_clean_audit(ftl, "Ftl after wear crossing");
+}
+
+TEST(AgingFtlTest, PreAgeStartsEveryBlockAtTheConfiguredWear) {
+  Ftl ftl(testing::tiny_ssd());
+  FaultPlan plan;
+  plan.aging.rated_pe_cycles = 100;
+  plan.aging.initial_pe_cycles = 99;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+  EXPECT_EQ(ftl.array().initial_pe_cycles(), 99u);
+  EXPECT_EQ(ftl.array().block_wear(0, 0).pe_cycles, 99u);
+  EXPECT_EQ(ftl.array().block_wear(15, 200).pe_cycles, 99u);
+  // Pre-age is uniform wear, not traffic: no erase was performed.
+  EXPECT_EQ(ftl.array().total_erases(), 0u);
+}
+
+// --- End-of-life read-mostly mode ------------------------------------------
+
+/// Overwrite churn on a block-starved device (micro_ssd): constant GC.
+std::vector<IoRequest> churn(std::size_t requests) {
+  std::vector<IoRequest> reqs;
+  reqs.reserve(requests);
+  SimTime at = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    at += 10 * kMicrosecond;
+    reqs.push_back(testing::write_req(i, (i * 4) % 1024, 4, at));
+  }
+  return reqs;
+}
+
+SimOptions aging_options(const std::string& policy) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = policy;
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  return o;
+}
+
+TEST(AgingEolTest, SpareFloorForcesReadMostlyModeFromTheStart) {
+  FullAuditScope audit_scope;
+  SimOptions o = aging_options("reqblock");
+  o.ssd = testing::micro_ssd();
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  // Far more spare blocks demanded than the pool holds: the very first
+  // admission check trips the sticky spare trigger.
+  o.fault.aging.eol_spare_floor = 100000;
+  o.telemetry.trace.level = TraceLevel::kAll;
+
+  std::vector<IoRequest> reqs;
+  SimTime at = 0;
+  std::uint64_t writes = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    at += 100 * kMicrosecond;
+    if (i % 2 == 0) {
+      reqs.push_back(testing::write_req(i, (i * 4) % 512, 4, at));
+      ++writes;
+    } else {
+      reqs.push_back(testing::read_req(i, (i * 4) % 512, 4, at));
+    }
+  }
+  VectorTraceSource trace(reqs, "mixed");
+  const RunResult r = Simulator(o).run(trace);
+
+  // Every host write was shed; reads kept serving (zero-fill: nothing was
+  // ever programmed). The run completes instead of asserting.
+  EXPECT_EQ(r.requests, 200u);
+  EXPECT_EQ(r.fault.degraded_write_sheds, writes);
+  EXPECT_EQ(r.fault.degraded_mode_enters, 1u);
+  EXPECT_EQ(r.fault.degraded_mode_exits, 0u);
+  EXPECT_EQ(r.flash.host_page_writes, 0u);
+  // Shed writes never reach the response histogram or the flash counters,
+  // and the telemetry events mirror the transition counters exactly.
+  EXPECT_EQ(count_kind(r.telemetry.events, EventKind::kDegradedModeEnter), 1u);
+  EXPECT_EQ(count_kind(r.telemetry.events, EventKind::kDegradedModeExit), 0u);
+}
+
+TEST(AgingEolTest, FreeBlockFloorEntersAndExitsWithHysteresis) {
+  FullAuditScope audit_scope;
+  // Single-plane device: every page lands in plane 0, so the reclaimable
+  // count is directly controlled by how much valid data we write.
+  SsdConfig cfg;
+  cfg.channels = 1;
+  cfg.chips_per_channel = 1;
+  cfg.pages_per_block = 8;
+  cfg.capacity_bytes = 64ULL * 8 * 4096;  // 64 blocks, one plane
+  cfg.validate();
+  Ftl ftl(cfg);
+
+  FaultPlan enter_plan;
+  enter_plan.spare_blocks_per_plane = 0;
+  enter_plan.aging.rated_pe_cycles = 1000;  // arm aging; ramps stay cold
+  enter_plan.aging.eol_free_block_floor = 40;
+  enter_plan.aging.eol_exit_margin = 2;
+  FaultInjector enter_injector(enter_plan);
+  ftl.set_fault_injector(&enter_injector);
+
+  // Empty device: 64 reclaimable blocks, comfortably above the floor.
+  EXPECT_FALSE(ftl.update_degraded_mode(0));
+  // 25 blocks of valid data leave 39 reclaimable: below the floor.
+  SimTime t = 0;
+  for (Lpn lpn = 0; lpn < 200; ++lpn) {
+    t = ftl.program_page(lpn, 1, t + 1);
+  }
+  EXPECT_TRUE(ftl.update_degraded_mode(t));
+  EXPECT_EQ(enter_injector.metrics().degraded_mode_enters, 1u);
+  // Hysteresis: a floor the plane satisfies, but not by the margin, keeps
+  // the device degraded.
+  FaultPlan sticky_plan = enter_plan;
+  sticky_plan.aging.eol_free_block_floor = 39;
+  sticky_plan.aging.eol_exit_margin = 10;  // would need 49 reclaimable
+  FaultInjector sticky_injector(sticky_plan);
+  ftl.set_fault_injector(&sticky_injector);
+  EXPECT_TRUE(ftl.update_degraded_mode(t + 1));
+  EXPECT_EQ(sticky_injector.metrics().degraded_mode_exits, 0u);
+  // With honest headroom above floor + margin the device recovers.
+  FaultPlan exit_plan = enter_plan;
+  exit_plan.aging.eol_free_block_floor = 20;
+  FaultInjector exit_injector(exit_plan);
+  ftl.set_fault_injector(&exit_injector);
+  EXPECT_FALSE(ftl.update_degraded_mode(t + 2));
+  EXPECT_EQ(exit_injector.metrics().degraded_mode_exits, 1u);
+  expect_clean_audit(ftl, "single-plane Ftl after EOL transitions");
+}
+
+// --- Wear ramps end to end -------------------------------------------------
+
+TEST(AgingSimulatorTest, WornDeviceRetiresBlocksWhereAFreshOneDoesNot) {
+  FullAuditScope audit_scope;
+  const auto run = [](std::uint32_t initial_pe) {
+    SimOptions o = aging_options("reqblock");
+    o.ssd = testing::micro_ssd();
+    o.policy.pages_per_block = o.ssd.pages_per_block;
+    o.fault.seed = 17;
+    o.fault.aging.rated_pe_cycles = 10000;
+    o.fault.aging.initial_pe_cycles = initial_pe;
+    o.fault.aging.wear_erase_fail_max = 0.3;
+    o.fault.aging.wear_program_fail_max = 0.05;
+    VectorTraceSource trace(churn(6000), "gc-pressure");
+    return Simulator(o).run(trace);
+  };
+  const RunResult fresh = run(1);      // aging armed, but near-zero wear
+  const RunResult aged = run(9900);    // opens at 99% of rated
+
+  // The quadratic ramp keeps the fresh device clean and batters the aged
+  // one: erase faults retire blocks, program faults force retries.
+  EXPECT_EQ(fresh.fault.erase_faults, 0u);
+  EXPECT_EQ(fresh.fault.blocks_retired, 0u);
+  EXPECT_GT(aged.fault.erase_faults, 0u);
+  EXPECT_GT(aged.fault.blocks_retired, 0u);
+  EXPECT_GT(aged.fault.program_faults, 0u);
+  EXPECT_GE(aged.response.p99(), fresh.response.p99());
+  EXPECT_EQ(fresh.requests, aged.requests);
+}
+
+// --- Telemetry reconciliation ----------------------------------------------
+
+TEST(AgingTelemetryTest, AgingEventsMatchInjectorAggregatesExactly) {
+  FullAuditScope audit_scope;
+  SimOptions o = aging_options("reqblock");
+  o.fault.aging.rated_pe_cycles = 3;
+  o.fault.aging.initial_pe_cycles = 2;
+  o.fault.aging.read_disturb_limit = 8;
+  o.fault.aging.retention_age_limit = 1 * kSecond;
+  o.telemetry.trace.level = TraceLevel::kAll;
+
+  // Deterministic mix: churn writes, a disturb-hammered page, and late
+  // reads of cold data past the retention limit.
+  std::vector<IoRequest> reqs;
+  SimTime at = 0;
+  std::uint64_t id = 0;
+  for (; id < 400; ++id) {
+    at += 50 * kMicrosecond;
+    reqs.push_back(testing::write_req(id, (id * 4) % 2048, 4, at));
+  }
+  for (; id < 430; ++id) {  // 30 reads of one page: disturb migrations
+    at += 50 * kMicrosecond;
+    reqs.push_back(testing::read_req(id, 0, 1, at));
+  }
+  at += 3 * kSecond;  // everything written above is now past the limit
+  for (; id < 470; ++id) {
+    at += 50 * kMicrosecond;
+    reqs.push_back(testing::read_req(id, ((id - 430) * 32) % 2048, 1, at));
+  }
+  VectorTraceSource trace(reqs, "aging-mix");
+  const RunResult r = Simulator(o).run(trace);
+
+  ASSERT_EQ(r.telemetry.events_dropped, 0u);
+  ASSERT_GT(r.fault.read_disturb_migrations, 0u);
+  ASSERT_GT(r.fault.retention_scrubs, 0u);
+  ASSERT_GT(r.fault.wear_threshold_crossings, 0u);
+
+  const auto& ev = r.telemetry.events;
+  // One event per refresh, arg = pages relocated, reconciled exactly.
+  EXPECT_EQ(count_kind(ev, EventKind::kReadDisturbMigrate),
+            r.fault.read_disturb_migrations);
+  EXPECT_EQ(sum_args(ev, EventKind::kReadDisturbMigrate),
+            r.fault.read_disturb_pages_moved);
+  EXPECT_EQ(count_kind(ev, EventKind::kRetentionScrub),
+            r.fault.retention_scrubs);
+  EXPECT_EQ(sum_args(ev, EventKind::kRetentionScrub),
+            r.fault.retention_pages_moved);
+  EXPECT_EQ(count_kind(ev, EventKind::kWearThreshold),
+            r.fault.wear_threshold_crossings);
+  EXPECT_EQ(count_kind(ev, EventKind::kDegradedModeEnter),
+            r.fault.degraded_mode_enters);
+  EXPECT_EQ(count_kind(ev, EventKind::kDegradedModeExit),
+            r.fault.degraded_mode_exits);
+  // The pre-aging identities survive: every erase (GC and refresh alike)
+  // emits kBlockErase, and refresh moves never masquerade as GC moves.
+  EXPECT_EQ(count_kind(ev, EventKind::kBlockErase), r.flash.erases);
+  EXPECT_EQ(count_kind(ev, EventKind::kGcMove), r.flash.gc_page_moves);
+}
+
+// --- CLI -------------------------------------------------------------------
+
+TEST(AgingCliTest, EveryDocumentedFlagAppliesThroughTheSharedPath) {
+  // Both drivers funnel through FaultPlan::apply_cli; this is the
+  // regression net for the full documented flag set.
+  const char* argv[] = {"prog",
+                        "--fault-seed", "21",
+                        "--fault-program-fail", "0.25",
+                        "--fault-read-fail", "0.125",
+                        "--fault-erase-fail", "0.0625",
+                        "--fault-retries", "5",
+                        "--fault-spares", "11",
+                        "--fault-power-loss-every", "1234",
+                        "--aging-rated-pe", "500",
+                        "--aging-wear-program-max", "0.03125",
+                        "--aging-wear-erase-max", "0.015625",
+                        "--aging-initial-pe", "450",
+                        "--aging-read-disturb-limit", "77",
+                        "--aging-read-disturb-max", "0.25",
+                        "--aging-retention-limit-ms", "2500",
+                        "--aging-retention-max", "0.125",
+                        "--aging-eol-floor", "9",
+                        "--aging-eol-margin", "3",
+                        "--aging-eol-spare-floor", "6"};
+  const ArgParser args(static_cast<int>(std::size(argv)), argv);
+  FaultPlan plan;
+  plan.apply_cli(args);
+
+  EXPECT_EQ(plan.seed, 21u);
+  EXPECT_DOUBLE_EQ(plan.program_fail_prob, 0.25);
+  EXPECT_DOUBLE_EQ(plan.read_fail_prob, 0.125);
+  EXPECT_DOUBLE_EQ(plan.erase_fail_prob, 0.0625);
+  EXPECT_EQ(plan.max_program_retries, 5u);
+  EXPECT_EQ(plan.spare_blocks_per_plane, 11u);
+  EXPECT_EQ(plan.power_loss_every_requests, 1234u);
+  EXPECT_EQ(plan.aging.rated_pe_cycles, 500u);
+  EXPECT_DOUBLE_EQ(plan.aging.wear_program_fail_max, 0.03125);
+  EXPECT_DOUBLE_EQ(plan.aging.wear_erase_fail_max, 0.015625);
+  EXPECT_EQ(plan.aging.initial_pe_cycles, 450u);
+  EXPECT_EQ(plan.aging.read_disturb_limit, 77u);
+  EXPECT_DOUBLE_EQ(plan.aging.read_disturb_fail_max, 0.25);
+  EXPECT_EQ(plan.aging.retention_age_limit, 2500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(plan.aging.retention_fail_max, 0.125);
+  EXPECT_EQ(plan.aging.eol_free_block_floor, 9u);
+  EXPECT_EQ(plan.aging.eol_exit_margin, 3u);
+  EXPECT_EQ(plan.aging.eol_spare_floor, 6u);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.aging.enabled());
+  EXPECT_NO_THROW(plan.validate());
+
+  // A parser carrying none of the flags leaves the plan untouched.
+  const char* none[] = {"prog"};
+  FaultPlan untouched = plan;
+  untouched.apply_cli(ArgParser(1, none));
+  EXPECT_EQ(untouched.aging.rated_pe_cycles, plan.aging.rated_pe_cycles);
+  EXPECT_EQ(untouched.aging.retention_age_limit,
+            plan.aging.retention_age_limit);
+}
+
+}  // namespace
+}  // namespace reqblock
