@@ -41,6 +41,18 @@ int main(int argc, char** argv) try {
                  " [--aging-retention-limit-ms MS] [--aging-retention-max P]"
                  " [--aging-eol-floor N] [--aging-eol-margin N]"
                  " [--aging-eol-spare-floor N]\n"
+                 "data integrity: [--integrity-rber P]"
+                 " [--integrity-rber-pe-anchor N] [--integrity-rber-pe-boost P]"
+                 " [--integrity-rber-read-anchor N]"
+                 " [--integrity-rber-read-boost P]"
+                 " [--integrity-rber-age-anchor-ms MS]"
+                 " [--integrity-rber-age-boost P] [--integrity-ecc-escape P]"
+                 " [--integrity-retry-steps N] [--integrity-retry-relief F]"
+                 " [--integrity-retry-step-us US] [--integrity-stripe-pages N]"
+                 " [--integrity-uncorrectable-shed]"
+                 " [--integrity-scrub-every N] [--integrity-scrub-budget-us US]"
+                 " [--integrity-scrub-rber P]"
+                 " [--integrity-scrub-error-limit N]\n"
                  "overload: [--queue-depth N] [--deadline-us US]"
                  " [--queue-retries N] [--queue-backoff-us US]"
                  " [--bg-flush-high F] [--bg-flush-low F] [--throttle]\n"
@@ -115,8 +127,10 @@ int main(int argc, char** argv) try {
   }
 
   results_table(results).print(std::cout);
-  for (const auto& r : results) write_fault_summary(std::cout, r);
-  for (const auto& r : results) write_aging_summary(std::cout, r);
+  // Reliability tables render per result in one fixed order (fault,
+  // aging, integrity) so the report's shape does not depend on which
+  // subsystems were enabled across the matrix.
+  for (const auto& r : results) write_reliability_summary(std::cout, r);
   for (const auto& r : results) write_overload_summary(std::cout, r);
   for (const auto& r : results) write_tenant_summary(std::cout, r);
 

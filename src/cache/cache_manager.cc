@@ -90,6 +90,14 @@ SimTime CacheManager::evict_once(SimTime now, bool& evicted,
       padding_done = rr.complete;
       padding_crit = read_attr;
     }
+    if (rr.lost) {
+      // The padding read came back uncorrectable: there is nothing to
+      // rewrite. Roll the oracle back to what flash now holds (nothing)
+      // and flush the block without this page; later reads of it verify
+      // against the loss, not the vanished data.
+      last_version_[lpn] = ftl_.version_of(lpn);
+      continue;
+    }
     flush.push_back(FlushPage{lpn, rr.version});
     ++metrics_.padding_pages;
   }
@@ -276,7 +284,8 @@ SimTime CacheManager::serve_write(const IoRequest& req, RequestBreakdown* bd) {
   return done;
 }
 
-SimTime CacheManager::serve_read(const IoRequest& req, RequestBreakdown* bd) {
+SimTime CacheManager::serve_read(const IoRequest& req, RequestBreakdown* bd,
+                                 bool* data_lost) {
   // Attribution mirrors serve_write: the page completing last is the
   // request's critical path and `crit` holds its split of [arrival, done].
   SimTime done = req.arrival;
@@ -319,8 +328,19 @@ SimTime CacheManager::serve_read(const IoRequest& req, RequestBreakdown* bd) {
     }
     const auto rr = ftl_.read_page(lpn, req.arrival, &read_attr);
     if (options_.verify_consistency) {
+      // rr.version reports what the host asked for (captured before any
+      // uncorrectable loss dropped the mapping), so the oracle check
+      // holds even for reads that came back lost.
       REQB_CHECK_MSG(rr.version == expected_version(lpn),
                      "flash version diverged from the write oracle");
+    }
+    if (rr.lost) {
+      // Recovery exhausted: the stored data is gone. Roll the oracle
+      // back to what flash now holds (nothing) so later reads verify
+      // against the loss instead of the vanished write, and surface the
+      // failure to the session's shed-vs-error handling.
+      last_version_[lpn] = ftl_.version_of(lpn);
+      if (data_lost != nullptr) *data_lost = true;
     }
     SimTime cand = rr.complete;
     // The read-admission eviction chain runs sequentially after the flash
@@ -328,7 +348,7 @@ SimTime CacheManager::serve_read(const IoRequest& req, RequestBreakdown* bd) {
     OpAttribution chain;
     bool chained = false;
 
-    if (options_.cache_reads && rr.mapped) {
+    if (options_.cache_reads && rr.mapped && !rr.lost) {
       SimTime cursor = rr.complete;
       bool admitted = true;
       while (policy_->occupied_pages() >= options_.capacity_pages) {
@@ -379,7 +399,8 @@ SimTime CacheManager::serve_read(const IoRequest& req, RequestBreakdown* bd) {
   return done;
 }
 
-SimTime CacheManager::serve(const IoRequest& req, RequestBreakdown* bd) {
+SimTime CacheManager::serve(const IoRequest& req, RequestBreakdown* bd,
+                            bool* data_lost) {
   REQB_CHECK_MSG(req.pages >= 1, "requests must touch at least one page");
   const ScopedTimer timer(profiler_, Profiler::Section::kCacheServe);
   if (trace_ != nullptr) trace_->set_time(req.arrival);
@@ -390,8 +411,8 @@ SimTime CacheManager::serve(const IoRequest& req, RequestBreakdown* bd) {
   // they only cost later requests time, through busier chip timelines
   // that surface in those requests' ftl/gc components.
   maybe_background_flush(req.arrival);
-  const SimTime done =
-      req.is_write() ? serve_write(req, bd) : serve_read(req, bd);
+  const SimTime done = req.is_write() ? serve_write(req, bd)
+                                      : serve_read(req, bd, data_lost);
   REQB_DCHECK(policy_->pages() == pages_.size());
   run_audit("CacheManager", AuditLevel::kLight,
             [this](AuditReport& r) { audit(r, audit_level()); });

@@ -108,8 +108,11 @@ class CacheManager {
   /// non-null, the critical-path components of the service interval
   /// [req.arrival, completion] are *added* into it (cache_lookup,
   /// evict_stall, ftl_read, ftl_program, gc, fault_retry), summing exactly
-  /// to the interval length; timing is identical either way.
-  SimTime serve(const IoRequest& req, RequestBreakdown* bd = nullptr);
+  /// to the interval length; timing is identical either way. `data_lost`
+  /// (may be null) is set when any page read came back uncorrectable —
+  /// the session decides whether the host sees a shed or an error.
+  SimTime serve(const IoRequest& req, RequestBreakdown* bd = nullptr,
+                bool* data_lost = nullptr);
 
   /// Injected power loss at `at`: drops the whole volatile buffer (clean
   /// and dirty pages alike), counts the dirty pages as lost into `fault`'s
@@ -174,7 +177,8 @@ class CacheManager {
   };
 
   SimTime serve_write(const IoRequest& req, RequestBreakdown* bd);
-  SimTime serve_read(const IoRequest& req, RequestBreakdown* bd);
+  SimTime serve_read(const IoRequest& req, RequestBreakdown* bd,
+                     bool* data_lost);
   /// Evicts one victim batch and flushes its dirty pages; returns the time
   /// the flush completes (== when the space is usable). Returns `now`
   /// unchanged and sets `evicted=false` when the policy had no victim.

@@ -28,6 +28,7 @@ void FaultPlan::validate() const {
     throw std::invalid_argument("max_program_retries must be >= 1");
   }
   aging.validate();
+  integrity.validate();
 }
 
 void FaultPlan::apply_cli(const ArgParser& args) {
@@ -43,6 +44,7 @@ void FaultPlan::apply_cli(const ArgParser& args) {
   power_loss_every_requests =
       args.get_u64_or("fault-power-loss-every", power_loss_every_requests);
   aging.apply_cli(args);
+  integrity.apply_cli(args);
 }
 
 namespace {
@@ -57,9 +59,41 @@ double combined_prob(double base, double extra) {
 }  // namespace
 
 FaultInjector::FaultInjector(const FaultPlan& plan)
-    : plan_(plan), aging_(plan.aging), rng_(plan.seed) {
+    : plan_(plan),
+      aging_(plan.aging),
+      integrity_(plan.integrity),
+      rng_(plan.seed) {
   plan_.validate();
   metrics_.enabled = plan_.enabled();
+}
+
+IntegrityModel::Outcome FaultInjector::integrity_read_outcome(
+    std::uint32_t pe_cycles, std::uint32_t reads, SimTime age) {
+  const double p = integrity_.detect_prob(pe_cycles, reads, age);
+  const IntegrityModel::Outcome out =
+      integrity_.resolve(rng_.next_double(), p);
+  IntegrityMetrics& m = metrics_.integrity;
+  switch (out.tier) {
+    case IntegrityModel::Tier::kClean:
+      break;
+    case IntegrityModel::Tier::kEccCorrected:
+      ++m.ecc_attempts;
+      ++m.ecc_corrected;
+      break;
+    case IntegrityModel::Tier::kRetryCorrected:
+      ++m.ecc_attempts;
+      ++m.ecc_escalated;
+      ++m.retry_corrected;
+      m.retry_steps_total += out.retry_steps;
+      break;
+    case IntegrityModel::Tier::kParity:
+      ++m.ecc_attempts;
+      ++m.ecc_escalated;
+      ++m.retry_escalated;
+      m.retry_steps_total += out.retry_steps;
+      break;
+  }
+  return out;
 }
 
 bool FaultInjector::inject_program_fault(double extra) {
@@ -127,6 +161,7 @@ void FaultMetrics::serialize(SnapshotWriter& w) const {
   w.u64(degraded_mode_enters);
   w.u64(degraded_mode_exits);
   w.u64(degraded_write_sheds);
+  integrity.serialize(w);
 }
 
 void FaultMetrics::deserialize(SnapshotReader& r) {
@@ -150,6 +185,7 @@ void FaultMetrics::deserialize(SnapshotReader& r) {
   degraded_mode_enters = r.u64();
   degraded_mode_exits = r.u64();
   degraded_write_sheds = r.u64();
+  integrity.deserialize(r);
 }
 
 void FaultInjector::serialize(SnapshotWriter& w) const {

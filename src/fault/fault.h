@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fault/aging.h"
+#include "fault/integrity.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -71,12 +72,18 @@ struct FaultPlan {
   /// and one RNG stream.
   AgingPlan aging;
 
+  // --- Data integrity ---------------------------------------------------
+  /// Raw bit errors and the ECC/retry/parity/uncorrectable recovery
+  /// hierarchy (src/fault/integrity.h). Rides inside the fault plan for
+  /// the same reason aging does: one seed, one injector, one stream.
+  IntegrityPlan integrity;
+
   /// True when any fault class can fire. Disabled plans are never wired,
   /// so the hot paths keep their fault-free behavior bit-for-bit.
   bool enabled() const {
     return program_fail_prob > 0.0 || read_fail_prob > 0.0 ||
            erase_fail_prob > 0.0 || power_loss_every_requests > 0 ||
-           aging.enabled();
+           aging.enabled() || integrity.enabled();
   }
 
   /// Throws std::invalid_argument on out-of-range probabilities.
@@ -85,9 +92,10 @@ struct FaultPlan {
   /// Reads the standard CLI flags: --fault-seed, --fault-program-fail,
   /// --fault-read-fail, --fault-erase-fail, --fault-retries,
   /// --fault-spares, --fault-power-loss-every, plus every --aging-* flag
-  /// (AgingPlan::apply_cli). Both drivers funnel through this one method,
-  /// so trace_replay and run_matrix accept the identical flag set. Flags
-  /// the parser does not carry keep their current value.
+  /// (AgingPlan::apply_cli) and every --integrity-* flag
+  /// (IntegrityPlan::apply_cli). Both drivers funnel through this one
+  /// method, so trace_replay and run_matrix accept the identical flag
+  /// set. Flags the parser does not carry keep their current value.
   void apply_cli(const ArgParser& args);
 };
 
@@ -116,6 +124,9 @@ struct FaultMetrics {
   std::uint64_t degraded_mode_exits = 0;       // kDegradedModeExit events
   std::uint64_t degraded_write_sheds = 0;  // host writes shed in read-mostly
 
+  // --- Data integrity (reconciled against the integrity EventKinds) ----
+  IntegrityMetrics integrity;
+
   /// True when any aging mechanism left a trace in this run.
   bool any_aging() const {
     return read_disturb_migrations > 0 || retention_scrubs > 0 ||
@@ -137,6 +148,10 @@ class FaultInjector {
   /// plan carries no aging).
   const AgingModel& aging() const { return aging_; }
 
+  /// Threshold math for the plan's integrity block (enabled() is false
+  /// when the plan carries no bit-error model).
+  const IntegrityModel& integrity() const { return integrity_; }
+
   /// Draws, in device-operation order, from the single stream. Each
   /// returns true when the fault fires and counts it. `extra` is the
   /// age-dependent addition (AgingModel ramps) folded into the same
@@ -149,6 +164,16 @@ class FaultInjector {
   bool inject_program_fault(double extra = 0.0);
   bool inject_read_fault(double extra = 0.0);
   bool inject_erase_fault(double extra = 0.0);
+
+  /// Recovery cascade for one host page sense: exactly ONE draw from
+  /// the single stream (the caller gates on integrity().enabled(), so
+  /// disabled runs never reach the RNG), split by nested thresholds
+  /// into clean / ECC-corrected / retry-corrected / parity-tier. Counts
+  /// the ECC and retry tiers; the parity tier's split (rebuild vs
+  /// uncorrectable) is counted by the FTL, which knows stripe state.
+  IntegrityModel::Outcome integrity_read_outcome(std::uint32_t pe_cycles,
+                                                 std::uint32_t reads,
+                                                 SimTime age);
 
   /// Chip backoff for the next retry after a failed program: the base
   /// doubles per consecutive failure on that chip (capped at 2^6x) and
@@ -177,6 +202,7 @@ class FaultInjector {
  private:
   FaultPlan plan_;
   AgingModel aging_;
+  IntegrityModel integrity_;
   Rng rng_;
   std::vector<std::uint32_t> chip_fail_streak_;
   FaultMetrics metrics_;

@@ -1,0 +1,227 @@
+#include "fault/integrity.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "snapshot/snapshot.h"
+#include "util/args.h"
+
+namespace reqblock {
+
+namespace {
+
+void check_prob(double p, const char* name) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument(std::string(name) +
+                                " must be in [0, 1), got " +
+                                std::to_string(p));
+  }
+}
+
+void check_fraction(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(name) +
+                                " must be in [0, 1], got " +
+                                std::to_string(p));
+  }
+}
+
+void check_boost(double b, std::uint64_t anchor, const char* name,
+                 const char* anchor_name) {
+  if (b < 0.0) {
+    throw std::invalid_argument(std::string(name) + " must be >= 0, got " +
+                                std::to_string(b));
+  }
+  if (b > 0.0 && anchor == 0) {
+    throw std::invalid_argument(std::string(name) + " needs " + anchor_name +
+                                " > 0 to anchor the ramp");
+  }
+}
+
+/// The clean branch of the cascade must stay reachable on any wear
+/// state, mirroring the injector's combined-probability clamp.
+constexpr double kMaxDetectProb = 0.999;
+
+}  // namespace
+
+void IntegrityPlan::validate() const {
+  check_prob(rber_base, "rber_base");
+  check_boost(rber_pe_boost, rber_pe_anchor, "rber_pe_boost",
+              "rber_pe_anchor");
+  check_boost(rber_read_boost, rber_read_anchor, "rber_read_boost",
+              "rber_read_anchor");
+  check_boost(rber_age_boost,
+              static_cast<std::uint64_t>(rber_age_anchor > 0 ? 1 : 0),
+              "rber_age_boost", "rber_age_anchor");
+  if (rber_age_anchor < 0) {
+    throw std::invalid_argument("rber_age_anchor must be >= 0");
+  }
+  check_fraction(ecc_escape, "ecc_escape");
+  check_fraction(retry_relief, "retry_relief");
+  if (retry_step_latency < 0) {
+    throw std::invalid_argument("retry_step_latency must be >= 0");
+  }
+  check_fraction(scrub_rber_threshold, "scrub_rber_threshold");
+  if (scrub_every_requests > 0) {
+    if (!enabled()) {
+      throw std::invalid_argument(
+          "patrol scrub needs rber_base > 0 (nothing to predict without "
+          "a bit-error model)");
+    }
+    if (scrub_time_budget <= 0) {
+      throw std::invalid_argument(
+          "patrol scrub needs scrub_time_budget > 0");
+    }
+    if (scrub_rber_threshold <= 0.0 && scrub_error_limit == 0) {
+      throw std::invalid_argument(
+          "patrol scrub needs scrub_rber_threshold > 0 or "
+          "scrub_error_limit > 0 (a pass that can never refresh is a "
+          "misconfiguration)");
+    }
+  }
+}
+
+void IntegrityPlan::apply_cli(const ArgParser& args) {
+  rber_base = args.get_double_or("integrity-rber", rber_base);
+  rber_pe_anchor = static_cast<std::uint32_t>(
+      args.get_u64_or("integrity-rber-pe-anchor", rber_pe_anchor));
+  rber_pe_boost =
+      args.get_double_or("integrity-rber-pe-boost", rber_pe_boost);
+  rber_read_anchor = static_cast<std::uint32_t>(
+      args.get_u64_or("integrity-rber-read-anchor", rber_read_anchor));
+  rber_read_boost =
+      args.get_double_or("integrity-rber-read-boost", rber_read_boost);
+  if (args.has("integrity-rber-age-anchor-ms")) {
+    rber_age_anchor = static_cast<SimTime>(args.get_u64_strict(
+                          "integrity-rber-age-anchor-ms", 0)) *
+                      kMillisecond;
+  }
+  rber_age_boost =
+      args.get_double_or("integrity-rber-age-boost", rber_age_boost);
+  ecc_escape = args.get_double_or("integrity-ecc-escape", ecc_escape);
+  read_retry_steps = static_cast<std::uint32_t>(
+      args.get_u64_or("integrity-retry-steps", read_retry_steps));
+  retry_relief = args.get_double_or("integrity-retry-relief", retry_relief);
+  if (args.has("integrity-retry-step-us")) {
+    retry_step_latency = static_cast<SimTime>(args.get_u64_strict(
+                             "integrity-retry-step-us", 0)) *
+                         kMicrosecond;
+  }
+  stripe_pages = static_cast<std::uint32_t>(
+      args.get_u64_or("integrity-stripe-pages", stripe_pages));
+  if (args.has("integrity-uncorrectable-shed")) uncorrectable_shed = true;
+  scrub_every_requests =
+      args.get_u64_or("integrity-scrub-every", scrub_every_requests);
+  if (args.has("integrity-scrub-budget-us")) {
+    scrub_time_budget = static_cast<SimTime>(args.get_u64_strict(
+                            "integrity-scrub-budget-us", 0)) *
+                        kMicrosecond;
+  }
+  scrub_rber_threshold =
+      args.get_double_or("integrity-scrub-rber", scrub_rber_threshold);
+  scrub_error_limit = static_cast<std::uint32_t>(
+      args.get_u64_or("integrity-scrub-error-limit", scrub_error_limit));
+}
+
+IntegrityModel::IntegrityModel(const IntegrityPlan& plan) : plan_(plan) {
+  plan_.validate();
+  if (plan_.rber_pe_anchor > 0) {
+    inv_pe_ = 1.0 / static_cast<double>(plan_.rber_pe_anchor);
+  }
+  if (plan_.rber_read_anchor > 0) {
+    inv_read_ = 1.0 / static_cast<double>(plan_.rber_read_anchor);
+  }
+  if (plan_.rber_age_anchor > 0) {
+    inv_age_ = 1.0 / static_cast<double>(plan_.rber_age_anchor);
+  }
+  relief_pow_.resize(plan_.read_retry_steps + 1);
+  double pow = 1.0;
+  for (std::uint32_t k = 0; k <= plan_.read_retry_steps; ++k) {
+    relief_pow_[k] = pow;
+    pow *= plan_.retry_relief;
+  }
+}
+
+double IntegrityModel::detect_prob(std::uint32_t pe_cycles,
+                                   std::uint32_t reads, SimTime age) const {
+  if (plan_.rber_base <= 0.0) return 0.0;
+  double boost = 0.0;
+  if (plan_.rber_pe_boost > 0.0) {
+    // Quadratic, uncapped past the anchor: the endurance curve keeps
+    // climbing (the final clamp, not the ramp, bounds the probability).
+    const double f = static_cast<double>(pe_cycles) * inv_pe_;
+    boost += plan_.rber_pe_boost * f * f;
+  }
+  if (plan_.rber_read_boost > 0.0) {
+    const double f = static_cast<double>(reads) * inv_read_;
+    boost += plan_.rber_read_boost * (f < 1.0 ? f : 1.0);
+  }
+  if (plan_.rber_age_boost > 0.0 && age > 0) {
+    const double f = static_cast<double>(age) * inv_age_;
+    boost += plan_.rber_age_boost * (f < 1.0 ? f : 1.0);
+  }
+  const double p = plan_.rber_base * (1.0 + boost);
+  return p < kMaxDetectProb ? p : kMaxDetectProb;
+}
+
+IntegrityModel::Outcome IntegrityModel::resolve(double u,
+                                                double p_detect) const {
+  Outcome out;
+  if (u >= p_detect) return out;  // kClean
+  // Nested slices: p_fail(k) = p_detect * ecc_escape * relief^k is the
+  // probability mass still failing after k re-senses. u landing between
+  // p_fail(k) and p_fail(k-1) means step k corrected it.
+  const double p_fail_0 = p_detect * plan_.ecc_escape;
+  if (u >= p_fail_0) {
+    out.tier = Tier::kEccCorrected;
+    return out;
+  }
+  for (std::uint32_t k = 1; k <= plan_.read_retry_steps; ++k) {
+    if (u >= p_fail_0 * relief_pow_[k]) {
+      out.tier = Tier::kRetryCorrected;
+      out.retry_steps = k;
+      return out;
+    }
+  }
+  out.tier = Tier::kParity;
+  out.retry_steps = plan_.read_retry_steps;
+  return out;
+}
+
+void IntegrityMetrics::serialize(SnapshotWriter& w) const {
+  w.tag("integrity_metrics");
+  w.u64(ecc_attempts);
+  w.u64(ecc_corrected);
+  w.u64(ecc_escalated);
+  w.u64(retry_corrected);
+  w.u64(retry_escalated);
+  w.u64(retry_steps_total);
+  w.u64(parity_rebuilds);
+  w.u64(parity_peer_reads);
+  w.u64(uncorrectable);
+  w.u64(host_reads_lost);
+  w.u64(patrol_scrubs);
+  w.u64(patrol_pages_moved);
+  w.u64(patrol_pages_examined);
+  w.i64(recovery_time_total);
+}
+
+void IntegrityMetrics::deserialize(SnapshotReader& r) {
+  r.tag("integrity_metrics");
+  ecc_attempts = r.u64();
+  ecc_corrected = r.u64();
+  ecc_escalated = r.u64();
+  retry_corrected = r.u64();
+  retry_escalated = r.u64();
+  retry_steps_total = r.u64();
+  parity_rebuilds = r.u64();
+  parity_peer_reads = r.u64();
+  uncorrectable = r.u64();
+  host_reads_lost = r.u64();
+  patrol_scrubs = r.u64();
+  patrol_pages_moved = r.u64();
+  patrol_pages_examined = r.u64();
+  recovery_time_total = r.i64();
+}
+
+}  // namespace reqblock

@@ -70,6 +70,12 @@ void write_results_csv(std::ostream& os,
   const bool any_aging =
       std::any_of(results.begin(), results.end(),
                   [](const RunResult& r) { return r.fault.any_aging(); });
+  // Integrity columns fold in only when some run actually saw bit errors
+  // or scrubbed — an enabled-but-silent integrity model keeps error-free
+  // exports byte-stable.
+  const bool any_integrity =
+      std::any_of(results.begin(), results.end(),
+                  [](const RunResult& r) { return r.fault.integrity.any(); });
   os << "trace,policy,cache_pages,requests,hit_ratio,mean_ns,p50_ns,"
         "p95_ns,p99_ns,p999_ns,flash_writes,flash_reads,gc_moves,erases,"
         "waf,pages_per_evict,metadata_pct,channel_util,chip_util";
@@ -87,6 +93,12 @@ void write_results_csv(std::ostream& os,
     os << ",disturb_migrations,disturb_pages_moved,retention_scrubs,"
           "retention_pages_moved,wear_threshold_crossings,"
           "degraded_enters,degraded_exits,degraded_write_sheds";
+  }
+  if (any_integrity) {
+    os << ",ecc_attempts,ecc_corrected,retry_corrected,retry_steps,"
+          "parity_rebuilds,parity_peer_reads,uncorrectable,host_reads_lost,"
+          "patrol_scrubs,patrol_pages_examined,patrol_pages_moved,"
+          "integrity_recovery_ns";
   }
   os << '\n';
   for (const auto& r : results) {
@@ -128,6 +140,15 @@ void write_results_csv(std::ostream& os,
          << r.fault.wear_threshold_crossings << ','
          << r.fault.degraded_mode_enters << ',' << r.fault.degraded_mode_exits
          << ',' << r.fault.degraded_write_sheds;
+    }
+    if (any_integrity) {
+      const IntegrityMetrics& in = r.fault.integrity;
+      os << ',' << in.ecc_attempts << ',' << in.ecc_corrected << ','
+         << in.retry_corrected << ',' << in.retry_steps_total << ','
+         << in.parity_rebuilds << ',' << in.parity_peer_reads << ','
+         << in.uncorrectable << ',' << in.host_reads_lost << ','
+         << in.patrol_scrubs << ',' << in.patrol_pages_examined << ','
+         << in.patrol_pages_moved << ',' << in.recovery_time_total;
     }
     os << '\n';
   }
@@ -172,6 +193,38 @@ void write_aging_summary(std::ostream& os, const RunResult& r) {
              std::to_string(r.fault.wear_threshold_crossings),
              "degraded planes", std::to_string(r.fault.degraded_planes)});
   t.print(os);
+}
+
+void write_integrity_summary(std::ostream& os, const RunResult& r) {
+  const IntegrityMetrics& in = r.fault.integrity;
+  if (!in.any()) return;
+  os << "Data integrity (" << r.trace_name << " / " << r.policy_name
+     << ")\n";
+  TextTable t({"recovery tier", "count", "scrub & cost", "count"});
+  t.add_row({"ecc attempts", std::to_string(in.ecc_attempts),
+             "patrol scrubs", std::to_string(in.patrol_scrubs)});
+  t.add_row({"ecc corrected", std::to_string(in.ecc_corrected),
+             "pages examined", std::to_string(in.patrol_pages_examined)});
+  t.add_row({"retry corrected", std::to_string(in.retry_corrected),
+             "pages refreshed", std::to_string(in.patrol_pages_moved)});
+  t.add_row({"retry steps", std::to_string(in.retry_steps_total),
+             "parity peer reads", std::to_string(in.parity_peer_reads)});
+  t.add_row({"parity rebuilds", std::to_string(in.parity_rebuilds),
+             "host reads lost", std::to_string(in.host_reads_lost)});
+  t.add_row({"uncorrectable", std::to_string(in.uncorrectable),
+             "recovery time",
+             format_double(static_cast<double>(in.recovery_time_total) /
+                               kMillisecond, 2) + "ms"});
+  t.print(os);
+}
+
+void write_reliability_summary(std::ostream& os, const RunResult& r) {
+  // One fixed section order — fault, aging, integrity — so a report's
+  // shape depends only on which subsystems fired, never on which driver
+  // (or driver code path) printed it.
+  write_fault_summary(os, r);
+  write_aging_summary(os, r);
+  write_integrity_summary(os, r);
 }
 
 void write_overload_summary(std::ostream& os, const RunResult& r) {

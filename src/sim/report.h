@@ -29,10 +29,12 @@ double metadata_percent(const RunResult& r);
 /// When at least one run injected faults, the fault columns
 /// (program_faults .. recovery_ns) are appended; likewise the overload
 /// columns (queue_p50_ns .. bg_flush_pages) appear only when some run
-/// enabled overload protection, and the aging columns
+/// enabled overload protection, the aging columns
 /// (disturb_migrations .. degraded_write_sheds) only when some run's aging
-/// counters fired. Fault-free, overload-free, un-aged exports keep the
-/// historical layout byte for byte.
+/// counters fired, and the data-integrity columns
+/// (ecc_attempts .. integrity_recovery_ns) only when some run saw bit
+/// errors or ran the patrol scrubber. Fault-free, overload-free, un-aged,
+/// error-free exports keep the historical layout byte for byte.
 void write_results_csv(std::ostream& os,
                        const std::vector<RunResult>& results);
 
@@ -45,6 +47,20 @@ void write_fault_summary(std::ostream& os, const RunResult& r);
 /// accounting (degraded-mode transitions, shed writes, retired blocks).
 /// Prints nothing when the run never aged (FaultMetrics::any_aging()).
 void write_aging_summary(std::ostream& os, const RunResult& r);
+
+/// Data-integrity summary of one run: the recovery hierarchy's tier
+/// counts (ECC corrections, read-retry rescues, parity rebuilds,
+/// uncorrectable losses) and patrol-scrub traffic. Prints nothing when
+/// the run saw no bit errors and never scrubbed
+/// (IntegrityMetrics::any()).
+void write_integrity_summary(std::ostream& os, const RunResult& r);
+
+/// All reliability tables of one run — fault injection, device aging,
+/// data integrity — in that fixed order. Drivers print this per result
+/// so reports render the same section order no matter which reliability
+/// subsystems were enabled; each table still elides itself when its
+/// subsystem never fired.
+void write_reliability_summary(std::ostream& os, const RunResult& r);
 
 /// Overload-protection summary of one run: admission/SLO accounting
 /// (queue-wait percentiles, timeouts, sheds, retries), background-flush

@@ -84,6 +84,30 @@ std::uint64_t config_fingerprint(const SimOptions& o) {
     fp.add(ag.eol_exit_margin);
     fp.add(ag.eol_spare_floor);
   }
+  // Same gating as the aging block: the integrity model folds in only
+  // when it can alter a run, so error-free fingerprints (and everything
+  // keyed by them) are unchanged from earlier builds.
+  const IntegrityPlan& in = f.integrity;
+  if (in.enabled()) {
+    fp.add_string("integrity");
+    fp.add_double(in.rber_base);
+    fp.add(in.rber_pe_anchor);
+    fp.add_double(in.rber_pe_boost);
+    fp.add(in.rber_read_anchor);
+    fp.add_double(in.rber_read_boost);
+    fp.add_i64(in.rber_age_anchor);
+    fp.add_double(in.rber_age_boost);
+    fp.add_double(in.ecc_escape);
+    fp.add(in.read_retry_steps);
+    fp.add_double(in.retry_relief);
+    fp.add_i64(in.retry_step_latency);
+    fp.add(in.stripe_pages);
+    fp.add_bool(in.uncorrectable_shed);
+    fp.add(in.scrub_every_requests);
+    fp.add_i64(in.scrub_time_budget);
+    fp.add_double(in.scrub_rber_threshold);
+    fp.add(in.scrub_error_limit);
+  }
   const OverloadOptions& ov = o.overload;
   fp.add(ov.queue_depth);
   fp.add_i64(ov.deadline_ns);
@@ -391,8 +415,17 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
   out.wait = adm.wait;
   out.service_start = adm.admit_at;
   out.bd[AttrComponent::kQueueWait] = adm.wait;
-  out.done = cache_->serve(req, attribute ? &out.bd : nullptr);
+  bool data_lost = false;
+  out.done = cache_->serve(req, attribute ? &out.bd : nullptr, &data_lost);
   t.queue->complete(out.done);
+  // A read that hit an uncorrectable page already paid the full recovery
+  // cost on the device; the plan decides what the host sees. Shed: the
+  // failure is reported out-of-band (counted in host_reads_lost, kept out
+  // of the response histograms). Error (default): the read completes as a
+  // host-visible error and stays in the distributions.
+  if (data_lost && options_.fault.integrity.uncorrectable_shed) {
+    out.shed = true;
+  }
   // The completion frontier drives multi-queue eligibility: every head
   // that arrived before this completion now competes for service.
   if (out.done > arb_now_) arb_now_ = out.done;
@@ -413,6 +446,20 @@ SimulationSession::ServeOutcome SimulationSession::serve_request(
 
 void SimulationSession::on_power_loss(SimTime at) {
   for (Tenant& t : tenants_) t.queue->on_power_loss(at, resume_at_);
+}
+
+void SimulationSession::maybe_patrol_scrub(SimTime now) {
+  const std::uint64_t every = options_.fault.integrity.scrub_every_requests;
+  if (fault_ == nullptr || every == 0 || served_ == 0 ||
+      served_ % every != 0) {
+    return;
+  }
+  // The pass rides the idle window after this request's completion (the
+  // same convention as the watermark flusher and the aging refreshes):
+  // it occupies the chip timelines from `now` on, delaying future
+  // requests, never the one that triggered it. Cadence on served_ makes
+  // the schedule deterministic and resumable — served_ is checkpointed.
+  ftl_->patrol_scrub(now);
 }
 
 void SimulationSession::serve_measured(IoRequest& req, Tenant& t) {
@@ -489,6 +536,7 @@ void SimulationSession::serve_measured(IoRequest& req, Tenant& t) {
     on_power_loss(out.done);
     result_.sim_end = std::max(result_.sim_end, resume_at_);
   }
+  maybe_patrol_scrub(std::max(out.done, resume_at_));
 
   if (req_block_ != nullptr && options_.occupancy_log_interval != 0 &&
       result_.requests % options_.occupancy_log_interval == 0) {
@@ -532,6 +580,7 @@ bool SimulationSession::step() {
         resume_at_ = cache_->power_loss(out.done, *fault_);
         on_power_loss(out.done);
       }
+      maybe_patrol_scrub(std::max(out.done, resume_at_));
       if (result_.warmup_requests >= options_.warmup_requests) end_warmup();
       return true;
     }

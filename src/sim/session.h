@@ -160,6 +160,10 @@ class SimulationSession {
   ServeOutcome serve_request(IoRequest& req, Tenant& t);
   void serve_measured(IoRequest& req, Tenant& t);
   void on_power_loss(SimTime at);
+  /// Patrol-scrub cadence (integrity subsystem): runs one pass when the
+  /// served-request counter hits the plan's interval, in the idle window
+  /// after the triggering request's completion.
+  void maybe_patrol_scrub(SimTime now);
   void take_snapshot();
 
   SimOptions options_;

@@ -242,7 +242,12 @@ std::string encode_snapshot(const SnapshotHeader& header,
   append_u64(out, header.trace_hash);
   append_u64(out, header.sequence);
   append_u64(out, payload.size());
-  append_u64(out, fnv1a64(payload.data(), payload.size()));
+  // The checksum chains over the header prefix and then the payload, so
+  // a bit flip anywhere in the file — kind string, identity hashes,
+  // sequence, length, or data — is refused at decode, not discovered
+  // later (or never) by whatever consumes the fields.
+  append_u64(out, fnv1a64(payload.data(), payload.size(),
+                          fnv1a64(out.data(), out.size())));
   out.append(payload);
   return out;
 }
@@ -300,8 +305,11 @@ std::string decode_snapshot(std::string_view file_bytes,
        << " bytes, file has " << (file_bytes.size() - pos);
     throw SnapshotError(os.str());
   }
+  // pos - 8 = everything before the stored checksum: the chained hash
+  // covers the full header prefix plus the payload (see encode_snapshot).
   const std::uint64_t actual =
-      fnv1a64(file_bytes.data() + pos, payload_size);
+      fnv1a64(file_bytes.data() + pos, payload_size,
+              fnv1a64(file_bytes.data(), pos - 8));
   if (actual != checksum) {
     std::ostringstream os;
     os << "snapshot checksum mismatch: stored " << std::hex << checksum

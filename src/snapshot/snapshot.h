@@ -9,7 +9,9 @@
 //
 // On disk a snapshot is wrapped in a container: magic + format version +
 // identity hashes (config fingerprint, trace identity) + payload length +
-// FNV-1a-64 checksum. decode_snapshot() verifies all of it before a single
+// FNV-1a-64 checksum chained over the header prefix and the payload (v6:
+// a flipped bit in any header field is a checksum mismatch, not a quietly
+// corrupted hash). decode_snapshot() verifies all of it before a single
 // payload byte is interpreted, and restore paths compare the identity
 // hashes against the *current* run configuration — a checkpoint from a
 // different policy, geometry, fault plan, or trace is refused, never
@@ -145,7 +147,11 @@ class SnapshotReader {
 /// stamps) in the flash array, aging counters in the fault metrics,
 /// degraded-mode state in the FTL, and EventKind gained the aging kinds
 /// after kAttrSpan.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 5;
+/// v6: data integrity — sparse per-page corrected-error counters and
+/// stripe-parity presence in the flash array, the patrol-scrub cursor in
+/// the FTL, integrity counters in the fault metrics, and EventKind gained
+/// the integrity kinds after kDegradedModeExit.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 6;
 
 /// Identity carried alongside the payload and validated before restore.
 struct SnapshotHeader {

@@ -40,6 +40,32 @@ void FlashArray::ensure_storage(Block& b) {
   std::fill_n(b.states.get(), cfg_.pages_per_block, PageState::kFree);
 }
 
+void FlashArray::ensure_error_storage(Block& b) {
+  if (b.page_errors) return;
+  b.page_errors = std::make_unique<std::uint8_t[]>(cfg_.pages_per_block);
+  std::fill_n(b.page_errors.get(), cfg_.pages_per_block,
+              static_cast<std::uint8_t>(0));
+}
+
+void FlashArray::ensure_parity_storage(Block& b) {
+  if (b.stripe_parity) return;
+  const std::uint32_t stripes = stripes_per_block();
+  REQB_DCHECK(stripes > 0);
+  b.stripe_parity = std::make_unique<std::uint8_t[]>(stripes);
+  std::fill_n(b.stripe_parity.get(), stripes, static_cast<std::uint8_t>(0));
+}
+
+void FlashArray::clear_integrity_state(Block& b) {
+  if (b.page_errors) {
+    std::fill_n(b.page_errors.get(), cfg_.pages_per_block,
+                static_cast<std::uint8_t>(0));
+  }
+  if (b.stripe_parity) {
+    std::fill_n(b.stripe_parity.get(), stripes_per_block(),
+                static_cast<std::uint8_t>(0));
+  }
+}
+
 Ppn FlashArray::make_ppn(std::uint32_t plane, std::uint32_t block,
                          std::uint32_t page) const {
   return (static_cast<Ppn>(plane) * cfg_.blocks_per_plane() + block) *
@@ -183,6 +209,7 @@ void FlashArray::erase_block(std::uint32_t plane, std::uint32_t block) {
   b.invalid_count = 0;
   b.read_count = 0;
   b.data_origin = 0;
+  clear_integrity_state(b);
   ++b.erase_count;
   ++total_erases_;
   pl.free_list.push_back(block);
@@ -213,6 +240,74 @@ void FlashArray::pre_age(std::uint32_t cycles) {
   for (Plane& pl : planes_) {
     for (Block& b : pl.blocks) b.erase_count += cycles;
   }
+}
+
+void FlashArray::set_stripe_pages(std::uint32_t pages) {
+  REQB_CHECK_MSG(total_erases_ == 0,
+                 "set_stripe_pages must run at wiring time, before traffic");
+  REQB_CHECK_MSG(pages == 0 || pages <= cfg_.pages_per_block,
+                 "parity stripe cannot span more pages than a block holds");
+  stripe_pages_ = pages;
+}
+
+std::uint32_t FlashArray::stripe_of(Ppn ppn) const {
+  REQB_DCHECK(stripe_pages_ > 0);
+  return amap_.to_addr(ppn).page / stripe_pages_;
+}
+
+bool FlashArray::closes_stripe(Ppn ppn) const {
+  if (stripe_pages_ == 0) return false;
+  const std::uint32_t page = amap_.to_addr(ppn).page;
+  return (page + 1) % stripe_pages_ == 0;
+}
+
+bool FlashArray::stripe_parity_present(std::uint32_t plane,
+                                       std::uint32_t block,
+                                       std::uint32_t stripe) const {
+  const Block& b = block_at(plane, block);
+  if (!b.stripe_parity) return false;
+  // Tail pages past the last full stripe (pages_per_block not a multiple
+  // of stripe_pages) never close a stripe and are never protected.
+  if (stripe >= stripes_per_block()) return false;
+  return b.stripe_parity[stripe] != 0;
+}
+
+void FlashArray::set_stripe_parity(std::uint32_t plane, std::uint32_t block,
+                                   std::uint32_t stripe) {
+  Block& b = block_at(plane, block);
+  ensure_parity_storage(b);
+  REQB_DCHECK(stripe < stripes_per_block());
+  // Parity closes exactly when the stripe's last data page programs, so
+  // the whole stripe must be physically written.
+  REQB_DCHECK(static_cast<std::uint32_t>(b.write_ptr) >=
+              (stripe + 1) * stripe_pages_);
+  b.stripe_parity[stripe] = 1;
+}
+
+std::uint8_t FlashArray::note_page_error(Ppn ppn) {
+  const PhysAddr a = amap_.to_addr(ppn);
+  Block& b = block_at(amap_.plane_of(ppn), a.block);
+  REQB_DCHECK(a.page < b.write_ptr);
+  ensure_error_storage(b);
+  if (b.page_errors[a.page] < 0xff) ++b.page_errors[a.page];
+  return b.page_errors[a.page];
+}
+
+std::uint8_t FlashArray::page_errors(Ppn ppn) const {
+  const PhysAddr a = amap_.to_addr(ppn);
+  const Block& b = block_at(amap_.plane_of(ppn), a.block);
+  return b.page_errors ? b.page_errors[a.page] : 0;
+}
+
+std::uint32_t FlashArray::max_page_errors(std::uint32_t plane,
+                                          std::uint32_t block) const {
+  const Block& b = block_at(plane, block);
+  if (!b.page_errors) return 0;
+  std::uint32_t worst = 0;
+  for (std::uint32_t p = 0; p < b.write_ptr; ++p) {
+    worst = std::max<std::uint32_t>(worst, b.page_errors[p]);
+  }
+  return worst;
 }
 
 std::uint64_t FlashArray::reclaimable_blocks(std::uint32_t plane) const {
@@ -278,6 +373,7 @@ bool FlashArray::retire_block(std::uint32_t plane, std::uint32_t block) {
   b.invalid_count = 0;
   b.read_count = 0;
   b.data_origin = 0;
+  clear_integrity_state(b);
   b.retired = true;
   ++pl.retired_count;
   ++total_retired_;
@@ -450,6 +546,26 @@ void FlashArray::audit(AuditReport& report) const {
                          " disagree with write pointer " +
                          std::to_string(blk.write_ptr));
       plane_valid += blk.valid_count;
+      // Integrity state tracks programmed pages only: free and retired
+      // blocks (write_ptr 0) must carry no error counts or parity bits.
+      if (blk.page_errors) {
+        for (std::uint32_t page = 0; page < cfg_.pages_per_block; ++page) {
+          REQB_AUDIT_MSG(report,
+                         blk.page_errors[page] == 0 || page < blk.write_ptr,
+                         tag + " page " + std::to_string(page) +
+                             " counts errors but was never programmed");
+        }
+      }
+      if (blk.stripe_parity) {
+        for (std::uint32_t s = 0; s < stripes_per_block(); ++s) {
+          REQB_AUDIT_MSG(report,
+                         blk.stripe_parity[s] == 0 ||
+                             static_cast<std::uint32_t>(blk.write_ptr) >=
+                                 (s + 1) * stripe_pages_,
+                         tag + " stripe " + std::to_string(s) +
+                             " has parity but incomplete data pages");
+        }
+      }
       if (!blk.states) {
         REQB_AUDIT_MSG(report, blk.write_ptr == 0 && blk.valid_count == 0,
                        tag + " has pages but no materialized storage");
@@ -557,6 +673,35 @@ void FlashArray::serialize(SnapshotWriter& w) const {
         w.u8(static_cast<std::uint8_t>(b.states[p]));
         w.u32(b.lpns[p]);
       }
+      // v6: sparse per-page error counters (ascending page order) and
+      // stripe-parity presence (ascending stripe order). Error-free,
+      // parity-free blocks cost two zero counts.
+      std::uint16_t error_entries = 0;
+      if (b.page_errors) {
+        for (std::uint32_t p = 0; p < b.write_ptr; ++p) {
+          error_entries += b.page_errors[p] > 0 ? 1 : 0;
+        }
+      }
+      w.u16(error_entries);
+      if (b.page_errors) {
+        for (std::uint32_t p = 0; p < b.write_ptr; ++p) {
+          if (b.page_errors[p] == 0) continue;
+          w.u16(static_cast<std::uint16_t>(p));
+          w.u8(b.page_errors[p]);
+        }
+      }
+      std::uint16_t parity_entries = 0;
+      if (b.stripe_parity) {
+        for (std::uint32_t s = 0; s < stripes_per_block(); ++s) {
+          parity_entries += b.stripe_parity[s] != 0 ? 1 : 0;
+        }
+      }
+      w.u16(parity_entries);
+      if (b.stripe_parity) {
+        for (std::uint32_t s = 0; s < stripes_per_block(); ++s) {
+          if (b.stripe_parity[s] != 0) w.u16(static_cast<std::uint16_t>(s));
+        }
+      }
     }
   }
 }
@@ -609,6 +754,52 @@ void FlashArray::deserialize(SnapshotReader& r) {
           b.states[p] = static_cast<PageState>(s);
           b.lpns[p] = r.u32();
         }
+      }
+      // v6: sparse error counters and stripe-parity bits, each refused
+      // unless strictly ascending, in range, and consistent with the
+      // write pointer / stripe wiring.
+      const std::uint16_t error_entries = r.u16();
+      std::uint32_t last_page = 0;
+      for (std::uint16_t i = 0; i < error_entries; ++i) {
+        const std::uint16_t page = r.u16();
+        if (page >= b.write_ptr) {
+          throw SnapshotError(
+              "flash snapshot counts errors on an unprogrammed page");
+        }
+        if (i > 0 && page <= last_page) {
+          throw SnapshotError(
+              "flash snapshot error entries are not strictly ascending");
+        }
+        last_page = page;
+        const std::uint8_t errors = r.u8();
+        if (errors == 0) {
+          throw SnapshotError("flash snapshot has a zero error entry");
+        }
+        ensure_error_storage(b);
+        b.page_errors[page] = errors;
+      }
+      const std::uint16_t parity_entries = r.u16();
+      std::uint32_t last_stripe = 0;
+      for (std::uint16_t i = 0; i < parity_entries; ++i) {
+        const std::uint16_t stripe = r.u16();
+        if (stripe_pages_ == 0) {
+          throw SnapshotError(
+              "flash snapshot carries stripe parity but the run has no "
+              "parity stripes wired");
+        }
+        if (stripe >= stripes_per_block() ||
+            static_cast<std::uint32_t>(b.write_ptr) <
+                (static_cast<std::uint32_t>(stripe) + 1) * stripe_pages_) {
+          throw SnapshotError(
+              "flash snapshot parity entry contradicts the write pointer");
+        }
+        if (i > 0 && stripe <= last_stripe) {
+          throw SnapshotError(
+              "flash snapshot parity entries are not strictly ascending");
+        }
+        last_stripe = stripe;
+        ensure_parity_storage(b);
+        b.stripe_parity[stripe] = 1;
       }
     }
   }

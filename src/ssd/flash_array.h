@@ -133,6 +133,38 @@ class FlashArray {
   void pre_age(std::uint32_t cycles);
   std::uint32_t initial_pe_cycles() const { return initial_pe_; }
 
+  // --- Data-integrity state (integrity subsystem) ----------------------
+
+  /// Arms plane-stripe parity: every `pages` consecutive physical pages
+  /// of a block form one stripe whose parity page (modeled spare area)
+  /// is programmed when the stripe's last data page programs. Wiring
+  /// time only, before any traffic; 0 leaves parity off.
+  void set_stripe_pages(std::uint32_t pages);
+  std::uint32_t stripe_pages() const { return stripe_pages_; }
+
+  /// Stripe index of a physical page (requires stripe_pages() > 0).
+  std::uint32_t stripe_of(Ppn ppn) const;
+  /// True when programming `ppn` completed its stripe's data pages (the
+  /// FTL then charges the parity program and sets the presence bit).
+  bool closes_stripe(Ppn ppn) const;
+
+  /// Parity presence per (block, stripe). Set only for stripes whose
+  /// data pages are all programmed; cleared by erase/retire.
+  bool stripe_parity_present(std::uint32_t plane, std::uint32_t block,
+                             std::uint32_t stripe) const;
+  void set_stripe_parity(std::uint32_t plane, std::uint32_t block,
+                         std::uint32_t stripe);
+
+  /// Counts one corrected-error episode against the page (saturates at
+  /// 255); feeds the patrol scrubber's refresh decision. Returns the
+  /// new count.
+  std::uint8_t note_page_error(Ppn ppn);
+  std::uint8_t page_errors(Ppn ppn) const;
+  /// Largest per-page corrected-error count in the block (0 when the
+  /// block never saw an error).
+  std::uint32_t max_page_errors(std::uint32_t plane,
+                                std::uint32_t block) const;
+
   /// Blocks the plane could free by moving every valid page elsewhere:
   /// usable capacity minus the blocks its current data needs. The
   /// end-of-life floor watches this — unlike the transient free count it
@@ -164,8 +196,9 @@ class FlashArray {
   void audit(AuditReport& report) const;
 
   /// Checkpoint: page states, free/spare lists, retirement flags, GC heap
-  /// contents, and wear counters. deserialize() restores into a freshly
-  /// constructed array of the same geometry.
+  /// contents, wear counters, and (format v6) per-page error counters
+  /// plus stripe-parity presence. deserialize() restores into a freshly
+  /// constructed array of the same geometry and stripe wiring.
   void serialize(SnapshotWriter& w) const;
   void deserialize(SnapshotReader& r);
 
@@ -173,6 +206,12 @@ class FlashArray {
   struct Block {
     std::unique_ptr<PageState[]> states;   // lazily allocated
     std::unique_ptr<std::uint32_t[]> lpns; // lazily allocated
+    /// Corrected-error count per page (integrity); lazily allocated on
+    /// the first error, cleared by erase/retire.
+    std::unique_ptr<std::uint8_t[]> page_errors;
+    /// Parity presence per stripe (integrity); lazily allocated when the
+    /// first stripe closes, cleared by erase/retire.
+    std::unique_ptr<std::uint8_t[]> stripe_parity;
     std::uint16_t write_ptr = 0;
     std::uint16_t valid_count = 0;
     std::uint16_t invalid_count = 0;
@@ -200,6 +239,12 @@ class FlashArray {
   Block& block_at(std::uint32_t plane, std::uint32_t block);
   const Block& block_at(std::uint32_t plane, std::uint32_t block) const;
   void ensure_storage(Block& b);
+  void ensure_error_storage(Block& b);
+  void ensure_parity_storage(Block& b);
+  void clear_integrity_state(Block& b);
+  std::uint32_t stripes_per_block() const {
+    return stripe_pages_ == 0 ? 0 : cfg_.pages_per_block / stripe_pages_;
+  }
   Ppn make_ppn(std::uint32_t plane, std::uint32_t block,
                std::uint32_t page) const;
 
@@ -209,6 +254,7 @@ class FlashArray {
   std::uint64_t total_erases_ = 0;
   std::uint64_t total_retired_ = 0;
   std::uint32_t initial_pe_ = 0;  // uniform pre-age applied at wiring
+  std::uint32_t stripe_pages_ = 0;  // data pages per parity stripe (0=off)
 };
 
 }  // namespace reqblock

@@ -45,41 +45,61 @@ Ftl::ReadResult Ftl::read_page(Lpn lpn, SimTime issue, OpAttribution* attr) {
       // exists, so the aging ramps see none of these reads.
       const auto plane = static_cast<std::uint32_t>(lpn % cfg_.total_planes());
       const SimTime done =
-          flash_read(plane, FlashArray::kNoBlock, lpn, issue, attr);
-      return {done, 0, true};
+          flash_read(plane, FlashArray::kNoBlock, 0, lpn, issue, attr);
+      return {done, 0, true, false};
     }
     // Reading a never-written page: served by the controller (zero-fill),
     // no flash access.
     ++metrics_.unmapped_reads;
-    return {issue + cfg_.cache_access_latency, 0, false};
+    return {issue + cfg_.cache_access_latency, 0, false, false};
   }
   const Ppn ppn = it->second;
+  // `it` may be erased by an uncorrectable read below; take the version
+  // before the call so the result reports what the host *asked for*.
+  const std::uint64_t version = version_of(lpn);
+  bool lost = false;
   const SimTime done = flash_read(amap_.plane_of(ppn),
-                                  amap_.to_addr(ppn).block, lpn, issue, attr);
-  return {done, version_of(lpn), true};
+                                  amap_.to_addr(ppn).block, ppn, lpn, issue,
+                                  attr, &lost);
+  if (lost) {
+    // read_page is the only host-read entry point and the only path that
+    // can go uncorrectable, so this stays exactly equal to the
+    // uncorrectable counter — the reconciliation tests check it.
+    ++fault_->metrics().integrity.host_reads_lost;
+  }
+  return {done, version, true, lost};
 }
 
-SimTime Ftl::flash_read(std::uint32_t plane, std::uint32_t block, Lpn lpn,
-                        SimTime issue, OpAttribution* attr) {
+SimTime Ftl::flash_read(std::uint32_t plane, std::uint32_t block, Ppn ppn,
+                        Lpn lpn, SimTime issue, OpAttribution* attr,
+                        bool* lost) {
   if (attr != nullptr) *attr = OpAttribution{};
   const std::uint32_t chip = amap_.chip_global(plane);
   const std::uint32_t ch = amap_.channel_of_plane(plane);
-  // Wear accounting happens before the fault draw so the disturb ramp
-  // sees this read; the ramps are pure functions of the counters, so the
-  // single RNG draw below stays the only source of randomness.
+  // Wear accounting happens before the fault draws so the disturb ramp
+  // and the bit-error model see this read; the ramps are pure functions
+  // of the counters, so the RNG draws below stay the only source of
+  // randomness (one for the injected-fault classes, one for the
+  // integrity cascade, each skipped entirely when its subsystem is off).
   double aging_extra = 0.0;
   bool disturb_due = false;
   bool scrub_due = false;
+  FlashArray::BlockWear wear;
+  SimTime data_age = 0;
   if (block != FlashArray::kNoBlock) {
     array_.note_read(plane, block);
+    if (fault_ != nullptr &&
+        (fault_->aging().enabled() || fault_->integrity().enabled())) {
+      wear = array_.block_wear(plane, block);
+      data_age = wear.data_origin > 0 && issue > wear.data_origin
+                     ? issue - wear.data_origin
+                     : 0;
+    }
     if (fault_ != nullptr && fault_->aging().enabled()) {
-      const FlashArray::BlockWear wear = array_.block_wear(plane, block);
-      const SimTime age = wear.data_origin > 0 && issue > wear.data_origin
-                              ? issue - wear.data_origin
-                              : 0;
-      aging_extra = fault_->aging().read_fail_extra(wear.read_count, age);
+      aging_extra =
+          fault_->aging().read_fail_extra(wear.read_count, data_age);
       disturb_due = fault_->aging().read_disturb_migration_due(wear.read_count);
-      scrub_due = !disturb_due && fault_->aging().retention_scrub_due(age);
+      scrub_due = !disturb_due && fault_->aging().retention_scrub_due(data_age);
     }
   }
   SimTime cell_done = chips_[chip].acquire(issue, cfg_.read_latency);
@@ -94,6 +114,11 @@ SimTime Ftl::flash_read(std::uint32_t plane, std::uint32_t block, Lpn lpn,
                     static_cast<std::uint16_t>(chip),
                     static_cast<std::uint16_t>(ch)});
     }
+  }
+  if (block != FlashArray::kNoBlock && fault_ != nullptr &&
+      fault_->integrity().enabled()) {
+    cell_done = integrity_recover(plane, block, ppn, lpn, wear, data_age,
+                                  cell_done, attr, lost);
   }
   const SimTime done =
       channels_[ch].acquire(cell_done, cfg_.page_transfer_time());
@@ -112,6 +137,86 @@ SimTime Ftl::flash_read(std::uint32_t plane, std::uint32_t block, Lpn lpn,
                               : EventKind::kRetentionScrub);
   }
   return done;
+}
+
+SimTime Ftl::integrity_recover(std::uint32_t plane, std::uint32_t block,
+                               Ppn ppn, Lpn lpn,
+                               const FlashArray::BlockWear& wear,
+                               SimTime data_age, SimTime cell_done,
+                               OpAttribution* attr, bool* lost) {
+  const IntegrityModel::Outcome out =
+      fault_->integrity_read_outcome(wear.pe_cycles, wear.read_count,
+                                     data_age);
+  if (out.tier == IntegrityModel::Tier::kClean) return cell_done;
+  const std::uint32_t chip = amap_.chip_global(plane);
+  const std::uint16_t chip16 = static_cast<std::uint16_t>(chip);
+  const std::uint16_t ch16 =
+      static_cast<std::uint16_t>(amap_.channel_of_plane(plane));
+  IntegrityMetrics& m = fault_->metrics().integrity;
+  if (out.tier == IntegrityModel::Tier::kEccCorrected) {
+    // Tier 1: the fast engine rides the sense — no extra chip time.
+    const std::uint8_t errs = array_.note_page_error(ppn);
+    if (trace_ != nullptr) {
+      trace_->emit({cell_done, 0, lpn, errs, EventKind::kEccCorrect, chip16,
+                    ch16});
+    }
+    return cell_done;
+  }
+  // Tier 2: escalating re-senses. kRetryCorrected performed out.retry_steps
+  // attempts with the last one succeeding; kParity burned the full budget.
+  const SimTime recover_begin = cell_done;
+  for (std::uint32_t step = 1; step <= out.retry_steps; ++step) {
+    const SimTime begin = cell_done;
+    cell_done = chips_[chip].acquire(
+        cell_done, fault_->integrity().retry_step_cost(step));
+    if (trace_ != nullptr) {
+      trace_->emit({begin, cell_done - begin, lpn, step,
+                    EventKind::kReadRetryStep, chip16, ch16});
+    }
+  }
+  if (out.tier == IntegrityModel::Tier::kParity) {
+    // Tier 3: RAIN rebuild — read every peer page of the stripe
+    // (stripe size - 1 = stripe_pages reads, chip-internal, no bus)
+    // through the normal timeline. Only fully-programmed stripes carry
+    // parity; open stripes and runs without parity wired fall through
+    // to tier 4.
+    const std::uint32_t stripe_pages = array_.stripe_pages();
+    bool rebuilt = false;
+    if (stripe_pages > 0 &&
+        array_.stripe_parity_present(plane, block, array_.stripe_of(ppn))) {
+      const SimTime begin = cell_done;
+      cell_done = chips_[chip].acquire(
+          cell_done, static_cast<SimTime>(stripe_pages) * cfg_.read_latency);
+      ++m.parity_rebuilds;
+      m.parity_peer_reads += stripe_pages;
+      array_.note_page_error(ppn);
+      if (trace_ != nullptr) {
+        trace_->emit({begin, cell_done - begin, lpn, stripe_pages,
+                      EventKind::kParityRebuild, chip16, ch16});
+      }
+      rebuilt = true;
+    }
+    if (!rebuilt) {
+      // Tier 4: the data is gone. Drop the mapping so the device stops
+      // serving stale bytes; the host sees the loss via ReadResult.
+      ++m.uncorrectable;
+      const std::uint8_t errs = array_.page_errors(ppn);
+      array_.invalidate(ppn);
+      l2p_.erase(lpn);
+      versions_.erase(lpn);
+      if (lost != nullptr) *lost = true;
+      if (trace_ != nullptr) {
+        trace_->emit({cell_done, 0, lpn, errs, EventKind::kUncorrectable,
+                      chip16, ch16});
+      }
+    }
+  } else {
+    array_.note_page_error(ppn);
+  }
+  const SimTime recovery = cell_done - recover_begin;
+  if (attr != nullptr) attr->fault += recovery;
+  m.recovery_time_total += recovery;
+  return cell_done;
 }
 
 std::uint32_t Ftl::next_plane_rr() {
@@ -146,6 +251,19 @@ std::uint32_t Ftl::colocate_channel(Lpn lpn) const {
   return static_cast<std::uint32_t>(logical_block % cfg_.channels);
 }
 
+SimTime Ftl::maybe_close_stripe(std::uint32_t plane, Ppn fresh, SimTime t) {
+  if (!array_.closes_stripe(fresh)) return t;
+  // One real parity-page program on the chip timeline. The parity page
+  // lives in the modeled spare area, so no Ppn is allocated; presence is
+  // a pure function of the write pointer (failed program attempts advance
+  // it too — parity is XOR over *physical* pages, garbage included).
+  const std::uint32_t chip = amap_.chip_global(plane);
+  t = chips_[chip].acquire(t, cfg_.program_latency);
+  array_.set_stripe_parity(plane, amap_.to_addr(fresh).block,
+                           array_.stripe_of(fresh));
+  return t;
+}
+
 void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
   if (!array_.gc_needed(plane)) return;
   const ScopedTimer timer(profiler_, Profiler::Section::kGc);
@@ -173,6 +291,7 @@ void Ftl::maybe_collect(std::uint32_t plane, SimTime t) {
       const SimTime begin = t;
       t = chips_[chip].acquire(t, cfg_.read_latency + cfg_.program_latency);
       array_.note_program(fresh, t);
+      t = maybe_close_stripe(plane, fresh, t);
       if (trace_ != nullptr) {
         trace_->emit({begin, t - begin, lpn, victim, EventKind::kGcMove,
                       chip16, ch16});
@@ -220,6 +339,7 @@ SimTime Ftl::program_to_plane(std::uint32_t plane, Lpn lpn,
   for (;;) {
     fresh = array_.program(plane, lpn);
     t = chips_[chip].acquire(t, cfg_.program_latency);
+    t = maybe_close_stripe(plane, fresh, t);
     if (attempt == 0) first_attempt_done = t;
     // The endurance ramp reads the wear of the block this attempt landed
     // on (retries can land on a different, fresher block).
@@ -315,13 +435,9 @@ bool Ftl::maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t) {
     want_retire = true;
   }
   if (!want_retire) return false;
-  if (!array_.spare_available(plane) &&
-      (!array_.can_lose_block(plane) || array_.free_blocks(plane) <= 2)) {
-    // No spare left and no slack: keep the block in service (a later
-    // erase attempt succeeds) rather than shrink the plane below its GC
-    // operating point. The free-list floor matters inside a GC burst —
-    // retirement, unlike erase, returns no free block, while the next
-    // victim's copyback still consumes them.
+  if (!can_retire_block(plane)) {
+    // Keep the block in service (a later erase attempt succeeds) rather
+    // than shrink the plane below its GC operating point.
     ++fault_->metrics().retires_refused;
     return false;
   }
@@ -333,6 +449,19 @@ bool Ftl::maybe_retire(std::uint32_t plane, std::uint32_t block, SimTime& t) {
     trace_->emit({t, 0, 0, block, EventKind::kBlockRetire, chip16, ch16});
   }
   return true;
+}
+
+bool Ftl::can_retire_block(std::uint32_t plane) const {
+  // The three retirement guards, in order:
+  //   1. spare budget — a reserved spare backfills the loss for free;
+  //      without one, retirement permanently shrinks the plane, so
+  //   2. occupancy — the shrunk plane must still hold its current valid
+  //      data plus the GC operating reserve, and
+  //   3. free-list floor — retirement, unlike erase, returns no free
+  //      block, while the next victim's copyback (inside a GC burst)
+  //      still consumes them.
+  return array_.spare_available(plane) ||
+         (array_.can_lose_block(plane) && array_.free_blocks(plane) > 2);
 }
 
 void Ftl::reclaim_block(std::uint32_t plane, std::uint32_t block, SimTime t,
@@ -354,6 +483,7 @@ void Ftl::reclaim_block(std::uint32_t plane, std::uint32_t block, SimTime t,
     l2p_[lpn] = fresh;
     t = chips_[chip].acquire(t, cfg_.read_latency + cfg_.program_latency);
     array_.note_program(fresh, t);
+    t = maybe_close_stripe(plane, fresh, t);
     ++moved;
   }
   if (fault_ == nullptr || !maybe_retire(plane, block, t)) {
@@ -368,15 +498,66 @@ void Ftl::reclaim_block(std::uint32_t plane, std::uint32_t block, SimTime t,
     }
   }
   FaultMetrics& m = fault_->metrics();
-  if (kind == EventKind::kReadDisturbMigrate) {
-    ++m.read_disturb_migrations;
-    m.read_disturb_pages_moved += moved;
-  } else {
-    ++m.retention_scrubs;
-    m.retention_pages_moved += moved;
+  switch (kind) {
+    case EventKind::kReadDisturbMigrate:
+      ++m.read_disturb_migrations;
+      m.read_disturb_pages_moved += moved;
+      break;
+    case EventKind::kPatrolScrub:
+      ++m.integrity.patrol_scrubs;
+      m.integrity.patrol_pages_moved += moved;
+      break;
+    default:
+      ++m.retention_scrubs;
+      m.retention_pages_moved += moved;
+      break;
   }
   if (trace_ != nullptr) {
     trace_->emit({begin, t - begin, block, moved, kind, chip16, ch16});
+  }
+}
+
+void Ftl::patrol_scrub(SimTime now) {
+  if (fault_ == nullptr || !fault_->integrity().enabled()) return;
+  const IntegrityModel& model = fault_->integrity();
+  const IntegrityPlan& plan = model.plan();
+  if (plan.scrub_rber_threshold <= 0.0 && plan.scrub_error_limit == 0) {
+    return;
+  }
+  const ScopedTimer timer(profiler_, Profiler::Section::kGc);
+  IntegrityMetrics& m = fault_->metrics().integrity;
+  const std::uint64_t total_blocks =
+      static_cast<std::uint64_t>(cfg_.total_planes()) *
+      cfg_.blocks_per_plane();
+  // Prediction-only walk: every examined valid page charges one read on
+  // its block's chip (the scrubber really senses the data), but never
+  // touches the wear counters or the RNG — a pass perturbs timing, not
+  // the fault sequence. Block granularity: read count and data age are
+  // per block, so one decision covers all of its pages.
+  SimTime spent = 0;
+  for (std::uint64_t visited = 0;
+       visited < total_blocks && spent < plan.scrub_time_budget; ++visited) {
+    const std::uint32_t plane = scrub_plane_;
+    const std::uint32_t block = scrub_block_;
+    if (++scrub_block_ >= cfg_.blocks_per_plane()) {
+      scrub_block_ = 0;
+      if (++scrub_plane_ >= cfg_.total_planes()) scrub_plane_ = 0;
+    }
+    const std::uint64_t valid = array_.valid_pages(plane, block).size();
+    if (valid == 0) continue;
+    const SimTime exam = static_cast<SimTime>(valid) * cfg_.read_latency;
+    const std::uint32_t chip = amap_.chip_global(plane);
+    const SimTime done = chips_[chip].acquire(now, exam);
+    spent += exam;
+    m.patrol_pages_examined += valid;
+    const FlashArray::BlockWear wear = array_.block_wear(plane, block);
+    const SimTime age = wear.data_origin > 0 && now > wear.data_origin
+                            ? now - wear.data_origin
+                            : 0;
+    const double p = model.detect_prob(wear.pe_cycles, wear.read_count, age);
+    if (model.scrub_refresh_due(p, array_.max_page_errors(plane, block))) {
+      reclaim_block(plane, block, done, EventKind::kPatrolScrub);
+    }
   }
 }
 
@@ -459,6 +640,9 @@ void Ftl::set_fault_injector(FaultInjector* injector) {
   }
   if (fault_ != nullptr && fault_->plan().aging.initial_pe_cycles > 0) {
     array_.pre_age(fault_->plan().aging.initial_pe_cycles);
+  }
+  if (fault_ != nullptr && fault_->plan().integrity.enabled()) {
+    array_.set_stripe_pages(fault_->plan().integrity.stripe_pages);
   }
 }
 
@@ -639,6 +823,8 @@ void Ftl::serialize(SnapshotWriter& w) const {
   }
   w.u64(rr_counter_);
   w.b(degraded_mode_);
+  w.u32(scrub_plane_);
+  w.u32(scrub_block_);
   metrics_.serialize(w);
   w.u64(channels_.size());
   for (const auto& tl : channels_) {
@@ -686,6 +872,13 @@ void Ftl::deserialize(SnapshotReader& r) {
   }
   rr_counter_ = r.u64();
   degraded_mode_ = r.b();
+  scrub_plane_ = r.u32();
+  scrub_block_ = r.u32();
+  if (scrub_plane_ >= cfg_.total_planes() ||
+      scrub_block_ >= cfg_.blocks_per_plane()) {
+    throw SnapshotError("FTL snapshot's patrol-scrub cursor is outside "
+                        "the device geometry");
+  }
   metrics_.deserialize(r);
   if (r.u64() != channels_.size()) {
     throw SnapshotError("FTL snapshot has a different channel count");

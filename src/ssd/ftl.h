@@ -65,6 +65,10 @@ class Ftl {
     SimTime complete = 0;
     std::uint64_t version = 0;
     bool mapped = false;
+    /// The recovery hierarchy was exhausted on this read: the page's data
+    /// is gone (mapping dropped, physical page invalidated) and the host
+    /// must be told. `complete` still carries the full recovery cost.
+    bool lost = false;
   };
 
   /// Reads one logical page. Issue times must be non-decreasing across
@@ -122,6 +126,26 @@ class Ftl {
   /// after the update.
   bool update_degraded_mode(SimTime now);
 
+  /// One patrol-scrub pass (integrity subsystem): walks blocks from the
+  /// persistent cursor, charging read time per examined valid page on the
+  /// block's chip timeline until the plan's time budget is spent, and
+  /// refreshes blocks whose predicted raw-bit-error probability or
+  /// corrected-error count crossed the plan's thresholds. Prediction-only:
+  /// never draws from the RNG and never touches the wear counters, so the
+  /// recovery-tier conservation identities stay exact. The session calls
+  /// this during idle windows on the plan's request cadence; a no-op
+  /// unless an integrity model with scrub triggers is wired.
+  void patrol_scrub(SimTime now);
+
+  /// True when `plane` can afford to retire one block right now: a spare
+  /// can backfill it, or the plane has both the occupancy slack to lose
+  /// capacity permanently and enough free-list headroom to finish the
+  /// current GC burst (retirement, unlike erase, returns no free block).
+  /// The single gate for every retirement path — grown-bad GC victims,
+  /// injected erase faults, aging refreshes, parity-rebuild reclaims, and
+  /// patrol scrubs all funnel through maybe_retire, which consults this.
+  bool can_retire_block(std::uint32_t plane) const;
+
   /// How close the fullest plane is to garbage collection, as an integer
   /// level in [0, headroom]: 0 while every plane keeps at least `headroom`
   /// free blocks above the GC threshold, `headroom` once any plane is at
@@ -158,7 +182,8 @@ class Ftl {
   void register_metrics(MetricsRegistry& registry) const;
 
   /// Checkpoint: mapping tables, pre-existing ranges, allocation cursor,
-  /// metrics, resource-timeline clocks, and the flash array. deserialize()
+  /// patrol-scrub cursor, metrics, resource-timeline clocks, and the
+  /// flash array. deserialize()
   /// restores into a freshly constructed Ftl of the same configuration
   /// (telemetry/fault wiring is re-established by the caller, not stored).
   void serialize(SnapshotWriter& w) const;
@@ -176,12 +201,33 @@ class Ftl {
   SimTime program_to_plane(std::uint32_t plane, Lpn lpn,
                            std::uint64_t version, SimTime issue,
                            OpAttribution* attr = nullptr);
-  /// Full flash-read timing (chip sense, optional injected re-read, bus
-  /// transfer) plus the kPageRead event. `block` is the physical block
-  /// read (wear accounting + aging ramps); FlashArray::kNoBlock for
-  /// pre-existing data, which has no physical page to age.
-  SimTime flash_read(std::uint32_t plane, std::uint32_t block, Lpn lpn,
-                     SimTime issue, OpAttribution* attr = nullptr);
+  /// Full flash-read timing (chip sense, optional injected re-read, the
+  /// integrity recovery cascade, bus transfer) plus the kPageRead event.
+  /// `block` is the physical block read (wear accounting + aging ramps);
+  /// FlashArray::kNoBlock for pre-existing data, which has no physical
+  /// page to age or to lose. `ppn` is the physical page (integrity
+  /// bookkeeping; ignored for pre-existing data). `lost` (may be null)
+  /// is set when the read ended uncorrectable.
+  SimTime flash_read(std::uint32_t plane, std::uint32_t block, Ppn ppn,
+                     Lpn lpn, SimTime issue, OpAttribution* attr = nullptr,
+                     bool* lost = nullptr);
+  /// Runs the recovery cascade for one host sense that may carry raw bit
+  /// errors (integrity enabled, real block): one RNG draw resolves the
+  /// tier; retry steps and parity-rebuild peer reads are charged on the
+  /// chip timeline from `cell_done` on. Uncorrectable reads drop the
+  /// mapping and set `*lost`. Returns when the (possibly recovered) data
+  /// is ready for the bus transfer.
+  SimTime integrity_recover(std::uint32_t plane, std::uint32_t block,
+                            Ppn ppn, Lpn lpn,
+                            const FlashArray::BlockWear& wear,
+                            SimTime data_age, SimTime cell_done,
+                            OpAttribution* attr, bool* lost);
+  /// Charges the stripe's parity-page program and sets its presence bit
+  /// when programming `fresh` just completed a parity stripe (no-op with
+  /// parity off). Every program path — host, GC copyback, refresh
+  /// relocation — calls this so parity coverage is a pure function of the
+  /// write pointer.
+  SimTime maybe_close_stripe(std::uint32_t plane, Ppn fresh, SimTime t);
   /// Relocates a block's valid pages (read-disturb refresh or retention
   /// scrub) and erases or retires it, charging copyback time on the chip
   /// timeline from `t` on. Emits `kind` with arg = pages moved. Skipped
@@ -211,6 +257,10 @@ class Ftl {
   std::vector<std::pair<Lpn, Lpn>> preexisting_;  // sorted, disjoint
   std::uint64_t rr_counter_ = 0;
   bool degraded_mode_ = false;  // end-of-life read-mostly mode (aging)
+  // Patrol-scrub cursor (integrity): next block to examine. Serialized,
+  // so a resumed run continues the walk exactly where it stopped.
+  std::uint32_t scrub_plane_ = 0;
+  std::uint32_t scrub_block_ = 0;
   FlashMetrics metrics_;
   TraceBuffer* trace_ = nullptr;  // non-null only when flash events are on
   Profiler* profiler_ = nullptr;

@@ -27,6 +27,11 @@
 //                  kReadDisturbMigrate/kRetentionScrub: pages relocated
 //                  (lpn = block index), kWearThreshold: block index,
 //                  kDegradedModeEnter/Exit: triggering plane index
+//                  kEccCorrect: page's corrected-error count after this
+//                  episode, kReadRetryStep: retry step number (dur = that
+//                  step's re-sense time), kParityRebuild: peer pages read
+//                  (= stripe size - 1), kUncorrectable: page's error count
+//                  at loss, kPatrolScrub: pages relocated (lpn = block)
 #pragma once
 
 #include <cstdint>
@@ -76,6 +81,12 @@ enum class EventKind : std::uint8_t {
   kWearThreshold,       // a block's P/E count crossed the rated cycles
   kDegradedModeEnter,   // device entered end-of-life read-mostly mode
   kDegradedModeExit,    // device recovered enough headroom to exit
+  // Data integrity (>= kPageRead, so they categorize as flash events).
+  kEccCorrect,          // raw bit errors fixed by the fast ECC decode
+  kReadRetryStep,       // one escalated re-sense attempt
+  kParityRebuild,       // page reconstructed from its parity stripe
+  kUncorrectable,       // recovery exhausted; the page's data is lost
+  kPatrolScrub,         // scrubber refreshed a block nearing the ECC limit
 };
 
 enum class EventCategory : std::uint8_t { kCache = 1, kFlash = 2 };
@@ -121,6 +132,11 @@ constexpr const char* to_string(EventKind k) {
     case EventKind::kWearThreshold: return "wear_threshold";
     case EventKind::kDegradedModeEnter: return "degraded_mode_enter";
     case EventKind::kDegradedModeExit: return "degraded_mode_exit";
+    case EventKind::kEccCorrect: return "ecc_correct";
+    case EventKind::kReadRetryStep: return "read_retry_step";
+    case EventKind::kParityRebuild: return "parity_rebuild";
+    case EventKind::kUncorrectable: return "uncorrectable";
+    case EventKind::kPatrolScrub: return "patrol_scrub";
   }
   return "?";
 }

@@ -1,0 +1,293 @@
+// The bit-error model under the determinism and checkpoint contracts:
+// byte-identical CSVs at 1, 4, and hardware threads with the full
+// recovery hierarchy armed; a session snapshotted mid-run with a live
+// scrub cursor, stripe-parity state, and per-page error counters
+// serializes byte-stably and resumes to byte-identical results across
+// ±faults/±aging/±overload; the config fingerprint covers every
+// integrity knob (and refuses per-knob mismatched restores); and a
+// disabled integrity block leaves runs bit-identical to pre-integrity
+// builds.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/session.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/integrityckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+WorkloadProfile error_profile(std::uint64_t requests = 3000) {
+  WorkloadProfile p;
+  p.name = "integrity-soak";
+  p.total_requests = requests;
+  p.seed = 41;
+  p.write_ratio = 0.5;
+  p.hot_extents = 96;
+  p.cold_stream_pages = 1 << 14;
+  p.mean_interarrival_ns = 140 * kMicrosecond;
+  return p;
+}
+
+/// Full recovery hierarchy armed on a pre-aged device: the wear boost
+/// keeps every tier and the patrol scrubber busy within a few thousand
+/// requests.
+SimOptions integrity_options(bool faults, bool aging = true,
+                             bool overload = false) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  o.fault.seed = 19;
+  IntegrityPlan& in = o.fault.integrity;
+  in.rber_base = 0.05;
+  in.rber_pe_anchor = 5000;
+  in.rber_pe_boost = 4.0;
+  in.rber_read_anchor = 64;
+  in.rber_read_boost = 1.0;
+  in.rber_age_anchor = kSecond;
+  in.rber_age_boost = 0.25;
+  in.ecc_escape = 0.6;
+  in.read_retry_steps = 1;
+  in.retry_relief = 0.5;
+  in.stripe_pages = 8;
+  in.scrub_every_requests = 500;
+  in.scrub_rber_threshold = 0.1;
+  if (aging) {
+    o.fault.aging.rated_pe_cycles = 5000;
+    o.fault.aging.initial_pe_cycles = 4500;
+  }
+  if (faults) {
+    o.fault.program_fail_prob = 0.01;
+    o.fault.read_fail_prob = 0.005;
+    o.fault.power_loss_every_requests = 800;
+  }
+  if (overload) {
+    o.overload.queue_depth = 16;
+    o.overload.deadline_ns = 20 * kMillisecond;
+    o.overload.bg_flush_high = 0.8;
+    o.overload.bg_flush_low = 0.6;
+  }
+  return o;
+}
+
+std::string csvs_of(const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  write_results_csv(os, results);
+  return os.str();
+}
+
+TEST(IntegrityDeterminismTest, CsvByteIdenticalAcrossThreadCounts) {
+  std::vector<ExperimentCase> cases;
+  for (const bool errors : {false, true}) {
+    for (const bool faults : {false, true}) {
+      ExperimentCase c;
+      c.profile = error_profile(1500);
+      c.options = integrity_options(faults);
+      if (!errors) c.options.fault.integrity = IntegrityPlan{};
+      c.label = std::string(errors ? "errors" : "clean") +
+                (faults ? "+faults" : "");
+      cases.push_back(std::move(c));
+    }
+  }
+  const std::string serial = csvs_of(run_cases(cases, 1));
+  EXPECT_EQ(serial, csvs_of(run_cases(cases, 4)));
+  EXPECT_EQ(serial, csvs_of(run_cases(cases, 0)));  // hardware concurrency
+}
+
+TEST(IntegrityCheckpointTest, MidScrubSnapshotIsByteStable) {
+  FullAuditScope audit_scope;
+  const SimOptions o = integrity_options(true);
+  const WorkloadProfile p = error_profile();
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  // Stop mid-run with live integrity state: an advanced scrub cursor,
+  // closed parity stripes, and pages carrying corrected-error counts.
+  while (session.served() < 1500 && session.step()) {
+  }
+
+  SnapshotWriter w1;
+  session.serialize(w1);
+  const std::string bytes = w1.take();
+  SyntheticTraceSource trace2(p);
+  SimulationSession restored(o, trace2);
+  SnapshotReader r(bytes);
+  restored.deserialize(r);
+  SnapshotWriter w2;
+  restored.serialize(w2);
+  EXPECT_EQ(bytes, w2.take()) << "serialize -> deserialize -> serialize "
+                                 "must reproduce identical bytes";
+  // The snapshot carried live integrity state, not a dormant model: the
+  // restored session keeps recovering through the end of the run.
+  while (restored.step()) {
+  }
+  EXPECT_GT(restored.finish().fault.integrity.ecc_attempts, 0u);
+}
+
+TEST(IntegrityCheckpointTest, ResumeMidRunMatchesUninterruptedCsv) {
+  FullAuditScope audit_scope;
+  struct Cell {
+    bool faults, aging, overload;
+    const char* label;
+  };
+  const Cell cells[] = {{false, false, false, "plain"},
+                        {true, false, false, "faults"},
+                        {false, true, false, "aged"},
+                        {true, true, true, "faults+aged+overload"}};
+  for (const Cell& cell : cells) {
+    SCOPED_TRACE(cell.label);
+    const SimOptions o =
+        integrity_options(cell.faults, cell.aging, cell.overload);
+    const WorkloadProfile p = error_profile();
+
+    SyntheticTraceSource whole_trace(p);
+    SimulationSession whole(o, whole_trace);
+    while (whole.step()) {
+    }
+    const RunResult whole_result = whole.finish();
+    // The cell genuinely exercises recovery when the checkpoint lands.
+    ASSERT_GT(whole_result.fault.integrity.ecc_attempts, 0u);
+
+    const std::string dir = scratch_dir(cell.label);
+    {
+      SyntheticTraceSource trace(p);
+      SimulationSession session(o, trace);
+      while (session.served() < 1500 && session.step()) {
+      }
+      save_session_checkpoint(session, dir, "run", 2);
+    }
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    restore_session_checkpoint(session, find_latest_checkpoint(dir, "run"));
+    while (session.step()) {
+    }
+    EXPECT_EQ(csvs_of({whole_result}), csvs_of({session.finish()}));
+  }
+}
+
+TEST(IntegrityCheckpointTest, RestoreRefusesMismatchedIntegrityKnob) {
+  const WorkloadProfile p = error_profile(1200);
+  const SimOptions o = integrity_options(false);
+  const std::string dir = scratch_dir("refuse");
+  {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.served() < 500 && session.step()) {
+    }
+    save_session_checkpoint(session, dir, "run", 2);
+  }
+  const std::string path = find_latest_checkpoint(dir, "run");
+  ASSERT_FALSE(path.empty());
+
+  const auto refuse = [&](auto mutate) {
+    SimOptions other = integrity_options(false);
+    mutate(other.fault.integrity);
+    SyntheticTraceSource trace(p);
+    SimulationSession session(other, trace);
+    EXPECT_THROW(restore_session_checkpoint(session, path), SnapshotError);
+  };
+  refuse([](IntegrityPlan& i) { i.rber_base = 0.04; });
+  refuse([](IntegrityPlan& i) { i.rber_pe_anchor += 1; });
+  refuse([](IntegrityPlan& i) { i.rber_pe_boost = 5.0; });
+  refuse([](IntegrityPlan& i) { i.rber_read_anchor += 1; });
+  refuse([](IntegrityPlan& i) { i.rber_read_boost = 2.0; });
+  refuse([](IntegrityPlan& i) { i.rber_age_anchor += 1; });
+  refuse([](IntegrityPlan& i) { i.rber_age_boost = 0.5; });
+  refuse([](IntegrityPlan& i) { i.ecc_escape = 0.5; });
+  refuse([](IntegrityPlan& i) { i.read_retry_steps += 1; });
+  refuse([](IntegrityPlan& i) { i.retry_relief = 0.25; });
+  refuse([](IntegrityPlan& i) { i.retry_step_latency += 1; });
+  refuse([](IntegrityPlan& i) { i.stripe_pages += 1; });
+  refuse([](IntegrityPlan& i) { i.uncorrectable_shed = true; });
+  refuse([](IntegrityPlan& i) { i.scrub_every_requests += 1; });
+  refuse([](IntegrityPlan& i) { i.scrub_time_budget += 1; });
+  refuse([](IntegrityPlan& i) { i.scrub_rber_threshold = 0.2; });
+  refuse([](IntegrityPlan& i) { i.scrub_error_limit += 1; });
+
+  SyntheticTraceSource trace(p);
+  SimulationSession session(o, trace);
+  EXPECT_NO_THROW(restore_session_checkpoint(session, path));
+}
+
+TEST(IntegrityCheckpointTest, FingerprintCoversEveryIntegrityKnob) {
+  const SimOptions base = integrity_options(false);
+  const std::uint64_t h = config_fingerprint(base);
+  const auto differs = [&](auto mutate) {
+    SimOptions o = integrity_options(false);
+    mutate(o.fault.integrity);
+    EXPECT_NE(config_fingerprint(o), h);
+  };
+  differs([](IntegrityPlan& i) { i.rber_base = 0.04; });
+  differs([](IntegrityPlan& i) { i.rber_pe_anchor += 1; });
+  differs([](IntegrityPlan& i) { i.rber_pe_boost = 5.0; });
+  differs([](IntegrityPlan& i) { i.rber_read_anchor += 1; });
+  differs([](IntegrityPlan& i) { i.rber_read_boost = 2.0; });
+  differs([](IntegrityPlan& i) { i.rber_age_anchor += 1; });
+  differs([](IntegrityPlan& i) { i.rber_age_boost = 0.5; });
+  differs([](IntegrityPlan& i) { i.ecc_escape = 0.5; });
+  differs([](IntegrityPlan& i) { i.read_retry_steps += 1; });
+  differs([](IntegrityPlan& i) { i.retry_relief = 0.25; });
+  differs([](IntegrityPlan& i) { i.retry_step_latency += 1; });
+  differs([](IntegrityPlan& i) { i.stripe_pages += 1; });
+  differs([](IntegrityPlan& i) { i.uncorrectable_shed = true; });
+  differs([](IntegrityPlan& i) { i.scrub_every_requests += 1; });
+  differs([](IntegrityPlan& i) { i.scrub_time_budget += 1; });
+  differs([](IntegrityPlan& i) { i.scrub_rber_threshold = 0.2; });
+  differs([](IntegrityPlan& i) { i.scrub_error_limit += 1; });
+}
+
+TEST(IntegrityCheckpointTest, DisabledIntegrityBlockIsInert) {
+  // Recovery tuning without the enabling trigger (rber_base == 0) must
+  // not change the fingerprint or the run bytes: error-free runs stay
+  // bit-identical to pre-integrity builds and their stored fingerprints.
+  SimOptions plain = integrity_options(false);
+  plain.fault.integrity = IntegrityPlan{};
+  SimOptions dressed = plain;
+  dressed.fault.integrity.ecc_escape = 0.9;
+  dressed.fault.integrity.read_retry_steps = 7;
+  dressed.fault.integrity.stripe_pages = 16;
+  dressed.fault.integrity.retry_step_latency = kMillisecond;
+  EXPECT_EQ(config_fingerprint(plain), config_fingerprint(dressed));
+
+  const WorkloadProfile p = error_profile(1200);
+  const auto run = [&](const SimOptions& o) {
+    SyntheticTraceSource trace(p);
+    SimulationSession session(o, trace);
+    while (session.step()) {
+    }
+    return session.finish();
+  };
+  const RunResult a = run(plain);
+  const RunResult b = run(dressed);
+  EXPECT_FALSE(a.fault.integrity.any());
+  EXPECT_EQ(csvs_of({a}), csvs_of({b}));
+}
+
+}  // namespace
+}  // namespace reqblock

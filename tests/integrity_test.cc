@@ -1,0 +1,588 @@
+// Data-integrity semantics: the RBER model and cascade thresholds, the
+// FTL recovery tiers (ECC, read retry, parity rebuild, uncorrectable
+// loss), stripe-parity maintenance, the patrol scrubber's budget and
+// cursor, the retirement-guard helper, host-visible loss semantics, and
+// the exact reconciliation of the integrity telemetry events against the
+// injector's aggregates — all under full audits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/integrity.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "trace/synthetic.h"
+#include "trace/vector_source.h"
+#include "util/args.h"
+#include "util/audit.h"
+
+namespace reqblock {
+namespace {
+
+struct FullAuditScope {
+  AuditLevel previous = set_audit_level(AuditLevel::kFull);
+  ~FullAuditScope() { set_audit_level(previous); }
+};
+
+std::uint64_t count_kind(const std::vector<TraceEvent>& events,
+                         EventKind kind) {
+  std::uint64_t n = 0;
+  for (const auto& e : events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::uint64_t sum_args(const std::vector<TraceEvent>& events,
+                       EventKind kind) {
+  std::uint64_t n = 0;
+  for (const auto& e : events) n += e.kind == kind ? e.arg : 0;
+  return n;
+}
+
+/// Single-plane device: every page lands in plane 0, so physical page
+/// allocation (and with it stripe closure) is directly controlled by
+/// program order.
+SsdConfig one_plane() {
+  SsdConfig cfg;
+  cfg.channels = 1;
+  cfg.chips_per_channel = 1;
+  cfg.pages_per_block = 8;
+  cfg.capacity_bytes = 64ULL * 8 * 4096;  // 64 blocks, one plane
+  cfg.validate();
+  return cfg;
+}
+
+void expect_clean_audit(const Ftl& ftl, const std::string& subject) {
+  AuditReport report(subject);
+  ftl.audit(report);
+  EXPECT_TRUE(report.ok()) << subject;
+}
+
+/// Conservation identities every integrity-enabled run must satisfy.
+void expect_identities(const IntegrityMetrics& m,
+                       std::uint32_t stripe_pages) {
+  EXPECT_EQ(m.ecc_attempts, m.ecc_corrected + m.ecc_escalated);
+  EXPECT_EQ(m.ecc_escalated, m.retry_corrected + m.retry_escalated);
+  EXPECT_EQ(m.retry_escalated, m.parity_rebuilds + m.uncorrectable);
+  EXPECT_EQ(m.uncorrectable, m.host_reads_lost);
+  EXPECT_EQ(m.parity_peer_reads,
+            m.parity_rebuilds * static_cast<std::uint64_t>(stripe_pages));
+}
+
+// --- Model math ------------------------------------------------------------
+
+TEST(IntegrityModelTest, DetectProbRampsMatchTheirShapes) {
+  IntegrityPlan plan;
+  plan.rber_base = 0.01;
+  plan.rber_pe_anchor = 100;
+  plan.rber_pe_boost = 4.0;
+  plan.rber_read_anchor = 10;
+  plan.rber_read_boost = 1.0;
+  plan.rber_age_anchor = 1000;
+  plan.rber_age_boost = 2.0;
+  const IntegrityModel m(plan);
+  // Base alone at zero wear.
+  EXPECT_DOUBLE_EQ(m.detect_prob(0, 0, 0), 0.01);
+  // Quadratic endurance term, uncapped past the anchor.
+  EXPECT_DOUBLE_EQ(m.detect_prob(50, 0, 0), 0.01 * (1.0 + 4.0 * 0.25));
+  EXPECT_DOUBLE_EQ(m.detect_prob(100, 0, 0), 0.01 * 5.0);
+  EXPECT_DOUBLE_EQ(m.detect_prob(200, 0, 0), 0.01 * (1.0 + 4.0 * 4.0));
+  // Linear, saturating disturb and retention terms.
+  EXPECT_DOUBLE_EQ(m.detect_prob(0, 5, 0), 0.01 * 1.5);
+  EXPECT_DOUBLE_EQ(m.detect_prob(0, 50, 0), 0.01 * 2.0);  // saturates
+  EXPECT_DOUBLE_EQ(m.detect_prob(0, 0, 500), 0.01 * 2.0);
+  EXPECT_DOUBLE_EQ(m.detect_prob(0, 0, 5000), 0.01 * 3.0);  // saturates
+  // Terms add before the final clamp.
+  EXPECT_DOUBLE_EQ(m.detect_prob(100, 10, 1000), 0.01 * 8.0);
+}
+
+TEST(IntegrityModelTest, DetectProbClampsBelowOne) {
+  IntegrityPlan plan;
+  plan.rber_base = 0.5;
+  plan.rber_pe_anchor = 1;
+  plan.rber_pe_boost = 0.9;
+  const IntegrityModel m(plan);
+  // 0.5 * (1 + 0.9 * 10^2) would be 45.5; the clean branch must survive.
+  EXPECT_LT(m.detect_prob(10, 0, 0), 1.0);
+}
+
+TEST(IntegrityModelTest, ResolveSplitsOneUniformByNestedThresholds) {
+  IntegrityPlan plan;
+  plan.rber_base = 0.5;  // p_detect passed explicitly below
+  plan.ecc_escape = 0.1;
+  plan.read_retry_steps = 2;
+  plan.retry_relief = 0.5;
+  const IntegrityModel m(plan);
+  const double p = 0.4;
+  using Tier = IntegrityModel::Tier;
+  // u >= p_detect: clean.
+  EXPECT_EQ(m.resolve(0.4, p).tier, Tier::kClean);
+  EXPECT_EQ(m.resolve(0.99, p).tier, Tier::kClean);
+  // p_fail_0 = 0.04 <= u < 0.4: the fast engine corrects.
+  EXPECT_EQ(m.resolve(0.05, p).tier, Tier::kEccCorrected);
+  EXPECT_EQ(m.resolve(0.399, p).tier, Tier::kEccCorrected);
+  // p_fail_1 = 0.02 <= u < 0.04: corrected on retry step 1.
+  const auto step1 = m.resolve(0.03, p);
+  EXPECT_EQ(step1.tier, Tier::kRetryCorrected);
+  EXPECT_EQ(step1.retry_steps, 1u);
+  // p_fail_2 = 0.01 <= u < 0.02: step 2.
+  const auto step2 = m.resolve(0.015, p);
+  EXPECT_EQ(step2.tier, Tier::kRetryCorrected);
+  EXPECT_EQ(step2.retry_steps, 2u);
+  // u < 0.01: the retry budget is exhausted.
+  const auto parity = m.resolve(0.005, p);
+  EXPECT_EQ(parity.tier, Tier::kParity);
+  EXPECT_EQ(parity.retry_steps, 2u);
+  // Escalating re-sense cost.
+  EXPECT_EQ(m.retry_step_cost(1), plan.retry_step_latency);
+  EXPECT_EQ(m.retry_step_cost(3), 3 * plan.retry_step_latency);
+}
+
+TEST(IntegrityModelTest, ScrubRefreshTriggers) {
+  IntegrityPlan plan;
+  plan.rber_base = 0.1;
+  plan.scrub_rber_threshold = 0.3;
+  plan.scrub_error_limit = 4;
+  const IntegrityModel m(plan);
+  EXPECT_FALSE(m.scrub_refresh_due(0.29, 3));
+  EXPECT_TRUE(m.scrub_refresh_due(0.3, 0));
+  EXPECT_TRUE(m.scrub_refresh_due(0.0, 4));
+  const IntegrityModel off(IntegrityPlan{.rber_base = 0.1});
+  EXPECT_FALSE(off.scrub_refresh_due(0.99, 250));
+}
+
+TEST(IntegrityModelTest, InvalidPlansAreRejected) {
+  IntegrityPlan plan;
+  plan.rber_base = 1.0;  // probabilities live in [0, 1)
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = IntegrityPlan{};
+  plan.rber_pe_boost = 0.5;  // boost with no anchor
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = IntegrityPlan{};
+  plan.rber_read_boost = 0.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = IntegrityPlan{};
+  plan.rber_age_boost = 0.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = IntegrityPlan{};
+  plan.ecc_escape = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = IntegrityPlan{};
+  plan.scrub_every_requests = 100;  // patrol without a bit-error model
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = IntegrityPlan{};
+  plan.rber_base = 0.1;
+  plan.scrub_every_requests = 100;  // patrol that can never refresh
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.scrub_rber_threshold = 0.5;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(IntegrityModelTest, OnlyRberBaseEnables) {
+  EXPECT_FALSE(IntegrityPlan{}.enabled());
+  IntegrityPlan p;
+  p.stripe_pages = 8;
+  p.scrub_error_limit = 3;
+  EXPECT_FALSE(p.enabled());
+  p.rber_base = 1e-9;
+  EXPECT_TRUE(p.enabled());
+}
+
+// --- FTL recovery tiers ----------------------------------------------------
+
+FaultPlan error_storm(std::uint32_t stripe_pages,
+                      std::uint32_t retry_steps = 0) {
+  // Every mapped sense errors and escapes the fast engine: the cascade
+  // lands deterministically in the deepest armed tier.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.integrity.rber_base = 0.998;
+  plan.integrity.ecc_escape = 1.0;
+  plan.integrity.read_retry_steps = retry_steps;
+  plan.integrity.stripe_pages = stripe_pages;
+  return plan;
+}
+
+TEST(IntegrityFtlTest, ParityRebuildSavesTheStripeProtectedPage) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  FaultInjector injector(error_storm(/*stripe_pages=*/4));
+  ftl.set_fault_injector(&injector);
+
+  // Four programs close the block's first stripe (parity is charged on
+  // the fourth program's chip timeline).
+  SimTime t = 0;
+  for (Lpn lpn = 0; lpn < 4; ++lpn) t = ftl.program_page(lpn, 1, t + 1);
+
+  const auto rr = ftl.read_page(0, t + 1);
+  ASSERT_TRUE(rr.mapped);
+  EXPECT_FALSE(rr.lost);
+  EXPECT_EQ(rr.version, 1u);
+  const IntegrityMetrics& m = injector.metrics().integrity;
+  EXPECT_EQ(m.parity_rebuilds, 1u);
+  EXPECT_EQ(m.parity_peer_reads, 4u);
+  EXPECT_EQ(m.uncorrectable, 0u);
+  EXPECT_GT(m.recovery_time_total, 0);
+  // The rebuild preserved the mapping: the page is still readable.
+  EXPECT_TRUE(ftl.read_page(0, rr.complete + 1).mapped);
+  expect_identities(m, 4);
+  expect_clean_audit(ftl, "Ftl after parity rebuild");
+}
+
+TEST(IntegrityFtlTest, OpenStripeTailPageIsLostWithoutParity) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  FaultInjector injector(error_storm(/*stripe_pages=*/4));
+  ftl.set_fault_injector(&injector);
+
+  // Five programs: the first stripe closes, the fifth page sits in an
+  // open stripe with no parity behind it.
+  SimTime t = 0;
+  for (Lpn lpn = 0; lpn < 5; ++lpn) t = ftl.program_page(lpn, 1, t + 1);
+
+  const auto rr = ftl.read_page(4, t + 1);
+  EXPECT_TRUE(rr.mapped) << "the host asked for a mapped page";
+  EXPECT_TRUE(rr.lost);
+  const IntegrityMetrics& m = injector.metrics().integrity;
+  EXPECT_EQ(m.uncorrectable, 1u);
+  EXPECT_EQ(m.host_reads_lost, 1u);
+  EXPECT_EQ(m.parity_rebuilds, 0u);
+  // The mapping is gone: a re-read reports unmapped, not stale data.
+  EXPECT_FALSE(ftl.read_page(4, rr.complete + 1).mapped);
+  expect_identities(m, 4);
+  expect_clean_audit(ftl, "Ftl after uncorrectable loss");
+}
+
+TEST(IntegrityFtlTest, NoParityTierMeansRetryEscapesAreLost) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  FaultInjector injector(error_storm(/*stripe_pages=*/0));
+  ftl.set_fault_injector(&injector);
+  SimTime t = ftl.program_page(0, 1, 0);
+  const auto rr = ftl.read_page(0, t + 1);
+  EXPECT_TRUE(rr.lost);
+  EXPECT_EQ(injector.metrics().integrity.uncorrectable, 1u);
+  EXPECT_EQ(injector.metrics().integrity.parity_peer_reads, 0u);
+  expect_clean_audit(ftl, "Ftl without a parity tier");
+}
+
+TEST(IntegrityFtlTest, RetryStepsChargeEscalatingLatency) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  // Deep retry budget with no relief: every error walks all steps and
+  // still escalates, so the retry cost is deterministic.
+  FaultPlan plan = error_storm(/*stripe_pages=*/4, /*retry_steps=*/3);
+  plan.integrity.retry_relief = 1.0;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+  SimTime t = 0;
+  for (Lpn lpn = 0; lpn < 4; ++lpn) t = ftl.program_page(lpn, 1, t + 1);
+  const auto rr = ftl.read_page(0, t + 1);
+  EXPECT_FALSE(rr.lost);
+  const IntegrityMetrics& m = injector.metrics().integrity;
+  EXPECT_EQ(m.retry_steps_total, 3u);
+  EXPECT_EQ(m.retry_escalated, 1u);
+  // Steps 1+2+3 re-sense time plus the 4-peer rebuild read.
+  const SimTime retry_ns = 6 * plan.integrity.retry_step_latency;
+  EXPECT_GE(m.recovery_time_total, retry_ns);
+  expect_identities(m, 4);
+}
+
+TEST(IntegrityFtlTest, DisabledPlanNeverTouchesTheRngOrTheArray) {
+  Ftl ftl(one_plane());
+  FaultPlan plan;
+  plan.program_fail_prob = 0.0;
+  plan.spare_blocks_per_plane = 4;
+  ASSERT_FALSE(plan.integrity.enabled());
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+  SimTime t = ftl.program_page(0, 1, 0);
+  for (int i = 0; i < 32; ++i) t = ftl.read_page(0, t + 1).complete;
+  const IntegrityMetrics& m = injector.metrics().integrity;
+  EXPECT_EQ(m.ecc_attempts, 0u);
+  EXPECT_EQ(m.recovery_time_total, 0);
+  EXPECT_EQ(ftl.array().stripe_pages(), 0u);
+}
+
+// --- Retirement guards (can_retire_block) ----------------------------------
+
+TEST(CanRetireBlockTest, FreshDeviceAllowsRetirement) {
+  Ftl ftl(one_plane());
+  // No injector wired: no spares, but the free pool is far above its
+  // floor and nothing has been lost yet.
+  EXPECT_TRUE(ftl.can_retire_block(0));
+  FaultPlan plan;
+  plan.spare_blocks_per_plane = 4;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+  EXPECT_TRUE(ftl.can_retire_block(0));
+}
+
+TEST(CanRetireBlockTest, LossBudgetEventuallyRefuses) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  // No spares and near-certain erase faults: every read-disturb
+  // migration marks its block bad and asks to retire it, bleeding the
+  // plane's loss budget dry.
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.spare_blocks_per_plane = 0;
+  plan.erase_fail_prob = 0.998;
+  plan.aging.read_disturb_limit = 2;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+  ASSERT_TRUE(ftl.can_retire_block(0));
+
+  SimTime t = ftl.program_page(0, 1, 0);
+  for (int round = 0; round < 64; ++round) {
+    for (int i = 0; i < 2; ++i) t = ftl.read_page(0, t + 1).complete;
+    if (!ftl.can_retire_block(0) &&
+        injector.metrics().retires_refused > 0) {
+      break;
+    }
+  }
+  EXPECT_FALSE(ftl.can_retire_block(0));
+  EXPECT_GT(injector.metrics().blocks_retired, 0u);
+  // maybe_retire consulted the helper and recorded the refusals.
+  EXPECT_GT(injector.metrics().retires_refused, 0u);
+  expect_clean_audit(ftl, "Ftl after exhausting the loss budget");
+}
+
+// --- Patrol scrub ----------------------------------------------------------
+
+TEST(IntegrityScrubTest, RefreshesBlocksOverThePredictedThreshold) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  FaultPlan plan;
+  plan.seed = 2;
+  // Retention-driven prediction: old data predicts 0.2 * 3 = 0.6, over
+  // the 0.4 threshold; freshly relocated data predicts 0.2, under it —
+  // so one refresh settles the block instead of bouncing it forever.
+  plan.integrity.rber_base = 0.2;
+  plan.integrity.rber_age_anchor = kSecond;
+  plan.integrity.rber_age_boost = 2.0;
+  plan.integrity.scrub_rber_threshold = 0.4;
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+
+  SimTime t = 0;
+  for (Lpn lpn = 0; lpn < 6; ++lpn) t = ftl.program_page(lpn, 1, t + 1);
+  ftl.patrol_scrub(t + 2 * kSecond);
+  const IntegrityMetrics& m = injector.metrics().integrity;
+  EXPECT_EQ(m.patrol_scrubs, 1u);
+  EXPECT_EQ(m.patrol_pages_moved, 6u);
+  // The stale block plus (cursor permitting) its freshly-written copy.
+  EXPECT_GE(m.patrol_pages_examined, 6u);
+  // The refresh relocated, not dropped, the data.
+  for (Lpn lpn = 0; lpn < 6; ++lpn) {
+    EXPECT_TRUE(ftl.read_page(lpn, t + 3 * kSecond).mapped);
+  }
+  expect_clean_audit(ftl, "Ftl after patrol refresh");
+}
+
+TEST(IntegrityScrubTest, BudgetBoundsOnePassAndTheCursorResumes) {
+  FullAuditScope audit_scope;
+  Ftl ftl(one_plane());
+  FaultPlan plan;
+  plan.seed = 2;
+  plan.integrity.rber_base = 0.5;
+  plan.integrity.scrub_error_limit = 200;  // armed, but never fires
+  plan.integrity.scrub_time_budget = 1;    // one block per pass at most
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+
+  // Two blocks of valid data (8 pages fill block one, the 9th opens the
+  // next).
+  SimTime t = 0;
+  for (Lpn lpn = 0; lpn < 9; ++lpn) t = ftl.program_page(lpn, 1, t + 1);
+  const IntegrityMetrics& m = injector.metrics().integrity;
+  ftl.patrol_scrub(t + 1);
+  const std::uint64_t first = m.patrol_pages_examined;
+  EXPECT_GT(first, 0u);
+  EXPECT_LT(first, 9u) << "the budget must stop the pass mid-device";
+  // The cursor picks up where the last pass stopped: the second pass
+  // examines only the remaining valid block, not the first one again.
+  ftl.patrol_scrub(t + 2);
+  EXPECT_EQ(m.patrol_pages_examined, 9u);
+  // A further pass walks the empty remainder free of charge, wraps, and
+  // re-examines from the top — full-device coverage, bounded per pass.
+  ftl.patrol_scrub(t + 3);
+  EXPECT_EQ(m.patrol_pages_examined, 9u + first);
+  EXPECT_EQ(m.patrol_scrubs, 0u);
+}
+
+TEST(IntegrityScrubTest, NoTriggersMeansNoPass) {
+  Ftl ftl(one_plane());
+  FaultPlan plan;
+  plan.integrity.rber_base = 0.5;  // enabled, but nothing to act on
+  FaultInjector injector(plan);
+  ftl.set_fault_injector(&injector);
+  const SimTime t = ftl.program_page(0, 1, 0);
+  ftl.patrol_scrub(t + 1);
+  EXPECT_EQ(injector.metrics().integrity.patrol_pages_examined, 0u);
+}
+
+// --- End to end: telemetry reconciliation and loss semantics ---------------
+
+SimOptions integrity_options(bool shed = false) {
+  SimOptions o;
+  o.ssd = testing::tiny_ssd();
+  o.policy.name = "reqblock";
+  o.policy.capacity_pages = 256;
+  o.policy.pages_per_block = o.ssd.pages_per_block;
+  o.cache.capacity_pages = 256;
+  o.telemetry_env_override = false;
+  o.fault.seed = 77;
+  // Pre-aged wear drives the endurance boost; modest escape and a
+  // shallow retry budget push traffic into every tier.
+  o.fault.aging.rated_pe_cycles = 5000;
+  o.fault.aging.initial_pe_cycles = 4500;
+  IntegrityPlan& in = o.fault.integrity;
+  in.rber_base = 0.05;
+  in.rber_pe_anchor = 5000;
+  in.rber_pe_boost = 4.0;
+  in.ecc_escape = 0.6;
+  in.read_retry_steps = 1;
+  in.retry_relief = 0.5;
+  in.stripe_pages = 8;
+  in.uncorrectable_shed = shed;
+  in.scrub_every_requests = 500;
+  in.scrub_rber_threshold = 0.1;
+  return o;
+}
+
+WorkloadProfile integrity_profile(std::uint64_t requests = 4000) {
+  WorkloadProfile p;
+  p.name = "integrity-mix";
+  p.total_requests = requests;
+  p.seed = 13;
+  p.write_ratio = 0.5;
+  p.hot_extents = 96;
+  p.cold_stream_pages = 1 << 14;
+  p.mean_interarrival_ns = 140 * kMicrosecond;
+  return p;
+}
+
+RunResult run_integrity(const SimOptions& o,
+                        std::uint64_t requests = 4000) {
+  SyntheticTraceSource trace(integrity_profile(requests));
+  Simulator sim(o);
+  return sim.run(trace);
+}
+
+TEST(IntegrityTelemetryTest, EventsMatchInjectorAggregatesExactly) {
+  FullAuditScope audit_scope;
+  SimOptions o = integrity_options();
+  o.telemetry.trace.level = TraceLevel::kAll;
+  const RunResult r = run_integrity(o);
+
+  ASSERT_EQ(r.telemetry.events_dropped, 0u);
+  const IntegrityMetrics& m = r.fault.integrity;
+  // The mix genuinely exercises every tier and the scrubber.
+  ASSERT_GT(m.ecc_corrected, 0u);
+  ASSERT_GT(m.retry_corrected, 0u);
+  ASSERT_GT(m.parity_rebuilds, 0u);
+  ASSERT_GT(m.uncorrectable, 0u);
+  ASSERT_GT(m.patrol_scrubs, 0u);
+  expect_identities(m, o.fault.integrity.stripe_pages);
+
+  const auto& ev = r.telemetry.events;
+  EXPECT_EQ(count_kind(ev, EventKind::kEccCorrect), m.ecc_corrected);
+  EXPECT_EQ(count_kind(ev, EventKind::kReadRetryStep), m.retry_steps_total);
+  EXPECT_EQ(count_kind(ev, EventKind::kParityRebuild), m.parity_rebuilds);
+  EXPECT_EQ(sum_args(ev, EventKind::kParityRebuild), m.parity_peer_reads);
+  EXPECT_EQ(count_kind(ev, EventKind::kUncorrectable), m.uncorrectable);
+  EXPECT_EQ(count_kind(ev, EventKind::kPatrolScrub), m.patrol_scrubs);
+  EXPECT_EQ(sum_args(ev, EventKind::kPatrolScrub), m.patrol_pages_moved);
+}
+
+TEST(IntegrityLossTest, ShedVsErrorSemanticsAreConfigurable) {
+  FullAuditScope audit_scope;
+  // Error mode (default): lost reads complete as host-visible errors
+  // after the full recovery cost and stay in the histograms.
+  const RunResult error_mode = run_integrity(integrity_options(false));
+  ASSERT_GT(error_mode.fault.integrity.host_reads_lost, 0u);
+  EXPECT_EQ(error_mode.response.count(), error_mode.requests);
+  // Shed mode: the same lost reads are counted as arrivals but excluded
+  // from the response histograms.
+  const RunResult shed_mode = run_integrity(integrity_options(true));
+  ASSERT_GT(shed_mode.fault.integrity.host_reads_lost, 0u);
+  const std::uint64_t sheds =
+      shed_mode.requests - shed_mode.response.count();
+  EXPECT_GT(sheds, 0u);
+  // Page losses bound request sheds: a multi-page request sheds once.
+  EXPECT_LE(sheds, shed_mode.fault.integrity.host_reads_lost);
+}
+
+TEST(IntegrityCsvTest, ColumnsAppearOnlyWhenErrorsFired) {
+  const auto csv_of = [](const std::vector<RunResult>& rs) {
+    std::ostringstream os;
+    write_results_csv(os, rs);
+    return os.str();
+  };
+  const RunResult with_errors = run_integrity(integrity_options(), 2000);
+  ASSERT_TRUE(with_errors.fault.integrity.any());
+  EXPECT_NE(csv_of({with_errors}).find(",ecc_attempts"), std::string::npos);
+
+  SimOptions quiet = integrity_options();
+  quiet.fault = FaultPlan{};
+  const RunResult without = run_integrity(quiet, 2000);
+  EXPECT_EQ(csv_of({without}).find("ecc_attempts"), std::string::npos);
+}
+
+// --- CLI -------------------------------------------------------------------
+
+TEST(IntegrityCliTest, EveryDocumentedFlagAppliesThroughTheSharedPath) {
+  const char* argv[] = {"prog",
+                        "--integrity-rber", "0.03125",
+                        "--integrity-rber-pe-anchor", "4000",
+                        "--integrity-rber-pe-boost", "2.5",
+                        "--integrity-rber-read-anchor", "512",
+                        "--integrity-rber-read-boost", "1.5",
+                        "--integrity-rber-age-anchor-ms", "750",
+                        "--integrity-rber-age-boost", "0.75",
+                        "--integrity-ecc-escape", "0.25",
+                        "--integrity-retry-steps", "5",
+                        "--integrity-retry-relief", "0.125",
+                        "--integrity-retry-step-us", "55",
+                        "--integrity-stripe-pages", "16",
+                        "--integrity-uncorrectable-shed",
+                        "--integrity-scrub-every", "12345",
+                        "--integrity-scrub-budget-us", "900",
+                        "--integrity-scrub-rber", "0.2",
+                        "--integrity-scrub-error-limit", "7"};
+  const ArgParser args(static_cast<int>(std::size(argv)), argv);
+  FaultPlan plan;
+  plan.apply_cli(args);
+  const IntegrityPlan& in = plan.integrity;
+  EXPECT_DOUBLE_EQ(in.rber_base, 0.03125);
+  EXPECT_EQ(in.rber_pe_anchor, 4000u);
+  EXPECT_DOUBLE_EQ(in.rber_pe_boost, 2.5);
+  EXPECT_EQ(in.rber_read_anchor, 512u);
+  EXPECT_DOUBLE_EQ(in.rber_read_boost, 1.5);
+  EXPECT_EQ(in.rber_age_anchor, 750 * kMillisecond);
+  EXPECT_DOUBLE_EQ(in.rber_age_boost, 0.75);
+  EXPECT_DOUBLE_EQ(in.ecc_escape, 0.25);
+  EXPECT_EQ(in.read_retry_steps, 5u);
+  EXPECT_DOUBLE_EQ(in.retry_relief, 0.125);
+  EXPECT_EQ(in.retry_step_latency, 55 * kMicrosecond);
+  EXPECT_EQ(in.stripe_pages, 16u);
+  EXPECT_TRUE(in.uncorrectable_shed);
+  EXPECT_EQ(in.scrub_every_requests, 12345u);
+  EXPECT_EQ(in.scrub_time_budget, 900 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(in.scrub_rber_threshold, 0.2);
+  EXPECT_EQ(in.scrub_error_limit, 7u);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_NO_THROW(plan.validate());
+
+  // A parser carrying none of the flags leaves the plan untouched.
+  const char* none[] = {"prog"};
+  FaultPlan untouched = plan;
+  untouched.apply_cli(ArgParser(1, none));
+  EXPECT_DOUBLE_EQ(untouched.integrity.rber_base, in.rber_base);
+  EXPECT_EQ(untouched.integrity.scrub_time_budget, in.scrub_time_budget);
+}
+
+}  // namespace
+}  // namespace reqblock

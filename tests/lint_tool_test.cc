@@ -208,9 +208,9 @@ TEST(LintTree, ProductionTreeIsCleanWithEmptyBaseline) {
   EXPECT_GT(r.files_scanned, 100);
   // The allowlist is small and deliberate: profiler + session wall-clock
   // plus the bench ledgers' wall_unix_s stamps (attribution, multitenant,
-  // soak). A change here means a new wall-clock use slipped in — justify
-  // it or remove it.
-  EXPECT_EQ(r.suppressed, 8);
+  // soak, integrity). A change here means a new wall-clock use slipped
+  // in — justify it or remove it.
+  EXPECT_EQ(r.suppressed, 9);
 }
 
 }  // namespace

@@ -164,5 +164,47 @@ TEST(ReportTest, MetadataPercentZeroCapacity) {
   EXPECT_DOUBLE_EQ(metadata_percent(r), 0.0);
 }
 
+TEST(ReportTest, ReliabilitySummaryOrderGolden) {
+  // The reliability section renders per result in one fixed order —
+  // fault, aging, integrity — and each table appears only when its
+  // subsystem fired. Golden-pins the order so no driver regresses to
+  // grouping all fault tables before all aging tables again.
+  RunResult r;
+  r.trace_name = "t";
+  r.policy_name = "p";
+  r.fault.enabled = true;
+  r.fault.program_faults = 3;
+  r.fault.read_disturb_migrations = 2;
+  r.fault.integrity.ecc_attempts = 5;
+  r.fault.integrity.ecc_corrected = 5;
+
+  std::ostringstream os;
+  write_reliability_summary(os, r);
+  const std::string out = os.str();
+  const auto fault_at = out.find("Fault injection (t / p)");
+  const auto aging_at = out.find("Device aging (t / p)");
+  const auto integrity_at = out.find("Data integrity (t / p)");
+  ASSERT_NE(fault_at, std::string::npos);
+  ASSERT_NE(aging_at, std::string::npos);
+  ASSERT_NE(integrity_at, std::string::npos);
+  EXPECT_LT(fault_at, aging_at);
+  EXPECT_LT(aging_at, integrity_at);
+  // Byte-stable: a second render of the same result is identical.
+  std::ostringstream again;
+  write_reliability_summary(again, r);
+  EXPECT_EQ(out, again.str());
+
+  // Sections gate independently: integrity alone renders alone.
+  RunResult only;
+  only.trace_name = "t";
+  only.policy_name = "p";
+  only.fault.integrity.patrol_scrubs = 1;
+  std::ostringstream solo;
+  write_reliability_summary(solo, only);
+  EXPECT_EQ(solo.str().find("Fault injection"), std::string::npos);
+  EXPECT_EQ(solo.str().find("Device aging"), std::string::npos);
+  EXPECT_NE(solo.str().find("Data integrity"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace reqblock
